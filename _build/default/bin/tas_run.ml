@@ -1,0 +1,54 @@
+(* Command-line driver: run any of the paper's experiments by id. *)
+
+let list_cmd () =
+  List.iter
+    (fun e ->
+      Printf.printf "%-4s %s\n" e.Tas_experiments.Registry.id
+        e.Tas_experiments.Registry.title)
+    Tas_experiments.Registry.all;
+  0
+
+let run_cmd quick ids =
+  let fmt = Format.std_formatter in
+  let rc =
+    match ids with
+    | [] ->
+      Tas_experiments.Registry.run_all ~quick fmt;
+      0
+    | ids ->
+      List.fold_left
+        (fun rc id ->
+          match Tas_experiments.Registry.find id with
+          | Some e ->
+            e.Tas_experiments.Registry.run ~quick fmt;
+            rc
+          | None ->
+            Printf.eprintf "unknown experiment id: %s (try 'tas_run list')\n" id;
+            1)
+        0 ids
+  in
+  Format.pp_print_flush fmt ();
+  rc
+
+open Cmdliner
+
+let ids =
+  let doc = "Experiment ids to run (e.g. f4 t1). Empty runs everything." in
+  Arg.(value & pos_all string [] & info [] ~docv:"ID" ~doc)
+
+let quick =
+  let doc = "Reduced sweeps and durations (CI-friendly)." in
+  Arg.(value & flag & info [ "quick"; "q" ] ~doc)
+
+let list_flag =
+  let doc = "List available experiment ids." in
+  Arg.(value & flag & info [ "list"; "l" ] ~doc)
+
+let main list quick ids = if list then list_cmd () else run_cmd quick ids
+
+let cmd =
+  let doc = "reproduce the TAS (EuroSys'19) evaluation" in
+  let info = Cmd.info "tas_run" ~doc in
+  Cmd.v info Term.(const main $ list_flag $ quick $ ids)
+
+let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,1 @@
+examples/framing_demo.ml: Bytes List Printf String Tas_core Tas_cpu Tas_engine Tas_netsim

@@ -1,0 +1,1 @@
+examples/framing_demo.mli:

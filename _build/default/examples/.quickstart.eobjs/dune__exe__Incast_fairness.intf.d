@@ -1,0 +1,1 @@
+examples/incast_fairness.mli:

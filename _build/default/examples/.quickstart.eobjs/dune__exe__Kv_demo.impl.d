@@ -1,0 +1,1 @@
+examples/kv_demo.ml: List Printf Tas_engine Tas_experiments

@@ -1,0 +1,1 @@
+examples/packet_trace.ml: Bytes Format Printf Tas_baseline Tas_core Tas_cpu Tas_engine Tas_netsim

@@ -1,0 +1,1 @@
+examples/packet_trace.mli:

@@ -1,0 +1,1 @@
+examples/proportionality_demo.ml: List Printf String Tas_experiments

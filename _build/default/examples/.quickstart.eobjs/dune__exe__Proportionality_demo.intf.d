@@ -1,0 +1,1 @@
+examples/proportionality_demo.mli:

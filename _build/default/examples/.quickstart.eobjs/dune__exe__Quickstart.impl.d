@@ -1,0 +1,1 @@
+examples/quickstart.ml: Bytes Printf Tas_baseline Tas_core Tas_cpu Tas_engine Tas_netsim

@@ -1,0 +1,23 @@
+(* Workload proportionality demo: watch the TAS slow path grow and shrink
+   the fast-path core set as offered load ramps up and back down.
+
+   Run with:  dune exec examples/proportionality_demo.exe *)
+
+module Exp = Tas_experiments.Exp_proportional
+
+let () =
+  print_endline
+    "Echo server on TAS with dynamic core scaling; client machines join\n\
+     every 200ms, then leave again (time-compressed Fig. 14):\n";
+  print_endline " time    cores  throughput        load bar";
+  let samples = Exp.run_trace ~phases:5 () in
+  List.iter
+    (fun s ->
+      if int_of_float s.Exp.t_ms mod 50 = 0 then
+        Printf.printf "%5.0fms   %2d    %5.2f mOps  %s\n" s.Exp.t_ms
+          s.Exp.cores s.Exp.mops
+          (String.make (int_of_float (s.Exp.mops *. 25.0)) '*'))
+    samples;
+  print_endline
+    "\nThe controller adds a core when aggregate fast-path idle time drops\n\
+     below 0.2 cores and removes one above 1.25 idle cores (paper 3.4)."

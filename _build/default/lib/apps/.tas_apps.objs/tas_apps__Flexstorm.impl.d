@@ -1,0 +1,1 @@
+lib/apps/flexstorm.ml: Array Bytes Queue Tas_cpu Tas_engine Transport

@@ -1,0 +1,1 @@
+lib/apps/flexstorm.mli: Tas_cpu Tas_engine Transport

@@ -1,0 +1,1 @@
+lib/apps/kv_store.ml: Bytes Char Hashtbl List Printf Rpc_echo String Tas_cpu Tas_engine Transport

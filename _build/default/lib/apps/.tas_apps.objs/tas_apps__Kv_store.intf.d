@@ -1,0 +1,1 @@
+lib/apps/kv_store.mli: Rpc_echo Tas_cpu Tas_engine Tas_proto Transport

@@ -1,0 +1,1 @@
+lib/apps/rpc_echo.ml: Bytes Queue Tas_engine Transport

@@ -1,0 +1,1 @@
+lib/apps/rpc_echo.mli: Tas_engine Tas_proto Transport

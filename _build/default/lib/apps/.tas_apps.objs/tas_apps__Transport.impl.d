@@ -1,0 +1,1 @@
+lib/apps/transport.ml: Buffer Bytes Tas_baseline Tas_core Tas_proto

@@ -1,0 +1,1 @@
+lib/apps/transport.mli: Tas_baseline Tas_core Tas_proto

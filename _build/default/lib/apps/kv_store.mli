@@ -1,0 +1,58 @@
+(** Key-value store modeled after memcached (paper §5.3), with a
+    memslap-like closed-loop client.
+
+    Wire format (binary, length-prefixed):
+    - request: op(1) keylen(2) key vallen(2) value — vallen=0 for GET;
+    - response: status(1) vallen(2) value.
+
+    The optional serialized section models the paper's non-scalable
+    workload (Table 7): every request must additionally pass through a
+    single lock core, capping scalability Amdahl-style. *)
+
+type t
+
+val create_server :
+  Transport.t ->
+  port:int ->
+  app_cycles:int ->
+  ?serial:(Tas_cpu.Core.t * int) ->
+  unit ->
+  t
+(** [app_cycles] is per-request application work charged on the
+    connection's core; [serial] adds a (core, cycles) critical section. *)
+
+val gets : t -> int
+val sets : t -> int
+val misses : t -> int
+val stored_keys : t -> int
+
+(** Closed-loop load generator over a zipf-distributed key space. *)
+module Client : sig
+  type workload = {
+    n_keys : int;
+    key_size : int;
+    value_size : int;
+    get_fraction : float;  (** 0.9 in the paper's workload *)
+    zipf_s : float;  (** 0.9 in the paper's workload *)
+  }
+
+  val default_workload : workload
+  (** 100 K keys, 32 B keys, 64 B values, 90% GETs, zipf s=0.9. *)
+
+  val run :
+    Tas_engine.Sim.t ->
+    Transport.t ->
+    rng:Tas_engine.Rng.t ->
+    n_conns:int ->
+    dst_ip:Tas_proto.Addr.ipv4 ->
+    dst_port:int ->
+    workload:workload ->
+    stats:Rpc_echo.stats ->
+    ?think_ns:int ->
+    ?start_at:Tas_engine.Time_ns.t ->
+    unit ->
+    unit
+  (** One outstanding request per connection; [think_ns] inserts client-side
+      idle time between response and next request (for load control in the
+      latency experiment). *)
+end

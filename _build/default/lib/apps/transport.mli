@@ -1,0 +1,44 @@
+(** Stack-agnostic transport interface.
+
+    The paper's applications run unmodified on Linux and TAS (and, modified,
+    on IX/mTCP). This record-of-functions plays the role of the sockets
+    layer: the same application code drives the TAS stack, the CPU-charged
+    baseline server models, and ideal (cost-free) client hosts. *)
+
+type conn
+
+type handlers = {
+  on_connected : conn -> unit;
+  on_data : conn -> bytes -> unit;
+  on_sendable : conn -> unit;
+  on_peer_closed : conn -> unit;
+  on_closed : conn -> unit;
+}
+
+val null_handlers : handlers
+
+type t
+
+val listen : t -> port:int -> (conn -> handlers) -> unit
+val connect : t -> dst_ip:Tas_proto.Addr.ipv4 -> dst_port:int ->
+  (conn -> handlers) -> unit
+
+val send : conn -> bytes -> int
+val close : conn -> unit
+val conn_id : conn -> int
+
+val charge_app : conn -> int -> (unit -> unit) -> unit
+(** Account application-level work (cycles) on the connection's core before
+    continuing — a no-op on cost-free hosts. *)
+
+val of_engine : Tas_baseline.Tcp_engine.t -> t
+(** Ideal host: the full protocol with no CPU charges (client machines). *)
+
+val of_server_model : Tas_baseline.Server_model.t -> t
+(** Cost-charged server on a baseline stack (Linux / IX / mTCP profile). *)
+
+val of_libtas :
+  Tas_core.Libtas.t -> ctx_of_conn:(int -> int) -> t
+(** Application on TAS via libTAS. [ctx_of_conn] maps a connection counter
+    to a context (application thread); use [(fun i -> i mod n_threads)] for
+    round-robin placement. *)

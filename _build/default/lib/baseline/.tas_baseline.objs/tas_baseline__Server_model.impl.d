@@ -1,0 +1,1 @@
+lib/baseline/server_model.ml: Array Bytes Hashtbl Option Tas_cpu Tas_engine Tas_netsim Tas_proto Tcp_engine

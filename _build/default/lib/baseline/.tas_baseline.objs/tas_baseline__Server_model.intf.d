@@ -1,0 +1,1 @@
+lib/baseline/server_model.mli: Tas_cpu Tas_engine Tas_netsim Tcp_engine

@@ -1,0 +1,1 @@
+lib/baseline/tcp_engine.ml: Bytes Hashtbl Tas_buffers Tas_engine Tas_netsim Tas_proto Tas_tcp

@@ -1,0 +1,1 @@
+lib/baseline/tcp_engine.mli: Tas_engine Tas_netsim Tas_proto Tas_tcp

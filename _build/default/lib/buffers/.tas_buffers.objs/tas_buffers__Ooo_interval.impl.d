@@ -1,0 +1,1 @@
+lib/buffers/ooo_interval.ml: Tas_proto

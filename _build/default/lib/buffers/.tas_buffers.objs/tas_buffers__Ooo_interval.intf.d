@@ -1,0 +1,1 @@
+lib/buffers/ooo_interval.mli: Tas_proto

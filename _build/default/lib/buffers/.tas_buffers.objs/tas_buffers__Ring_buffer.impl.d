@@ -1,0 +1,1 @@
+lib/buffers/ring_buffer.ml: Bytes

@@ -1,0 +1,1 @@
+lib/buffers/spsc_queue.mli:

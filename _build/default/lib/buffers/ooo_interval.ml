@@ -1,0 +1,72 @@
+module Seq32 = Tas_proto.Seq32
+
+type t = { mutable start : Seq32.t; mutable len : int }
+
+type verdict =
+  | Deliver of { write_at : Seq32.t; write_len : int; advance : int }
+  | Store of { write_at : Seq32.t; write_len : int }
+  | Duplicate
+  | Drop
+
+let create () = { start = 0; len = 0 }
+let is_empty t = t.len = 0
+let interval t = if t.len = 0 then None else Some (t.start, t.len)
+let reset t = t.len <- 0
+
+let handle t ~exp ~window ~seg_start ~seg_len =
+  (* Trim any prefix that duplicates already-delivered data. *)
+  let s, l =
+    if Seq32.lt seg_start exp then begin
+      let dup = Seq32.diff exp seg_start in
+      if dup >= seg_len then (exp, 0) else (exp, seg_len - dup)
+    end
+    else (seg_start, seg_len)
+  in
+  if l = 0 then Duplicate
+  else if s = exp then begin
+    (* In-order: clip to the receive window. *)
+    let l = min l window in
+    if l = 0 then Drop
+    else begin
+      let new_exp = Seq32.add exp l in
+      if t.len > 0 && Seq32.geq new_exp t.start then begin
+        (* The gap closed: deliver through the end of the stored interval. *)
+        let int_end = Seq32.add t.start t.len in
+        let advance =
+          if Seq32.gt int_end new_exp then Seq32.diff int_end exp
+          else l
+        in
+        t.len <- 0;
+        Deliver { write_at = s; write_len = l; advance }
+      end
+      else Deliver { write_at = s; write_len = l; advance = l }
+    end
+  end
+  else begin
+    (* Out-of-order: s is beyond exp. Must fit within the window. *)
+    let offset = Seq32.diff s exp in
+    if offset >= window then Drop
+    else begin
+      let l = min l (window - offset) in
+      if t.len = 0 then begin
+        t.start <- s;
+        t.len <- l;
+        Store { write_at = s; write_len = l }
+      end
+      else begin
+        let int_end = Seq32.add t.start t.len in
+        let seg_end = Seq32.add s l in
+        (* Accept only segments of the same interval: overlapping or
+           adjacent (paper: "accepts out-of-order segments of the same
+           interval if they fit in the receive buffer"). *)
+        if Seq32.gt s int_end || Seq32.gt t.start seg_end then Drop
+        else begin
+          let new_start = if Seq32.lt s t.start then s else t.start in
+          let new_end = if Seq32.gt seg_end int_end then seg_end else int_end in
+          t.start <- new_start;
+          t.len <- Seq32.diff new_end new_start;
+          Store { write_at = s; write_len = l }
+        end
+      end
+    end
+  end

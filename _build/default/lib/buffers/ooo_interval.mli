@@ -1,0 +1,45 @@
+(** Single-interval out-of-order receive tracking (paper §3.1, Exceptions).
+
+    The TAS fast path keeps exactly one interval of out-of-order data per
+    flow ([ooo_start|len] in Table 3). A new out-of-order segment is accepted
+    only if it fits the receive window and touches (overlaps or abuts) the
+    tracked interval — or if no interval exists yet. Anything else is
+    dropped, and the sender recovers via duplicate ACKs / retransmission.
+    When the in-order stream reaches the interval, the entire run is
+    delivered as one big segment and the interval resets. *)
+
+type t
+
+(** What the fast path should do with an arriving segment. Ranges are given
+    in sequence space, already trimmed to the acceptable window. *)
+type verdict =
+  | Deliver of { write_at : Tas_proto.Seq32.t; write_len : int; advance : int }
+      (** In-order (possibly after trimming a duplicated prefix): deposit
+          [write_len] bytes at [write_at] and advance the contiguous stream
+          by [advance] bytes — [advance >= write_len] when the segment
+          bridges the gap to the stored interval. *)
+  | Store of { write_at : Tas_proto.Seq32.t; write_len : int }
+      (** Out-of-order but buffered: deposit without advancing the stream. *)
+  | Duplicate  (** Entirely old data: just (re-)acknowledge. *)
+  | Drop  (** Unbufferable out-of-order data: drop, triggering dup-ACKs. *)
+
+val create : unit -> t
+
+val is_empty : t -> bool
+
+val interval : t -> (Tas_proto.Seq32.t * int) option
+(** The tracked [(start, length)] interval, if any. *)
+
+val handle :
+  t ->
+  exp:Tas_proto.Seq32.t ->
+  window:int ->
+  seg_start:Tas_proto.Seq32.t ->
+  seg_len:int ->
+  verdict
+(** [handle t ~exp ~window ~seg_start ~seg_len] decides the fate of a
+    segment given the next expected sequence number [exp] and [window] free
+    receive-buffer bytes starting at [exp]. Updates the interval state. *)
+
+val reset : t -> unit
+(** Forget any stored interval (connection reset / reassignment). *)

@@ -1,0 +1,65 @@
+type t = {
+  data : bytes;
+  cap : int;
+  mutable head : int;
+  mutable tail : int;
+}
+
+let create cap =
+  if cap <= 0 then invalid_arg "Ring_buffer.create: capacity must be positive";
+  { data = Bytes.create cap; cap; head = 0; tail = 0 }
+
+let capacity t = t.cap
+let head t = t.head
+let tail t = t.tail
+let used t = t.head - t.tail
+let free t = t.cap - used t
+
+(* Copy [len] bytes between a stream-offset position in the ring and a flat
+   buffer, splitting at the physical wrap point. *)
+let blit_in t pos src off len =
+  let phys = pos mod t.cap in
+  let first = min len (t.cap - phys) in
+  Bytes.blit src off t.data phys first;
+  if len > first then Bytes.blit src (off + first) t.data 0 (len - first)
+
+let blit_out t pos dst off len =
+  let phys = pos mod t.cap in
+  let first = min len (t.cap - phys) in
+  Bytes.blit t.data phys dst off first;
+  if len > first then Bytes.blit t.data 0 dst (off + first) (len - first)
+
+let push t b ~off ~len =
+  let n = min len (free t) in
+  if n > 0 then begin
+    blit_in t t.head b off n;
+    t.head <- t.head + n
+  end;
+  n
+
+let write_at t ~pos b ~off ~len =
+  if pos < t.tail || pos + len > t.tail + t.cap then
+    invalid_arg "Ring_buffer.write_at: range outside buffer window";
+  blit_in t pos b off len
+
+let advance_head t n =
+  if n < 0 || t.head + n > t.tail + t.cap then
+    invalid_arg "Ring_buffer.advance_head: beyond capacity";
+  t.head <- t.head + n
+
+let read_at t ~pos ~dst ~dst_off ~len =
+  if pos < t.tail || pos + len > t.tail + t.cap then
+    invalid_arg "Ring_buffer.read_at: range outside buffer window";
+  blit_out t pos dst dst_off len
+
+let pop t ~dst ~dst_off ~len =
+  let n = min len (used t) in
+  if n > 0 then begin
+    blit_out t t.tail dst dst_off n;
+    t.tail <- t.tail + n
+  end;
+  n
+
+let advance_tail t n =
+  if n < 0 || n > used t then invalid_arg "Ring_buffer.advance_tail: beyond head";
+  t.tail <- t.tail + n

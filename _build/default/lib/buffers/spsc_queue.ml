@@ -1,0 +1,49 @@
+type 'a t = {
+  slots : 'a option array;
+  cap : int;
+  mutable head : int;  (* next slot to fill *)
+  mutable tail : int;  (* next slot to drain *)
+  mutable count : int;
+}
+
+let create cap =
+  if cap <= 0 then invalid_arg "Spsc_queue.create: capacity must be positive";
+  { slots = Array.make cap None; cap; head = 0; tail = 0; count = 0 }
+
+let capacity t = t.cap
+let length t = t.count
+let is_empty t = t.count = 0
+let is_full t = t.count = t.cap
+
+let try_push t x =
+  if is_full t then false
+  else begin
+    t.slots.(t.head) <- Some x;
+    t.head <- (t.head + 1) mod t.cap;
+    t.count <- t.count + 1;
+    true
+  end
+
+let try_pop t =
+  if t.count = 0 then None
+  else begin
+    let x = t.slots.(t.tail) in
+    t.slots.(t.tail) <- None;
+    t.tail <- (t.tail + 1) mod t.cap;
+    t.count <- t.count - 1;
+    x
+  end
+
+let peek t = if t.count = 0 then None else t.slots.(t.tail)
+
+let drain t f =
+  let n = ref 0 in
+  let continue = ref true in
+  while !continue do
+    match try_pop t with
+    | Some x ->
+      f x;
+      incr n
+    | None -> continue := false
+  done;
+  !n

@@ -1,0 +1,26 @@
+(** Bounded single-producer/single-consumer queue.
+
+    Models the cache-efficient shared-memory message queues connecting
+    application, fast path and slow path (paper §3: "all components are
+    connected via a series of shared memory queues"). Bounded so that full
+    context queues exercise the paper's back-pressure path. *)
+
+type 'a t
+
+val create : int -> 'a t
+(** [create capacity]. @raise Invalid_argument if not positive. *)
+
+val capacity : 'a t -> int
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+val is_full : 'a t -> bool
+
+val try_push : 'a t -> 'a -> bool
+(** [try_push q x] is [false] when the queue is full. *)
+
+val try_pop : 'a t -> 'a option
+val peek : 'a t -> 'a option
+
+val drain : 'a t -> ('a -> unit) -> int
+(** Pop everything currently queued, applying [f] in order; returns the
+    number of elements processed. *)

@@ -1,0 +1,1 @@
+lib/core/context.ml: Flow_state Tas_buffers

@@ -1,0 +1,1 @@
+lib/core/fast_path.ml: Array Bytes Config Context Flow_state Flow_table Hashtbl Rate_bucket Tas_buffers Tas_cpu Tas_engine Tas_netsim Tas_proto

@@ -1,0 +1,1 @@
+lib/core/fast_path.mli: Config Context Flow_state Flow_table Tas_cpu Tas_engine Tas_netsim Tas_proto

@@ -1,0 +1,1 @@
+lib/core/flow_state.ml: Rate_bucket Tas_buffers Tas_proto

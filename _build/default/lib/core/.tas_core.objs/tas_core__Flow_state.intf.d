@@ -1,0 +1,1 @@
+lib/core/flow_state.mli: Rate_bucket Tas_buffers Tas_proto

@@ -1,0 +1,1 @@
+lib/core/flow_table.ml: Flow_state Hashtbl Tas_proto

@@ -1,0 +1,1 @@
+lib/core/flow_table.mli: Flow_state Tas_proto

@@ -1,0 +1,1 @@
+lib/core/framing.ml: Buffer Bytes Int32 Libtas

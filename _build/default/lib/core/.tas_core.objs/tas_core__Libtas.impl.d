@@ -1,0 +1,1 @@
+lib/core/libtas.ml: Array Bytes Config Context Fast_path Flow_state Hashtbl List Slow_path Tas_buffers Tas_cpu Tas_engine

@@ -1,0 +1,1 @@
+lib/core/libtas.mli: Fast_path Slow_path Tas_cpu Tas_engine Tas_proto

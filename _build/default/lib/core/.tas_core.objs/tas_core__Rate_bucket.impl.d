@@ -1,0 +1,1 @@
+lib/core/rate_bucket.ml: Tas_engine Tas_tcp

@@ -1,0 +1,1 @@
+lib/core/rate_bucket.mli: Tas_engine Tas_tcp

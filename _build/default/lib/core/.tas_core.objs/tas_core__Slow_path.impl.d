@@ -1,0 +1,1 @@
+lib/core/slow_path.ml: Bytes Config Fast_path Flow_state Hashtbl List Logs Rate_bucket Tas_buffers Tas_cpu Tas_engine Tas_netsim Tas_proto Tas_tcp

@@ -1,0 +1,1 @@
+lib/core/slow_path.mli: Config Fast_path Flow_state Logs Tas_cpu Tas_engine Tas_proto

@@ -1,0 +1,1 @@
+lib/core/tas.ml: Array Config Fast_path Flow_table Format Libtas Slow_path Tas_cpu Tas_engine

@@ -1,0 +1,1 @@
+lib/core/tas.mli: Config Fast_path Format Libtas Slow_path Tas_cpu Tas_engine Tas_netsim

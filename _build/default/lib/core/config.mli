@@ -1,0 +1,40 @@
+(** TAS configuration knobs, with the paper's defaults. *)
+
+type t = {
+  mss : int;
+  wscale : int;  (** window-scale shift advertised during handshakes *)
+  rx_buf_size : int;  (** per-flow receive payload buffer (fixed, §4.1) *)
+  tx_buf_size : int;
+  max_fast_path_cores : int;
+  cc : Tas_tcp.Interval_cc.algorithm;
+  initial_rate_bps : float;  (** starting rate for new flows *)
+  control_interval_rtts : int;  (** slow-path CC loop period, default 2 RTTs *)
+  control_interval_min_ns : int;  (** floor when RTT is tiny/unknown *)
+  control_interval_fixed_ns : int option;
+      (** force a fixed control interval τ (the Fig. 11 sweep) *)
+  timeout_intervals : int;
+      (** control intervals without snd_una progress before the slow path
+          triggers a retransmission (default 2, §3.2) *)
+  rx_ooo_enabled : bool;
+      (** receiver out-of-order interval tracking; [false] = the "simple
+          go-back-N recovery" ablation of Fig. 7 *)
+  context_queue_capacity : int;
+  dynamic_scaling : bool;  (** workload-proportional core scaling, §3.4 *)
+  scale_check_interval_ns : int;
+  scale_down_idle_cores : float;  (** remove a core above this idle total *)
+  scale_up_idle_cores : float;  (** add a core below this idle total *)
+  idle_block_ns : int;  (** fast-path thread blocks after this idle time *)
+  wakeup_ns : int;  (** cost of waking a blocked fast-path thread *)
+  (* Fast-path per-packet CPU costs (cycles), calibrated to Table 1. *)
+  fp_driver_cycles : int;
+  fp_rx_cycles : int;  (** receive data segment, including ACK generation *)
+  fp_tx_cycles : int;  (** segmentation + transmit *)
+  fp_ack_rx_cycles : int;  (** process incoming ACK, reclaim tx buffer *)
+  sp_conn_cycles : int;  (** slow-path connection setup/teardown handling *)
+  sp_flow_control_cycles : int;  (** slow-path CC loop, per flow *)
+}
+
+val default : t
+
+val rate_mode : t -> bool
+(** Whether the configured congestion control is rate-based. *)

@@ -1,0 +1,45 @@
+module Spsc = Tas_buffers.Spsc_queue
+
+type event = Readable of Flow_state.t | Writable of Flow_state.t
+
+type t = {
+  id : int;
+  queue : event Spsc.t;
+  mutable waker : unit -> unit;
+}
+
+let create ~id ~capacity = { id; queue = Spsc.create capacity; waker = ignore }
+let id t = t.id
+let set_waker t f = t.waker <- f
+
+let post t event =
+  let was_empty = Spsc.is_empty t.queue in
+  if not (Spsc.try_push t.queue event) then
+    (* Coalescing bounds the queue at two events per flow; hitting capacity
+       means the context was sized too small for its flow count. *)
+    failwith "Context: queue overflow (capacity < 2 * flows)";
+  if was_empty then t.waker ()
+
+let post_readable t flow =
+  if not flow.Flow_state.rx_notified then begin
+    flow.Flow_state.rx_notified <- true;
+    post t (Readable flow)
+  end
+
+let post_writable t flow =
+  if not flow.Flow_state.tx_notified then begin
+    flow.Flow_state.tx_notified <- true;
+    post t (Writable flow)
+  end
+
+let pop t =
+  match Spsc.try_pop t.queue with
+  | Some (Readable flow) as e ->
+    flow.Flow_state.rx_notified <- false;
+    e
+  | Some (Writable flow) as e ->
+    flow.Flow_state.tx_notified <- false;
+    e
+  | None -> None
+
+let pending t = Spsc.length t.queue

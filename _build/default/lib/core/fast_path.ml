@@ -1,0 +1,417 @@
+module Sim = Tas_engine.Sim
+module Nic = Tas_netsim.Nic
+module Core = Tas_cpu.Core
+module Addr = Tas_proto.Addr
+module Seq32 = Tas_proto.Seq32
+module Packet = Tas_proto.Packet
+module Tcp_header = Tas_proto.Tcp_header
+module Ipv4_header = Tas_proto.Ipv4_header
+module Ring = Tas_buffers.Ring_buffer
+module Ooo = Tas_buffers.Ooo_interval
+
+type stats = {
+  mutable rx_data_packets : int;
+  mutable rx_ack_packets : int;
+  mutable tx_data_packets : int;
+  mutable acks_sent : int;
+  mutable ooo_stored : int;
+  mutable payload_drops : int;
+  mutable fast_retransmits : int;
+  mutable exceptions_forwarded : int;
+}
+
+type t = {
+  sim : Sim.t;
+  nic : Nic.t;
+  cores : Core.t array;
+  config : Config.t;
+  flows : Flow_table.t;
+  contexts : (int, Context.t) Hashtbl.t;
+  mutable next_context_id : int;
+  mutable active : int;
+  mutable exception_handler : Packet.t -> unit;
+  stats : stats;
+  mutable busy_snapshot : int array;
+  mutable last_rx_time : int array;  (* per-core, for idle blocking *)
+}
+
+let create sim ~nic ~cores ~config =
+  if Array.length cores = 0 then invalid_arg "Fast_path.create: no cores";
+  {
+    sim;
+    nic;
+    cores;
+    config;
+    flows = Flow_table.create ();
+    contexts = Hashtbl.create 16;
+    next_context_id = 0;
+    active = Array.length cores;
+    exception_handler = ignore;
+    stats =
+      {
+        rx_data_packets = 0;
+        rx_ack_packets = 0;
+        tx_data_packets = 0;
+        acks_sent = 0;
+        ooo_stored = 0;
+        payload_drops = 0;
+        fast_retransmits = 0;
+        exceptions_forwarded = 0;
+      };
+    busy_snapshot = Array.make (Array.length cores) 0;
+    last_rx_time = Array.make (Array.length cores) 0;
+  }
+
+let flows t = t.flows
+let stats t = t.stats
+let config t = t.config
+let nic t = t.nic
+let set_exception_handler t f = t.exception_handler <- f
+let active_cores t = t.active
+
+let set_active_cores t n =
+  (* Bounded by both the configured cores and the NIC's RSS queues. *)
+  let n = max 1 (min n (min (Array.length t.cores) (Nic.num_queues t.nic))) in
+  t.active <- n;
+  Nic.set_active_queues t.nic n
+
+let fresh_context_id t =
+  let id = t.next_context_id in
+  t.next_context_id <- id + 1;
+  id
+
+let register_context t ctx =
+  let id = Context.id ctx in
+  if Hashtbl.mem t.contexts id then
+    invalid_arg "Fast_path.register_context: duplicate context id";
+  Hashtbl.replace t.contexts id ctx
+
+let unregister_context t id = Hashtbl.remove t.contexts id
+
+let find_context t id = Hashtbl.find_opt t.contexts id
+
+let context t id =
+  match Hashtbl.find_opt t.contexts id with
+  | Some ctx -> ctx
+  | None -> invalid_arg "Fast_path.context: unknown context id"
+
+let core_of_flow t flow =
+  let tuple = Flow_state.tuple flow ~local_ip:(Nic.ip t.nic) in
+  let queue = Nic.queue_for_hash t.nic (Addr.Four_tuple.sym_hash tuple) in
+  t.cores.(queue mod Array.length t.cores)
+
+let install_flow t ~tuple flow = Flow_table.add t.flows tuple flow
+let remove_flow t ~tuple = Flow_table.remove t.flows tuple
+
+let now_us t = Sim.now t.sim / 1000
+
+(* --- Packet construction ---------------------------------------------- *)
+
+let build_packet t flow ~(flags : Tcp_header.flags) ~seq ~payload =
+  let tcp =
+    {
+      Tcp_header.src_port = flow.Flow_state.local_port;
+      dst_port = flow.Flow_state.peer_port;
+      seq;
+      ack = (if flags.Tcp_header.ack then flow.Flow_state.ack else 0);
+      flags;
+      window =
+        min 65535 (Ring.free flow.Flow_state.rx_buf asr t.config.Config.wscale);
+      options =
+        {
+          Tcp_header.mss = None;
+          wscale = None;
+          timestamp =
+            Some (now_us t land 0xFFFF_FFFF, flow.Flow_state.ts_recent);
+        };
+    }
+  in
+  let ecn =
+    if Bytes.length payload > 0 then Ipv4_header.Ect0 else Ipv4_header.Not_ect
+  in
+  Packet.make ~src_mac:(Nic.mac t.nic) ~dst_mac:flow.Flow_state.peer_mac
+    ~src_ip:(Nic.ip t.nic) ~dst_ip:flow.Flow_state.peer_ip ~ecn ~tcp ~payload
+    ()
+
+let send_raw t pkt = Nic.transmit t.nic pkt
+
+let send_ack t flow ~ece =
+  let flags = { Tcp_header.ack_flags with ece } in
+  t.stats.acks_sent <- t.stats.acks_sent + 1;
+  Nic.transmit t.nic
+    (build_packet t flow ~flags ~seq:flow.Flow_state.seq ~payload:Bytes.empty)
+
+let emit_fin t flow =
+  flow.Flow_state.fin_sent <- true;
+  let flags = { Tcp_header.ack_flags with fin = true } in
+  Nic.transmit t.nic
+    (build_packet t flow ~flags ~seq:flow.Flow_state.seq ~payload:Bytes.empty)
+
+(* --- Transmission ------------------------------------------------------ *)
+
+let tx_cycles t = t.config.Config.fp_driver_cycles + t.config.Config.fp_tx_cycles
+
+(* Drain the flow's bucket: segment and transmit as much buffered payload as
+   congestion/flow control allows; in rate mode arm a pacing timer when the
+   bucket runs dry. Runs on [core]. *)
+let rec maybe_send t flow core =
+  let avail = Flow_state.tx_available flow in
+  if avail > 0 && not flow.Flow_state.fin_sent then begin
+    let peer_budget = flow.Flow_state.window - flow.Flow_state.tx_sent in
+    if peer_budget > 0 then begin
+      let want = min t.config.Config.mss (min avail peer_budget) in
+      (* Pace whole segments: a rate bucket with only a few tokens must not
+         emit tiny packets — wait until a full [want] accumulates. *)
+      let granted =
+        match Rate_bucket.ns_until_bytes flow.Flow_state.bucket want with
+        | Some _ -> 0
+        | None ->
+          Rate_bucket.tx_budget flow.Flow_state.bucket
+            ~in_flight:flow.Flow_state.tx_sent ~want
+      in
+      if granted > 0 then begin
+        let payload = Bytes.create granted in
+        Ring.read_at flow.Flow_state.tx_buf
+          ~pos:(Ring.tail flow.Flow_state.tx_buf + flow.Flow_state.tx_sent)
+          ~dst:payload ~dst_off:0 ~len:granted;
+        let seq = flow.Flow_state.seq in
+        flow.Flow_state.seq <- Seq32.add seq granted;
+        flow.Flow_state.tx_sent <- flow.Flow_state.tx_sent + granted;
+        t.stats.tx_data_packets <- t.stats.tx_data_packets + 1;
+        let pkt =
+          build_packet t flow ~flags:Tcp_header.data_flags ~seq ~payload
+        in
+        Core.run core ~cycles:(tx_cycles t) (fun () -> Nic.transmit t.nic pkt);
+        maybe_send t flow core
+      end
+      else arm_pacing_timer t flow core ~want
+    end
+  end
+
+and arm_pacing_timer t flow core ~want =
+  if not flow.Flow_state.tx_timer_armed then begin
+    match Rate_bucket.ns_until_bytes flow.Flow_state.bucket want with
+    | None -> () (* window mode: an ACK will reopen the window *)
+    | Some delay when delay = max_int -> () (* rate is zero; slow path will update *)
+    | Some delay ->
+      flow.Flow_state.tx_timer_armed <- true;
+      ignore
+        (Sim.schedule t.sim (max delay 1) (fun () ->
+             flow.Flow_state.tx_timer_armed <- false;
+             maybe_send t flow core))
+  end
+
+let notify_tx t flow =
+  let core = core_of_flow t flow in
+  (* The TX command costs a few cycles of fast-path attention. *)
+  Core.run core ~cycles:50 (fun () -> maybe_send t flow core)
+
+let trigger_retransmit t flow =
+  let core = core_of_flow t flow in
+  Core.run core ~cycles:100 (fun () ->
+      (* Reset sender state as if the unacked segments were never sent. *)
+      flow.Flow_state.seq <- Flow_state.snd_una flow;
+      flow.Flow_state.tx_sent <- 0;
+      flow.Flow_state.dupack_cnt <- 0;
+      flow.Flow_state.in_recovery <- false;
+      maybe_send t flow core)
+
+(* --- Receive processing ------------------------------------------------ *)
+
+let sample_rtt t flow (tcp : Tcp_header.t) =
+  match tcp.Tcp_header.options.Tcp_header.timestamp with
+  | Some (_, ecr) when ecr > 0 ->
+    let rtt = (now_us t - ecr) * 1000 in
+    if rtt >= 0 then
+      flow.Flow_state.rtt_est <-
+        (if flow.Flow_state.rtt_est = 0 then rtt
+         else ((7 * flow.Flow_state.rtt_est) + rtt) / 8)
+  | _ -> ()
+
+let process_ack t flow pkt core =
+  let tcp = pkt.Packet.tcp in
+  let acked = Seq32.diff tcp.Tcp_header.ack (Flow_state.snd_una flow) in
+  flow.Flow_state.window <-
+    tcp.Tcp_header.window lsl flow.Flow_state.peer_wscale;
+  if acked > 0 then begin
+    (* Accept any ACK covering bytes still in the transmit buffer. After a
+       fast-retransmit rewind the receiver can cumulatively ACK past
+       snd_nxt (it had the later segments buffered); fast-forward. *)
+    if acked <= Ring.used flow.Flow_state.tx_buf then begin
+      Ring.advance_tail flow.Flow_state.tx_buf acked;
+      if acked >= flow.Flow_state.tx_sent then begin
+        flow.Flow_state.seq <- tcp.Tcp_header.ack;
+        flow.Flow_state.tx_sent <- 0
+      end
+      else flow.Flow_state.tx_sent <- flow.Flow_state.tx_sent - acked;
+      flow.Flow_state.dupack_cnt <- 0;
+      flow.Flow_state.in_recovery <- false;
+      flow.Flow_state.cnt_ackb <- flow.Flow_state.cnt_ackb + acked;
+      if tcp.Tcp_header.flags.Tcp_header.ece then
+        flow.Flow_state.cnt_ecnb <- flow.Flow_state.cnt_ecnb + acked;
+      sample_rtt t flow tcp;
+      if flow.Flow_state.tx_interest then begin
+        flow.Flow_state.tx_interest <- false;
+        match find_context t flow.Flow_state.context with
+        | Some ctx -> Context.post_writable ctx flow
+        | None -> () (* application exited; flow teardown in progress *)
+      end;
+      maybe_send t flow core
+    end
+    else begin
+      (* ACK beyond what the fast path sent (e.g. of a slow-path FIN). *)
+      t.stats.exceptions_forwarded <- t.stats.exceptions_forwarded + 1;
+      t.exception_handler pkt
+    end
+  end
+  else if
+    acked = 0
+    && flow.Flow_state.tx_sent > 0
+    && Bytes.length pkt.Packet.payload = 0
+  then begin
+    flow.Flow_state.dupack_cnt <- flow.Flow_state.dupack_cnt + 1;
+    if flow.Flow_state.dupack_cnt >= 3 && not flow.Flow_state.in_recovery
+    then begin
+      flow.Flow_state.in_recovery <- true;
+      (* Fast recovery: rewind the sender as if the segments beyond the
+         duplicate ACK had not been sent (§3.1 exception 1); the slow path
+         sees cnt_frexmits and cuts the flow's rate. *)
+      flow.Flow_state.cnt_frexmits <- flow.Flow_state.cnt_frexmits + 1;
+      t.stats.fast_retransmits <- t.stats.fast_retransmits + 1;
+      flow.Flow_state.seq <- Flow_state.snd_una flow;
+      flow.Flow_state.tx_sent <- 0;
+      flow.Flow_state.dupack_cnt <- 0;
+      maybe_send t flow core
+    end
+  end
+
+let process_data t flow pkt =
+  let tcp = pkt.Packet.tcp in
+  let payload = pkt.Packet.payload in
+  let seg_len = Bytes.length payload in
+  let ce = pkt.Packet.ip.Ipv4_header.ecn = Ipv4_header.Ce in
+  let window = Ring.free flow.Flow_state.rx_buf in
+  let verdict =
+    if t.config.Config.rx_ooo_enabled then
+      Ooo.handle flow.Flow_state.ooo ~exp:flow.Flow_state.ack ~window
+        ~seg_start:tcp.Tcp_header.seq ~seg_len
+    else begin
+      (* Simple go-back-N receive: only the exact next segment is accepted
+         (the Fig. 7 "TAS simple recovery" ablation). *)
+      let exp = flow.Flow_state.ack in
+      if Seq32.lt tcp.Tcp_header.seq exp then begin
+        let dup = Seq32.diff exp tcp.Tcp_header.seq in
+        if dup >= seg_len then Ooo.Duplicate
+        else
+          Ooo.Deliver
+            {
+              write_at = exp;
+              write_len = min (seg_len - dup) window;
+              advance = min (seg_len - dup) window;
+            }
+      end
+      else if tcp.Tcp_header.seq = exp then begin
+        let n = min seg_len window in
+        if n = 0 then Ooo.Drop
+        else Ooo.Deliver { write_at = exp; write_len = n; advance = n }
+      end
+      else Ooo.Drop
+    end
+  in
+  match verdict with
+  | Ooo.Deliver { write_at; write_len; advance } ->
+    if write_len > 0 then begin
+      let src_off = Seq32.diff write_at tcp.Tcp_header.seq in
+      Ring.write_at flow.Flow_state.rx_buf
+        ~pos:(Flow_state.rx_offset_of_seq flow write_at)
+        payload ~off:src_off ~len:write_len
+    end;
+    Ring.advance_head flow.Flow_state.rx_buf advance;
+    flow.Flow_state.ack <- Seq32.add flow.Flow_state.ack advance;
+    (match find_context t flow.Flow_state.context with
+    | Some ctx -> Context.post_readable ctx flow
+    | None -> () (* application exited; flow teardown in progress *));
+    send_ack t flow ~ece:ce
+  | Ooo.Store { write_at; write_len } ->
+    let src_off = Seq32.diff write_at tcp.Tcp_header.seq in
+    Ring.write_at flow.Flow_state.rx_buf
+      ~pos:(Flow_state.rx_offset_of_seq flow write_at)
+      payload ~off:src_off ~len:write_len;
+    t.stats.ooo_stored <- t.stats.ooo_stored + 1;
+    (* Duplicate ACK tells the sender what we are still waiting for. *)
+    send_ack t flow ~ece:ce
+  | Ooo.Duplicate -> send_ack t flow ~ece:ce
+  | Ooo.Drop ->
+    t.stats.payload_drops <- t.stats.payload_drops + 1;
+    send_ack t flow ~ece:ce
+
+let process t pkt core =
+  let tcp = pkt.Packet.tcp in
+  let flags = tcp.Tcp_header.flags in
+  if flags.Tcp_header.syn || flags.Tcp_header.rst || flags.Tcp_header.fin then begin
+    t.stats.exceptions_forwarded <- t.stats.exceptions_forwarded + 1;
+    t.exception_handler pkt
+  end
+  else begin
+    match Flow_table.find t.flows (Packet.four_tuple_at_receiver pkt) with
+    | None ->
+      t.stats.exceptions_forwarded <- t.stats.exceptions_forwarded + 1;
+      t.exception_handler pkt
+    | Some flow ->
+      (match tcp.Tcp_header.options.Tcp_header.timestamp with
+      | Some (ts_val, _) -> flow.Flow_state.ts_recent <- ts_val
+      | None -> ());
+      if Bytes.length pkt.Packet.payload = 0 then begin
+        t.stats.rx_ack_packets <- t.stats.rx_ack_packets + 1;
+        process_ack t flow pkt core
+      end
+      else begin
+        t.stats.rx_data_packets <- t.stats.rx_data_packets + 1;
+        process_ack t flow pkt core;
+        process_data t flow pkt
+      end
+  end
+
+let rx_cost t pkt =
+  let c = t.config in
+  if Bytes.length pkt.Packet.payload = 0 then
+    c.Config.fp_driver_cycles + c.Config.fp_ack_rx_cycles
+  else c.Config.fp_driver_cycles + c.Config.fp_rx_cycles
+
+let attach t =
+  Nic.set_rx_handler t.nic (fun ~queue pkt ->
+      let idx = queue mod Array.length t.cores in
+      let core = t.cores.(idx) in
+      let now = Sim.now t.sim in
+      (* A core that has been idle long enough has blocked (§3.4); charge
+         the kernel wakeup latency before it starts polling again. *)
+      let asleep = now - t.last_rx_time.(idx) > t.config.Config.idle_block_ns in
+      t.last_rx_time.(idx) <- now;
+      let cycles = rx_cost t pkt in
+      if asleep then
+        Core.run_after core ~delay:t.config.Config.wakeup_ns ~cycles (fun () ->
+            process t pkt core)
+      else Core.run core ~cycles (fun () -> process t pkt core))
+
+let reinject t pkt =
+  let tuple = Packet.four_tuple_at_receiver pkt in
+  match Flow_table.find t.flows tuple with
+  | None -> ()
+  | Some flow ->
+    let core = core_of_flow t flow in
+    Core.run core ~cycles:(rx_cost t pkt) (fun () -> process t pkt core)
+
+let idle_core_total t ~window_ns =
+  let total = ref 0.0 in
+  for i = 0 to t.active - 1 do
+    let busy = Core.busy_ns t.cores.(i) in
+    let delta = busy - t.busy_snapshot.(i) in
+    t.busy_snapshot.(i) <- busy;
+    let idle = 1.0 -. (float_of_int delta /. float_of_int window_ns) in
+    total := !total +. max 0.0 (min 1.0 idle)
+  done;
+  (* Refresh snapshots for inactive cores too, so reactivation starts clean. *)
+  for i = t.active to Array.length t.cores - 1 do
+    t.busy_snapshot.(i) <- Core.busy_ns t.cores.(i)
+  done;
+  !total

@@ -1,0 +1,99 @@
+(** The TAS fast path (paper §3.1).
+
+    A set of dedicated cores receives packets from NIC queues via RSS. For
+    each in-order data segment the fast path deposits payload directly into
+    the flow's receive buffer, notifies the owning context queue, and
+    generates the acknowledgement (with ECN echo and timestamps). For
+    transmission it drains per-flow rate/window buckets, segmenting payload
+    from the flow's transmit buffer. It handles exactly two exceptions
+    inline — duplicate-ACK fast recovery and a single out-of-order receive
+    interval — and forwards everything else (SYN/FIN/RST, unknown flows) to
+    the slow path. *)
+
+type t
+
+type stats = {
+  mutable rx_data_packets : int;
+  mutable rx_ack_packets : int;
+  mutable tx_data_packets : int;
+  mutable acks_sent : int;
+  mutable ooo_stored : int;
+  mutable payload_drops : int;  (** receive payload buffer full *)
+  mutable fast_retransmits : int;
+  mutable exceptions_forwarded : int;
+}
+
+val create :
+  Tas_engine.Sim.t ->
+  nic:Tas_netsim.Nic.t ->
+  cores:Tas_cpu.Core.t array ->
+  config:Config.t ->
+  t
+
+val attach : t -> unit
+(** Install the NIC receive handler: packets are charged and processed on
+    the core owning their RSS queue. *)
+
+val set_exception_handler : t -> (Tas_proto.Packet.t -> unit) -> unit
+(** Where non-common-case packets go (the slow path). Runs after the fast
+    path classified the packet (classification cost already charged). *)
+
+val flows : t -> Flow_table.t
+val stats : t -> stats
+val config : t -> Config.t
+val nic : t -> Tas_netsim.Nic.t
+
+val active_cores : t -> int
+val set_active_cores : t -> int -> unit
+(** Scale the fast path up/down: updates the NIC RSS redirection table
+    eagerly (§3.4). New work lands only on the first [n] cores; work already
+    queued on a deactivated core completes there. *)
+
+val core_of_flow : t -> Flow_state.t -> Tas_cpu.Core.t
+(** The core currently owning the flow (RSS steering). *)
+
+val install_flow :
+  t -> tuple:Tas_proto.Addr.Four_tuple.t -> Flow_state.t -> unit
+(** Slow path installs an established flow's state. *)
+
+val remove_flow : t -> tuple:Tas_proto.Addr.Four_tuple.t -> unit
+
+val fresh_context_id : t -> int
+(** Allocate a unique context id (multiple applications attach to one fast
+    path; each brings its own context queues, §3.3). *)
+
+val register_context : t -> Context.t -> unit
+(** Make a context queue addressable by its id from per-flow state.
+    @raise Invalid_argument on a duplicate id. *)
+
+val unregister_context : t -> int -> unit
+
+val context : t -> int -> Context.t
+val find_context : t -> int -> Context.t option
+
+val notify_tx : t -> Flow_state.t -> unit
+(** Application enqueued data into the flow's transmit buffer: wake the
+    owning fast-path core and try to send (the TX command on a context
+    queue of Fig. 2). *)
+
+val trigger_retransmit : t -> Flow_state.t -> unit
+(** Slow-path command after a retransmission timeout: rewind the flow as if
+    the unacknowledged segments had never been sent, then transmit. *)
+
+val reinject : t -> Tas_proto.Packet.t -> unit
+(** Re-run fast-path processing for a packet that raced connection setup:
+    the slow path calls this after installing a flow when the triggering
+    packet carried payload. No-op if the flow is still unknown. *)
+
+val send_raw : t -> Tas_proto.Packet.t -> unit
+(** Transmit a packet built by the slow path (SYN/FIN handshakes) through
+    this host's NIC. *)
+
+val emit_fin : t -> Flow_state.t -> unit
+(** Send a FIN for a drained flow (slow-path teardown); consumes one
+    sequence number. *)
+
+val idle_core_total : t -> window_ns:int -> float
+(** Aggregate idle cores over the last [window_ns]: the input to the
+    workload-proportionality controller. Uses per-core busy time since the
+    previous call. *)

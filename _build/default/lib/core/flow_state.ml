@@ -1,0 +1,87 @@
+module Seq32 = Tas_proto.Seq32
+module Ring = Tas_buffers.Ring_buffer
+
+type t = {
+  opaque : int;
+  mutable context : int;
+  mutable bucket : Rate_bucket.t;
+  rx_buf : Ring.t;
+  tx_buf : Ring.t;
+  mutable tx_sent : int;
+  mutable seq : Seq32.t;
+  mutable ack : Seq32.t;
+  mutable window : int;
+  mutable dupack_cnt : int;
+  mutable in_recovery : bool;
+  peer_wscale : int;
+  local_port : Tas_proto.Addr.port;
+  peer_ip : Tas_proto.Addr.ipv4;
+  peer_port : Tas_proto.Addr.port;
+  peer_mac : Tas_proto.Addr.mac;
+  ooo : Tas_buffers.Ooo_interval.t;
+  mutable cnt_ackb : int;
+  mutable cnt_ecnb : int;
+  mutable cnt_frexmits : int;
+  mutable rtt_est : int;
+  mutable ts_recent : int;
+  mutable rx_notified : bool;
+  mutable tx_notified : bool;
+  mutable tx_interest : bool;
+  mutable tx_timer_armed : bool;
+  mutable fin_received : bool;
+  mutable fin_sent : bool;
+  mutable rx_closed : bool;
+}
+
+let create ~opaque ~context ~bucket ~rx_buf_size ~tx_buf_size ~local_port
+    ~peer_ip ~peer_port ~peer_mac ~tx_iss ~rx_next ~window ~peer_wscale =
+  {
+    opaque;
+    context;
+    bucket;
+    rx_buf = Ring.create rx_buf_size;
+    tx_buf = Ring.create tx_buf_size;
+    tx_sent = 0;
+    seq = tx_iss;
+    ack = rx_next;
+    window;
+    dupack_cnt = 0;
+    in_recovery = false;
+    peer_wscale;
+    local_port;
+    peer_ip;
+    peer_port;
+    peer_mac;
+    ooo = Tas_buffers.Ooo_interval.create ();
+    cnt_ackb = 0;
+    cnt_ecnb = 0;
+    cnt_frexmits = 0;
+    rtt_est = 0;
+    ts_recent = 0;
+    rx_notified = false;
+    tx_notified = false;
+    tx_interest = false;
+    tx_timer_armed = false;
+    fin_received = false;
+    fin_sent = false;
+    rx_closed = false;
+  }
+
+let tuple t ~local_ip =
+  {
+    Tas_proto.Addr.Four_tuple.local_ip;
+    local_port = t.local_port;
+    peer_ip = t.peer_ip;
+    peer_port = t.peer_port;
+  }
+
+let snd_una t = Seq32.add t.seq (-t.tx_sent)
+
+(* The next expected byte [ack] sits at the rx ring's head offset; later
+   sequence numbers land deeper into the buffer window. *)
+let seq_of_rx_offset t off = Seq32.add t.ack (off - Ring.head t.rx_buf)
+let rx_offset_of_seq t s = Ring.head t.rx_buf + Seq32.diff s t.ack
+let tx_available t = Ring.used t.tx_buf - t.tx_sent
+
+(* Table 3: 102 bytes. *)
+let state_bytes = 102

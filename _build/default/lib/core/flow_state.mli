@@ -1,0 +1,73 @@
+(** Per-flow fast-path state — the 102-byte record of paper Table 3.
+
+    This is deliberately minimal: everything the fast path needs for
+    common-case processing and nothing else. The slow path reads and writes
+    the same record (shared memory in the paper; direct access here) for
+    congestion control, timeouts and teardown. *)
+
+type t = {
+  opaque : int;  (** application-defined flow identifier, relayed verbatim *)
+  mutable context : int;  (** RX/TX context queue number *)
+  mutable bucket : Rate_bucket.t;  (** rate/window bucket (Table 3 [bucket]) *)
+  rx_buf : Tas_buffers.Ring_buffer.t;  (** [rx_start|size|head|tail] *)
+  tx_buf : Tas_buffers.Ring_buffer.t;  (** [tx_start|size|head|tail] *)
+  mutable tx_sent : int;  (** sent-but-unacked bytes from the tx tail *)
+  mutable seq : Tas_proto.Seq32.t;  (** next local sequence number to send *)
+  mutable ack : Tas_proto.Seq32.t;  (** next expected peer sequence number *)
+  mutable window : int;  (** remote TCP receive window (already scaled) *)
+  mutable dupack_cnt : int;
+  mutable in_recovery : bool;
+      (** fast recovery triggered; further duplicate ACKs are ignored until
+          snd_una advances *)
+  peer_wscale : int;  (** negotiated peer window-scale shift *)
+  local_port : Tas_proto.Addr.port;
+  peer_ip : Tas_proto.Addr.ipv4;
+  peer_port : Tas_proto.Addr.port;
+  peer_mac : Tas_proto.Addr.mac;  (** for segmentation without ARP lookups *)
+  ooo : Tas_buffers.Ooo_interval.t;  (** [ooo_start|len] *)
+  mutable cnt_ackb : int;  (** acked bytes since last slow-path collection *)
+  mutable cnt_ecnb : int;  (** ECN-marked acked bytes since collection *)
+  mutable cnt_frexmits : int;  (** fast retransmits since collection *)
+  mutable rtt_est : int;  (** EWMA RTT estimate, ns *)
+  (* Implementation bookkeeping outside the paper's table: *)
+  mutable ts_recent : int;  (** peer timestamp to echo *)
+  mutable rx_notified : bool;  (** a Readable event is pending in the queue *)
+  mutable tx_notified : bool;
+  mutable tx_interest : bool;
+      (** the application wants a Writable notification (EPOLLOUT armed) *)
+  mutable tx_timer_armed : bool;  (** a paced transmit event is scheduled *)
+  mutable fin_received : bool;
+  mutable fin_sent : bool;
+  mutable rx_closed : bool;
+}
+
+val create :
+  opaque:int ->
+  context:int ->
+  bucket:Rate_bucket.t ->
+  rx_buf_size:int ->
+  tx_buf_size:int ->
+  local_port:Tas_proto.Addr.port ->
+  peer_ip:Tas_proto.Addr.ipv4 ->
+  peer_port:Tas_proto.Addr.port ->
+  peer_mac:Tas_proto.Addr.mac ->
+  tx_iss:Tas_proto.Seq32.t ->
+  rx_next:Tas_proto.Seq32.t ->
+  window:int ->
+  peer_wscale:int ->
+  t
+(** [tx_iss] is the sequence number of the first data byte to send (stream
+    offset 0 of [tx_buf]); [rx_next] the first expected data byte. *)
+
+val tuple : t -> local_ip:Tas_proto.Addr.ipv4 -> Tas_proto.Addr.Four_tuple.t
+
+val snd_una : t -> Tas_proto.Seq32.t
+(** First unacknowledged sequence number. *)
+
+val seq_of_rx_offset : t -> int -> Tas_proto.Seq32.t
+val rx_offset_of_seq : t -> Tas_proto.Seq32.t -> int
+val tx_available : t -> int
+(** Bytes in the transmit buffer not yet (re)transmitted. *)
+
+val state_bytes : int
+(** Size of the paper's per-flow record: 102 bytes. *)

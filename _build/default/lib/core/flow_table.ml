@@ -1,0 +1,15 @@
+module Tbl = Hashtbl.Make (struct
+  type t = Tas_proto.Addr.Four_tuple.t
+
+  let equal = Tas_proto.Addr.Four_tuple.equal
+  let hash = Tas_proto.Addr.Four_tuple.hash
+end)
+
+type t = Flow_state.t Tbl.t
+
+let create () = Tbl.create 1024
+let add t k v = Tbl.replace t k v
+let find t k = Tbl.find_opt t k
+let remove t k = Tbl.remove t k
+let count t = Tbl.length t
+let iter t f = Tbl.iter f t

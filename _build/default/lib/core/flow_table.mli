@@ -1,0 +1,14 @@
+(** The fast path's flow lookup table: 4-tuple → per-flow state.
+
+    Shared by all fast-path cores and the slow path (per-flow spinlocks
+    protect it in the real system; the simulator is single-threaded, so the
+    lock is represented only by its cost model). *)
+
+type t
+
+val create : unit -> t
+val add : t -> Tas_proto.Addr.Four_tuple.t -> Flow_state.t -> unit
+val find : t -> Tas_proto.Addr.Four_tuple.t -> Flow_state.t option
+val remove : t -> Tas_proto.Addr.Four_tuple.t -> unit
+val count : t -> int
+val iter : t -> (Tas_proto.Addr.Four_tuple.t -> Flow_state.t -> unit) -> unit

@@ -1,0 +1,256 @@
+module Sim = Tas_engine.Sim
+module Core = Tas_cpu.Core
+module Ring = Tas_buffers.Ring_buffer
+
+type api = Sockets | Lowlevel
+
+type t = {
+  sim : Sim.t;
+  fp : Fast_path.t;
+  sp : Slow_path.t;
+  contexts : app_context array;
+  api : api;
+  api_cycles : int;  (* per context-queue event *)
+  epoll_cycles : int;
+  sockets : (int, socket) Hashtbl.t;
+  mutable next_id : int;
+}
+
+and app_context = {
+  ctx : Context.t;
+  core : Core.t;
+  mutable draining : bool;
+}
+
+and socket = {
+  id : int;
+  owner : t;
+  ctx_index : int;  (* index into [contexts], not the global context id *)
+  mutable flow : Flow_state.t option;
+  mutable handlers : handlers;
+  mutable eof_delivered : bool;
+  mutable closed : bool;
+}
+
+and handlers = {
+  on_connected : socket -> unit;
+  on_data : socket -> bytes -> unit;
+  on_sendable : socket -> unit;
+  on_peer_closed : socket -> unit;
+  on_closed : socket -> unit;
+  on_connect_failed : socket -> unit;
+}
+
+let null_handlers =
+  {
+    on_connected = ignore;
+    on_data = (fun _ _ -> ());
+    on_sendable = ignore;
+    on_peer_closed = ignore;
+    on_closed = ignore;
+    on_connect_failed = ignore;
+  }
+
+let sock_id s = s.id
+let is_open s = (not s.closed) && s.flow <> None
+let num_contexts t = Array.length t.contexts
+let context_core t i = t.contexts.(i).core
+let api_event_cycles t = t.api_cycles
+
+(* Table 1 calibration: the sockets layer costs 0.62 kc per request (one
+   Readable event plus the send call it triggers); the low-level interface
+   costs 168 cycles (§2.2). We charge the cost per context-queue event. *)
+let cycles_of_api = function Sockets -> 620 | Lowlevel -> 168
+
+(* --- Event-loop (epoll emulation) --------------------------------------- *)
+
+let rec drain_context t actx =
+  match Context.pop actx.ctx with
+  | None -> actx.draining <- false
+  | Some event ->
+    Core.run actx.core ~cycles:t.api_cycles (fun () ->
+        dispatch t event;
+        drain_context t actx)
+
+and dispatch t event =
+  match event with
+  | Context.Readable flow -> begin
+    match Hashtbl.find_opt t.sockets flow.Flow_state.opaque with
+    | None -> ()
+    | Some sock ->
+      let available = Ring.used flow.Flow_state.rx_buf in
+      if available > 0 then begin
+        let buf = Bytes.create available in
+        let n = Ring.pop flow.Flow_state.rx_buf ~dst:buf ~dst_off:0 ~len:available in
+        assert (n = available);
+        sock.handlers.on_data sock buf
+      end;
+      if
+        flow.Flow_state.fin_received
+        && Ring.used flow.Flow_state.rx_buf = 0
+        && not sock.eof_delivered
+      then begin
+        sock.eof_delivered <- true;
+        sock.handlers.on_peer_closed sock
+      end
+  end
+  | Context.Writable flow -> begin
+    match Hashtbl.find_opt t.sockets flow.Flow_state.opaque with
+    | None -> ()
+    | Some sock -> sock.handlers.on_sendable sock
+  end
+
+let wake t actx =
+  if not actx.draining then begin
+    actx.draining <- true;
+    (* eventfd wakeup of a blocked application thread (~3 us) when the core
+       is idle; a busy core is already polling its context queue. *)
+    if Core.backlog_ns actx.core = 0 then
+      Core.run_after actx.core ~delay:3_000 ~cycles:t.epoll_cycles (fun () ->
+          drain_context t actx)
+    else Core.run actx.core ~cycles:t.epoll_cycles (fun () -> drain_context t actx)
+  end
+
+(* --- Construction -------------------------------------------------------- *)
+
+let create sim ~fast_path ~slow_path ~app_cores ~api () =
+  if Array.length app_cores = 0 then invalid_arg "Libtas.create: no app cores";
+  let contexts =
+    Array.map
+      (fun core ->
+        {
+          ctx =
+            Context.create
+              ~id:(Fast_path.fresh_context_id fast_path)
+              ~capacity:(Fast_path.config fast_path).Config.context_queue_capacity;
+          core;
+          draining = false;
+        })
+      app_cores
+  in
+  let t =
+    {
+      sim;
+      fp = fast_path;
+      sp = slow_path;
+      contexts;
+      api;
+      api_cycles = cycles_of_api api;
+      epoll_cycles = 150;
+      sockets = Hashtbl.create 256;
+      next_id = 1;
+    }
+  in
+  Array.iter
+    (fun actx ->
+      Fast_path.register_context fast_path actx.ctx;
+      Context.set_waker actx.ctx (fun () -> wake t actx))
+    contexts;
+  t
+
+(* --- Slow-path callback plumbing ----------------------------------------- *)
+
+(* Slow-path events are re-scheduled onto the socket's application core with
+   a wake + API charge, like any other notification. *)
+let on_app_core sock cycles k =
+  let core = sock.owner.contexts.(sock.ctx_index).core in
+  Core.run core ~cycles k
+
+let conn_callbacks t sock =
+  ignore t;
+  {
+    Slow_path.established =
+      (fun flow ->
+        sock.flow <- Some flow;
+        on_app_core sock sock.owner.api_cycles (fun () ->
+            if not sock.closed then sock.handlers.on_connected sock));
+    failed =
+      (fun () ->
+        on_app_core sock sock.owner.api_cycles (fun () ->
+            sock.handlers.on_connect_failed sock));
+    peer_closed =
+      (fun flow ->
+        (* Order EOF behind any undelivered payload via the context queue;
+           after shutdown the context is gone and the event is moot. *)
+        match Fast_path.find_context sock.owner.fp flow.Flow_state.context with
+        | Some ctx -> Context.post_readable ctx flow
+        | None -> ());
+    closed =
+      (fun _flow ->
+        Hashtbl.remove sock.owner.sockets sock.id;
+        sock.closed <- true;
+        on_app_core sock 100 (fun () -> sock.handlers.on_closed sock));
+  }
+
+let fresh_socket t ~ctx_index ~handlers =
+  let id = t.next_id in
+  t.next_id <- t.next_id + 1;
+  let sock =
+    {
+      id;
+      owner = t;
+      ctx_index;
+      flow = None;
+      handlers;
+      eof_delivered = false;
+      closed = false;
+    }
+  in
+  Hashtbl.replace t.sockets id sock;
+  sock
+
+let listen t ~port ~ctx_of_tuple handler_gen =
+  Slow_path.listen t.sp ~port (fun tuple ->
+      let ctx_index = ctx_of_tuple tuple mod Array.length t.contexts in
+      let sock = fresh_socket t ~ctx_index ~handlers:null_handlers in
+      sock.handlers <- handler_gen sock;
+      Some (sock.id, Context.id t.contexts.(ctx_index).ctx, conn_callbacks t sock))
+
+let connect t ~ctx ~dst_ip ~dst_port handlers =
+  let ctx_index = ctx mod Array.length t.contexts in
+  let sock = fresh_socket t ~ctx_index ~handlers in
+  Slow_path.connect t.sp ~opaque:sock.id
+    ~context_id:(Context.id t.contexts.(ctx_index).ctx)
+    ~dst_ip ~dst_port (conn_callbacks t sock);
+  sock
+
+let send sock data =
+  match sock.flow with
+  | None -> 0
+  | Some flow ->
+    if sock.closed || flow.Flow_state.fin_sent then 0
+    else begin
+      let n = Ring.push flow.Flow_state.tx_buf data ~off:0 ~len:(Bytes.length data) in
+      if n > 0 then Fast_path.notify_tx sock.owner.fp flow;
+      if n < Bytes.length data then flow.Flow_state.tx_interest <- true;
+      n
+    end
+
+let tx_free sock =
+  match sock.flow with
+  | None -> 0
+  | Some flow -> Ring.free flow.Flow_state.tx_buf
+
+let want_sendable sock =
+  match sock.flow with
+  | None -> ()
+  | Some flow -> flow.Flow_state.tx_interest <- true
+
+let close sock =
+  if not sock.closed then begin
+    match sock.flow with
+    | None -> sock.closed <- true
+    | Some flow -> Slow_path.close sock.owner.sp flow
+  end
+
+let app_cycles sock cycles k = on_app_core sock cycles k
+
+(* Application exit: the slow path detects the hangup on the UNIX domain
+   socket and cleans up every connection the application still holds
+   (paper §4, "automatic cleanup"). *)
+let shutdown t =
+  let socks = Hashtbl.fold (fun _ s acc -> s :: acc) t.sockets [] in
+  List.iter (fun sock -> close sock) socks;
+  Array.iter
+    (fun actx -> Fast_path.unregister_context t.fp (Context.id actx.ctx))
+    t.contexts

@@ -1,0 +1,55 @@
+module Sim = Tas_engine.Sim
+
+type mode = Rate of float | Window of int
+
+type t = {
+  sim : Sim.t;
+  mutable mode : mode;
+  mutable tokens : float;  (* bytes *)
+  mutable last_refill : int;
+  burst : float;
+}
+
+let create sim mode ~burst_bytes =
+  {
+    sim;
+    mode;
+    tokens = float_of_int burst_bytes;
+    last_refill = Sim.now sim;
+    burst = float_of_int burst_bytes;
+  }
+
+let set_control t control =
+  match control with
+  | Tas_tcp.Interval_cc.Rate_bps r -> t.mode <- Rate r
+  | Tas_tcp.Interval_cc.Window_bytes w -> t.mode <- Window w
+
+let mode t = t.mode
+
+let refill t rate_bps =
+  let now = Sim.now t.sim in
+  let dt = now - t.last_refill in
+  if dt > 0 then begin
+    t.tokens <- t.tokens +. (rate_bps /. 8.0 *. (float_of_int dt /. 1e9));
+    if t.tokens > t.burst then t.tokens <- t.burst;
+    t.last_refill <- now
+  end
+
+let tx_budget t ~in_flight ~want =
+  match t.mode with
+  | Window w -> max 0 (min want (w - in_flight))
+  | Rate r ->
+    refill t r;
+    let grant = min want (int_of_float t.tokens) in
+    if grant > 0 then t.tokens <- t.tokens -. float_of_int grant;
+    max 0 grant
+
+let ns_until_bytes t n =
+  match t.mode with
+  | Window _ -> None
+  | Rate r ->
+    refill t r;
+    let deficit = float_of_int n -. t.tokens in
+    if deficit <= 0.0 then None
+    else if r <= 0.0 then Some max_int
+    else Some (int_of_float (ceil (deficit *. 8.0 /. r *. 1e9)))

@@ -1,0 +1,627 @@
+module Sim = Tas_engine.Sim
+module Nic = Tas_netsim.Nic
+module Core = Tas_cpu.Core
+module Addr = Tas_proto.Addr
+module Seq32 = Tas_proto.Seq32
+module Packet = Tas_proto.Packet
+module Tcp_header = Tas_proto.Tcp_header
+module Ring = Tas_buffers.Ring_buffer
+module Interval_cc = Tas_tcp.Interval_cc
+
+(* Connection-control events are logged under this source (cold path only;
+   the fast path stays log-free). Enable with
+   [Logs.Src.set_level Slow_path.log_src (Some Logs.Debug)]. *)
+let log_src = Logs.Src.create "tas.slow_path" ~doc:"TAS slow path"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type conn_callbacks = {
+  established : Flow_state.t -> unit;
+  failed : unit -> unit;
+  peer_closed : Flow_state.t -> unit;
+  closed : Flow_state.t -> unit;
+}
+
+module Tuple_tbl = Hashtbl.Make (struct
+  type t = Addr.Four_tuple.t
+
+  let equal = Addr.Four_tuple.equal
+  let hash = Addr.Four_tuple.hash
+end)
+
+type pending_state = Syn_sent | Syn_received
+
+type pending = {
+  p_tuple : Addr.Four_tuple.t;
+  p_opaque : int;
+  p_context : int;
+  p_iss : Seq32.t;
+  mutable p_peer_isn : Seq32.t;
+  mutable p_peer_window : int;
+  mutable p_peer_wscale : int;
+  mutable p_peer_ts : int;
+  mutable p_state : pending_state;
+  mutable p_retries : int;
+  mutable p_timer : Sim.event option;
+  p_cb : conn_callbacks;
+}
+
+type flow_entry = {
+  flow : Flow_state.t;
+  f_tuple : Addr.Four_tuple.t;
+  cc : Interval_cc.t;
+  f_cb : conn_callbacks;
+  mutable last_una : Seq32.t;
+  mutable stall_since : int;  (* -1 = not currently stalled *)
+  mutable next_cc_due : int;
+  mutable last_collect : int;
+  mutable close_requested : bool;
+  mutable fin_acked : bool;
+  mutable fin_timer : Sim.event option;
+  mutable removed : bool;
+}
+
+type t = {
+  sim : Sim.t;
+  fp : Fast_path.t;
+  core : Core.t;
+  config : Config.t;
+  listeners : (int, Addr.Four_tuple.t -> (int * int * conn_callbacks) option) Hashtbl.t;
+  pending : pending Tuple_tbl.t;
+  entries : flow_entry Tuple_tbl.t;
+  mutable next_iss : int;
+  mutable conn_setups : int;
+  mutable conn_teardowns : int;
+  mutable timeout_retransmits : int;
+  mutable scale_observer : Tas_engine.Time_ns.t -> int -> unit;
+}
+
+let flow_count t = Tuple_tbl.length t.entries
+let conn_setups t = t.conn_setups
+let conn_teardowns t = t.conn_teardowns
+let timeout_retransmits t = t.timeout_retransmits
+let set_scale_observer t f = t.scale_observer <- f
+
+let now_us t = Sim.now t.sim / 1000
+
+(* --- Slow-path packet construction ------------------------------------ *)
+
+let build t ~tuple ~(flags : Tcp_header.flags) ~seq ~ack_no ~window ~with_mss
+    ~ts_ecr =
+  let nic = Fast_path.nic t.fp in
+  let tcp =
+    {
+      Tcp_header.src_port = tuple.Addr.Four_tuple.local_port;
+      dst_port = tuple.Addr.Four_tuple.peer_port;
+      seq;
+      ack = ack_no;
+      flags;
+      window;
+      options =
+        {
+          Tcp_header.mss = (if with_mss then Some t.config.Config.mss else None);
+          wscale =
+            (if flags.Tcp_header.syn then Some t.config.Config.wscale else None);
+          timestamp = Some (now_us t land 0xFFFF_FFFF, ts_ecr);
+        };
+    }
+  in
+  let peer_id = Addr.host_id_of_ip tuple.Addr.Four_tuple.peer_ip in
+  Packet.make ~src_mac:(Nic.mac nic) ~dst_mac:(Addr.host_mac peer_id)
+    ~src_ip:tuple.Addr.Four_tuple.local_ip
+    ~dst_ip:tuple.Addr.Four_tuple.peer_ip ~ecn:Tas_proto.Ipv4_header.Not_ect
+    ~tcp ~payload:Bytes.empty ()
+
+let syn_flags = { Tcp_header.no_flags with Tcp_header.syn = true }
+let synack_flags = { Tcp_header.no_flags with Tcp_header.syn = true; ack = true }
+
+let send_syn t p =
+  Fast_path.send_raw t.fp
+    (build t ~tuple:p.p_tuple ~flags:syn_flags ~seq:p.p_iss ~ack_no:0
+       ~window:(min 65535 t.config.Config.rx_buf_size)
+       ~with_mss:true ~ts_ecr:0)
+
+let send_synack t p =
+  Fast_path.send_raw t.fp
+    (build t ~tuple:p.p_tuple ~flags:synack_flags ~seq:p.p_iss
+       ~ack_no:(Seq32.add p.p_peer_isn 1)
+       ~window:(min 65535 t.config.Config.rx_buf_size)
+       ~with_mss:true ~ts_ecr:p.p_peer_ts)
+
+(* --- Handshake timers --------------------------------------------------- *)
+
+let cancel_pending_timer t p =
+  match p.p_timer with
+  | Some ev ->
+    Sim.cancel t.sim ev;
+    p.p_timer <- None
+  | None -> ()
+
+let rec arm_pending_timer t p =
+  cancel_pending_timer t p;
+  p.p_timer <-
+    Some
+      (Sim.schedule t.sim 20_000_000 (fun () ->
+           p.p_timer <- None;
+           if Tuple_tbl.mem t.pending p.p_tuple then begin
+             if p.p_retries >= 5 then begin
+               Tuple_tbl.remove t.pending p.p_tuple;
+               p.p_cb.failed ()
+             end
+             else begin
+               p.p_retries <- p.p_retries + 1;
+               (match p.p_state with
+               | Syn_sent -> send_syn t p
+               | Syn_received -> send_synack t p);
+               arm_pending_timer t p
+             end
+           end))
+
+(* --- Establishment ------------------------------------------------------ *)
+
+let fresh_iss t =
+  t.next_iss <- t.next_iss + 1;
+  Seq32.of_int (t.next_iss * 83777)
+
+let make_bucket t =
+  let initial =
+    if Config.rate_mode t.config then
+      Interval_cc.Rate_bps t.config.Config.initial_rate_bps
+    else Interval_cc.Window_bytes (10 * t.config.Config.mss)
+  in
+  let bucket =
+    Rate_bucket.create t.sim
+      (match initial with
+      | Interval_cc.Rate_bps r -> Rate_bucket.Rate r
+      | Interval_cc.Window_bytes w -> Rate_bucket.Window w)
+      ~burst_bytes:(2 * t.config.Config.mss)
+  in
+  (bucket, Interval_cc.create t.config.Config.cc ~initial)
+
+let establish t p =
+  cancel_pending_timer t p;
+  Tuple_tbl.remove t.pending p.p_tuple;
+  let bucket, cc = make_bucket t in
+  let flow =
+    Flow_state.create ~opaque:p.p_opaque ~context:p.p_context ~bucket
+      ~rx_buf_size:t.config.Config.rx_buf_size
+      ~tx_buf_size:t.config.Config.tx_buf_size
+      ~local_port:p.p_tuple.Addr.Four_tuple.local_port
+      ~peer_ip:p.p_tuple.Addr.Four_tuple.peer_ip
+      ~peer_port:p.p_tuple.Addr.Four_tuple.peer_port
+      ~peer_mac:(Addr.host_mac (Addr.host_id_of_ip p.p_tuple.Addr.Four_tuple.peer_ip))
+      ~tx_iss:(Seq32.add p.p_iss 1)
+      ~rx_next:(Seq32.add p.p_peer_isn 1)
+      ~window:p.p_peer_window ~peer_wscale:p.p_peer_wscale
+  in
+  flow.Flow_state.ts_recent <- p.p_peer_ts;
+  let entry =
+    {
+      flow;
+      f_tuple = p.p_tuple;
+      cc;
+      f_cb = p.p_cb;
+      last_una = Flow_state.snd_una flow;
+      stall_since = -1;
+      next_cc_due = 0;
+      last_collect = Sim.now t.sim;
+      close_requested = false;
+      fin_acked = false;
+      fin_timer = None;
+      removed = false;
+    }
+  in
+  Tuple_tbl.add t.entries p.p_tuple entry;
+  Fast_path.install_flow t.fp ~tuple:p.p_tuple flow;
+  t.conn_setups <- t.conn_setups + 1;
+  Log.debug (fun m ->
+      m "established %a" Addr.Four_tuple.pp p.p_tuple);
+  p.p_cb.established flow;
+  entry
+
+let remove_entry t entry =
+  if not entry.removed then begin
+    entry.removed <- true;
+    (match entry.fin_timer with
+    | Some ev -> Sim.cancel t.sim ev
+    | None -> ());
+    Fast_path.remove_flow t.fp ~tuple:entry.f_tuple;
+    Tuple_tbl.remove t.entries entry.f_tuple;
+    t.conn_teardowns <- t.conn_teardowns + 1;
+    Log.debug (fun m -> m "removed %a" Addr.Four_tuple.pp entry.f_tuple);
+    entry.f_cb.closed entry.flow
+  end
+
+(* --- Teardown ----------------------------------------------------------- *)
+
+let fin_seq entry = entry.flow.Flow_state.seq
+
+let rec try_emit_fin t entry =
+  let flow = entry.flow in
+  if
+    entry.close_requested && not flow.Flow_state.fin_sent
+    && Ring.used flow.Flow_state.tx_buf = 0
+    && flow.Flow_state.tx_sent = 0
+  then begin
+    Fast_path.emit_fin t.fp flow;
+    arm_fin_timer t entry
+  end
+
+and arm_fin_timer t entry =
+  (match entry.fin_timer with
+  | Some ev -> Sim.cancel t.sim ev
+  | None -> ());
+  entry.fin_timer <-
+    Some
+      (Sim.schedule t.sim 20_000_000 (fun () ->
+           entry.fin_timer <- None;
+           if (not entry.removed) && not entry.fin_acked then begin
+             entry.flow.Flow_state.fin_sent <- false;
+             try_emit_fin t entry
+           end))
+
+let maybe_finish_teardown t entry =
+  if entry.fin_acked && entry.flow.Flow_state.fin_received then
+    (* Abbreviated TIME_WAIT (1 ms). *)
+    ignore (Sim.schedule t.sim 1_000_000 (fun () -> remove_entry t entry))
+
+(* --- Exception processing ----------------------------------------------- *)
+
+let handle_syn t pkt tuple =
+  let tcp = pkt.Packet.tcp in
+  match Tuple_tbl.find_opt t.pending tuple with
+  | Some p ->
+    (* Duplicate SYN: resend the SYN-ACK. *)
+    if p.p_state = Syn_received then send_synack t p
+  | None ->
+    if not (Tuple_tbl.mem t.entries tuple) then begin
+      match Hashtbl.find_opt t.listeners tuple.Addr.Four_tuple.local_port with
+      | None -> () (* No listener: drop silently. *)
+      | Some accept_fn -> begin
+        match accept_fn tuple with
+        | None -> ()
+        | Some (opaque, context_id, cb) ->
+          let p =
+            {
+              p_tuple = tuple;
+              p_opaque = opaque;
+              p_context = context_id;
+              p_iss = fresh_iss t;
+              p_peer_isn = tcp.Tcp_header.seq;
+              p_peer_window = tcp.Tcp_header.window;
+              p_peer_wscale =
+                (match tcp.Tcp_header.options.Tcp_header.wscale with
+                | Some w -> w
+                | None -> 0);
+              p_peer_ts =
+                (match tcp.Tcp_header.options.Tcp_header.timestamp with
+                | Some (v, _) -> v
+                | None -> 0);
+              p_state = Syn_received;
+              p_retries = 0;
+              p_timer = None;
+              p_cb = cb;
+            }
+          in
+          Tuple_tbl.add t.pending tuple p;
+          send_synack t p;
+          arm_pending_timer t p
+      end
+    end
+
+let handle_synack t pkt tuple =
+  let tcp = pkt.Packet.tcp in
+  match Tuple_tbl.find_opt t.pending tuple with
+  | Some p
+    when p.p_state = Syn_sent && tcp.Tcp_header.ack = Seq32.add p.p_iss 1 ->
+    p.p_peer_isn <- tcp.Tcp_header.seq;
+    p.p_peer_window <- tcp.Tcp_header.window;
+    (match tcp.Tcp_header.options.Tcp_header.wscale with
+    | Some w -> p.p_peer_wscale <- w
+    | None -> p.p_peer_wscale <- 0);
+    (match tcp.Tcp_header.options.Tcp_header.timestamp with
+    | Some (v, _) -> p.p_peer_ts <- v
+    | None -> ());
+    let entry = establish t p in
+    (* Complete the handshake: ACK the SYN-ACK. *)
+    Fast_path.send_raw t.fp
+      (build t ~tuple ~flags:Tcp_header.ack_flags
+         ~seq:entry.flow.Flow_state.seq ~ack_no:entry.flow.Flow_state.ack
+         ~window:(min 65535 t.config.Config.rx_buf_size)
+         ~with_mss:false ~ts_ecr:p.p_peer_ts);
+    (* Data may already be queued by an eager application. *)
+    if Flow_state.tx_available entry.flow > 0 then
+      Fast_path.notify_tx t.fp entry.flow
+  | _ -> ()
+
+let handle_handshake_ack t pkt tuple =
+  let tcp = pkt.Packet.tcp in
+  match Tuple_tbl.find_opt t.pending tuple with
+  | Some p
+    when p.p_state = Syn_received && tcp.Tcp_header.ack = Seq32.add p.p_iss 1
+    ->
+    p.p_peer_window <- tcp.Tcp_header.window lsl p.p_peer_wscale;
+    ignore (establish t p);
+    if Bytes.length pkt.Packet.payload > 0 then Fast_path.reinject t.fp pkt
+  | _ -> begin
+    (* Possibly an ACK of our FIN. *)
+    match Tuple_tbl.find_opt t.entries tuple with
+    | Some entry
+      when entry.flow.Flow_state.fin_sent
+           && tcp.Tcp_header.ack = Seq32.add (fin_seq entry) 1 ->
+      entry.fin_acked <- true;
+      if not entry.flow.Flow_state.fin_received then
+        (* Half-closed: wait for the peer's FIN. *)
+        ()
+      else maybe_finish_teardown t entry
+    | _ -> ()
+  end
+
+let handle_fin t pkt tuple =
+  let tcp = pkt.Packet.tcp in
+  match Tuple_tbl.find_opt t.entries tuple with
+  | None -> ()
+  | Some entry ->
+    let flow = entry.flow in
+    let fin_pos = Seq32.add tcp.Tcp_header.seq (Bytes.length pkt.Packet.payload) in
+    (* Accept the FIN only when all preceding data has been received;
+       otherwise the peer retransmits. *)
+    if fin_pos = flow.Flow_state.ack && not flow.Flow_state.fin_received then begin
+      flow.Flow_state.fin_received <- true;
+      flow.Flow_state.ack <- Seq32.add flow.Flow_state.ack 1;
+      Fast_path.send_raw t.fp
+        (build t ~tuple ~flags:Tcp_header.ack_flags ~seq:flow.Flow_state.seq
+           ~ack_no:flow.Flow_state.ack
+           ~window:(min 65535 t.config.Config.rx_buf_size)
+           ~with_mss:false ~ts_ecr:flow.Flow_state.ts_recent);
+      entry.f_cb.peer_closed flow;
+      maybe_finish_teardown t entry
+    end
+    else if flow.Flow_state.fin_received && fin_pos = Seq32.add flow.Flow_state.ack (-1)
+    then
+      (* Duplicate FIN: re-ack. *)
+      Fast_path.send_raw t.fp
+        (build t ~tuple ~flags:Tcp_header.ack_flags ~seq:flow.Flow_state.seq
+           ~ack_no:flow.Flow_state.ack
+           ~window:(min 65535 t.config.Config.rx_buf_size)
+           ~with_mss:false ~ts_ecr:flow.Flow_state.ts_recent)
+
+let handle_rst t tuple =
+  (match Tuple_tbl.find_opt t.pending tuple with
+  | Some p ->
+    cancel_pending_timer t p;
+    Tuple_tbl.remove t.pending tuple;
+    p.p_cb.failed ()
+  | None -> ());
+  match Tuple_tbl.find_opt t.entries tuple with
+  | Some entry -> remove_entry t entry
+  | None -> ()
+
+let process_exception t pkt =
+  let tcp = pkt.Packet.tcp in
+  let flags = tcp.Tcp_header.flags in
+  let tuple = Packet.four_tuple_at_receiver pkt in
+  if flags.Tcp_header.rst then handle_rst t tuple
+  else if flags.Tcp_header.syn && flags.Tcp_header.ack then
+    handle_synack t pkt tuple
+  else if flags.Tcp_header.syn then handle_syn t pkt tuple
+  else if flags.Tcp_header.fin then handle_fin t pkt tuple
+  else if flags.Tcp_header.ack then begin
+    if Bytes.length pkt.Packet.payload > 0 && Tuple_tbl.mem t.entries tuple
+    then
+      (* The flow was installed between fast-path lookup and now: a data
+         packet racing connection setup. Put it back on the fast path. *)
+      Fast_path.reinject t.fp pkt
+    else handle_handshake_ack t pkt tuple
+  end
+
+(* --- Congestion-control loop -------------------------------------------- *)
+
+let control_interval_ns t entry =
+  match t.config.Config.control_interval_fixed_ns with
+  | Some fixed -> fixed
+  | None ->
+    let rtt = entry.flow.Flow_state.rtt_est in
+    max t.config.Config.control_interval_min_ns
+      (t.config.Config.control_interval_rtts * rtt)
+
+(* A flow is only declared timed out when snd_una has been frozen for at
+   least [timeout_intervals] control intervals AND longer than a few RTTs
+   AND longer than its own pacing gap — otherwise a paced low-rate flow or
+   queueing delay beyond tau triggers spurious retransmissions that halve
+   the rate and spiral. *)
+let stall_threshold_ns t entry =
+  let flow = entry.flow in
+  let base =
+    t.config.Config.timeout_intervals * control_interval_ns t entry
+  in
+  (* New flows have no RTT estimate yet; assume a conservative 250 us so
+     the effective minimum RTO is ~1 ms (datacenter-tuned Linux uses more). *)
+  let rtt_guard = 4 * max flow.Flow_state.rtt_est 250_000 in
+  let pacing_guard =
+    match Rate_bucket.mode flow.Flow_state.bucket with
+    | Rate_bucket.Rate r when r > 0.0 ->
+      int_of_float (float_of_int (4 * t.config.Config.mss * 8) /. r *. 1e9)
+    | _ -> 0
+  in
+  max base (max rtt_guard pacing_guard)
+
+let run_control_iteration t entry =
+  let flow = entry.flow in
+  let now = Sim.now t.sim in
+  let interval = now - entry.last_collect in
+  entry.last_collect <- now;
+  (* Timeout detection: unacked data stuck across control intervals. *)
+  let una = Flow_state.snd_una flow in
+  let timeouts =
+    if flow.Flow_state.tx_sent > 0 && una = entry.last_una then begin
+      if entry.stall_since < 0 then entry.stall_since <- now;
+      if now - entry.stall_since >= stall_threshold_ns t entry then begin
+        entry.stall_since <- -1;
+        t.timeout_retransmits <- t.timeout_retransmits + 1;
+        Log.debug (fun m ->
+            m "timeout retransmit %a" Addr.Four_tuple.pp entry.f_tuple);
+        Fast_path.trigger_retransmit t.fp flow;
+        1
+      end
+      else 0
+    end
+    else begin
+      entry.stall_since <- -1;
+      0
+    end
+  in
+  entry.last_una <- una;
+  let fb =
+    {
+      Interval_cc.acked_bytes = flow.Flow_state.cnt_ackb;
+      ecn_bytes = flow.Flow_state.cnt_ecnb;
+      fast_retransmits = flow.Flow_state.cnt_frexmits;
+      timeouts;
+      rtt_ns = flow.Flow_state.rtt_est;
+      interval_ns = interval;
+    }
+  in
+  flow.Flow_state.cnt_ackb <- 0;
+  flow.Flow_state.cnt_ecnb <- 0;
+  flow.Flow_state.cnt_frexmits <- 0;
+  let control = Interval_cc.update entry.cc fb in
+  Rate_bucket.set_control flow.Flow_state.bucket control;
+  (* A higher rate or wider window may unblock transmission. *)
+  if Flow_state.tx_available flow > 0 && not flow.Flow_state.tx_timer_armed
+  then Fast_path.notify_tx t.fp flow;
+  (* Teardown progress. *)
+  if entry.close_requested && not flow.Flow_state.fin_sent then
+    try_emit_fin t entry
+
+let control_tick t =
+  let now = Sim.now t.sim in
+  let due = ref [] and n = ref 0 in
+  Tuple_tbl.iter
+    (fun _ entry ->
+      if (not entry.removed) && entry.next_cc_due <= now then begin
+        due := entry :: !due;
+        incr n
+      end)
+    t.entries;
+  if !n > 0 then begin
+    let cycles = !n * t.config.Config.sp_flow_control_cycles in
+    let entries = !due in
+    Core.run t.core ~cycles (fun () ->
+        List.iter
+          (fun entry ->
+            if not entry.removed then begin
+              run_control_iteration t entry;
+              entry.next_cc_due <- Sim.now t.sim + control_interval_ns t entry
+            end)
+          entries)
+  end
+
+(* --- Workload proportionality -------------------------------------------- *)
+
+let scale_tick t =
+  let window = t.config.Config.scale_check_interval_ns in
+  let idle = Fast_path.idle_core_total t.fp ~window_ns:window in
+  let active = Fast_path.active_cores t.fp in
+  if idle > t.config.Config.scale_down_idle_cores && active > 1 then begin
+    Fast_path.set_active_cores t.fp (active - 1);
+    t.scale_observer (Sim.now t.sim) (active - 1)
+  end
+  else if
+    idle < t.config.Config.scale_up_idle_cores
+    && active < t.config.Config.max_fast_path_cores
+  then begin
+    Fast_path.set_active_cores t.fp (active + 1);
+    t.scale_observer (Sim.now t.sim) (active + 1)
+  end
+
+(* --- Construction -------------------------------------------------------- *)
+
+let create sim ~fast_path ~core ~config =
+  let t =
+    {
+      sim;
+      fp = fast_path;
+      core;
+      config;
+      listeners = Hashtbl.create 16;
+      pending = Tuple_tbl.create 64;
+      entries = Tuple_tbl.create 1024;
+      next_iss = 7;
+      conn_setups = 0;
+      conn_teardowns = 0;
+      timeout_retransmits = 0;
+      scale_observer = (fun _ _ -> ());
+    }
+  in
+  Fast_path.set_exception_handler t.fp (fun pkt ->
+      Core.run t.core ~cycles:config.Config.sp_conn_cycles (fun () ->
+          process_exception t pkt));
+  let tick_interval =
+    match config.Config.control_interval_fixed_ns with
+    | Some fixed -> max fixed 10_000
+    | None -> config.Config.control_interval_min_ns
+  in
+  ignore (Sim.periodic sim tick_interval (fun () -> control_tick t));
+  if config.Config.dynamic_scaling then
+    ignore
+      (Sim.periodic sim config.Config.scale_check_interval_ns (fun () ->
+           scale_tick t));
+  t
+
+let listen t ~port accept_fn = Hashtbl.replace t.listeners port accept_fn
+
+let connect t ~opaque ~context_id ~dst_ip ~dst_port cb =
+  Core.run t.core ~cycles:t.config.Config.sp_conn_cycles (fun () ->
+      let nic = Fast_path.nic t.fp in
+      (* Ephemeral port allocation: scan from a rotating base. *)
+      let rec pick_port attempt =
+        if attempt > 65535 then invalid_arg "Slow_path.connect: ports exhausted"
+        else begin
+          t.next_iss <- t.next_iss + 1;
+          let port = 2048 + ((t.next_iss * 7919) mod 63000) in
+          let tuple =
+            {
+              Addr.Four_tuple.local_ip = Nic.ip nic;
+              local_port = port;
+              peer_ip = dst_ip;
+              peer_port = dst_port;
+            }
+          in
+          if Tuple_tbl.mem t.pending tuple || Tuple_tbl.mem t.entries tuple
+          then pick_port (attempt + 1)
+          else tuple
+        end
+      in
+      let tuple = pick_port 0 in
+      let p =
+        {
+          p_tuple = tuple;
+          p_opaque = opaque;
+          p_context = context_id;
+          p_iss = fresh_iss t;
+          p_peer_isn = 0;
+          p_peer_window = t.config.Config.mss;
+          p_peer_wscale = 0;
+          p_peer_ts = 0;
+          p_state = Syn_sent;
+          p_retries = 0;
+          p_timer = None;
+          p_cb = cb;
+        }
+      in
+      Tuple_tbl.add t.pending tuple p;
+      send_syn t p;
+      arm_pending_timer t p)
+
+let close t flow =
+  Core.run t.core ~cycles:t.config.Config.sp_conn_cycles (fun () ->
+      match Tuple_tbl.find_opt t.entries (Flow_state.tuple flow ~local_ip:(Nic.ip (Fast_path.nic t.fp))) with
+      | None -> ()
+      | Some entry ->
+        if not entry.close_requested then begin
+          entry.close_requested <- true;
+          try_emit_fin t entry
+        end)
+
+let kick_control_loop t = control_tick t

@@ -1,0 +1,67 @@
+(** The TAS slow path (paper §3.2).
+
+    Runs on its own core. Handles everything with non-constant per-packet
+    cost: connection setup/teardown (TCP handshakes, port allocation),
+    congestion-control policy (one control-loop iteration per flow per
+    control interval, installing new rates/windows into fast-path state),
+    retransmission timeouts (detected by observing stalled unacknowledged
+    data across control intervals), and the workload-proportionality
+    controller that grows and shrinks the fast path's core set (§3.4). *)
+
+type t
+
+val log_src : Logs.src
+(** Connection-control event log (debug level): establishment, teardown,
+    timeout retransmissions. The fast path never logs. *)
+
+(** Callbacks a connection owner (libTAS) registers for slow-path events.
+    All fire in slow-path context; libTAS re-schedules onto app cores. *)
+type conn_callbacks = {
+  established : Flow_state.t -> unit;
+  failed : unit -> unit;
+  peer_closed : Flow_state.t -> unit;  (** FIN received from the peer *)
+  closed : Flow_state.t -> unit;  (** flow fully removed *)
+}
+
+val create :
+  Tas_engine.Sim.t ->
+  fast_path:Fast_path.t ->
+  core:Tas_cpu.Core.t ->
+  config:Config.t ->
+  t
+(** Registers itself as the fast path's exception handler and starts the
+    control-loop and (if configured) core-scaling timers. *)
+
+val listen :
+  t ->
+  port:int ->
+  (Tas_proto.Addr.Four_tuple.t -> (int * int * conn_callbacks) option) ->
+  unit
+(** [listen t ~port accept] announces a listener. On an incoming SYN,
+    [accept tuple] decides: [Some (opaque, context_id, callbacks)] accepts
+    the connection, [None] refuses it. *)
+
+val connect :
+  t ->
+  opaque:int ->
+  context_id:int ->
+  dst_ip:Tas_proto.Addr.ipv4 ->
+  dst_port:int ->
+  conn_callbacks ->
+  unit
+(** Open a connection ([new_flow] command, Fig. 3). *)
+
+val close : t -> Flow_state.t -> unit
+(** Graceful close: FIN is emitted once the transmit buffer drains. *)
+
+val flow_count : t -> int
+
+val conn_setups : t -> int
+val conn_teardowns : t -> int
+val timeout_retransmits : t -> int
+
+val set_scale_observer : t -> (Tas_engine.Time_ns.t -> int -> unit) -> unit
+(** Observe fast-path core count changes (for the Fig. 14/15 series). *)
+
+val kick_control_loop : t -> unit
+(** Force an immediate control-loop pass (testing). *)

@@ -1,0 +1,86 @@
+module Core = Tas_cpu.Core
+
+type t = {
+  sim : Tas_engine.Sim.t;
+  config : Config.t;
+  fp : Fast_path.t;
+  sp : Slow_path.t;
+  fp_cores : Core.t array;
+  sp_core : Core.t;
+}
+
+let create sim ~nic ~config ?(freq_ghz = 2.1) () =
+  let fp_cores =
+    Array.init config.Config.max_fast_path_cores (fun i ->
+        Core.create sim ~freq_ghz ~id:i ())
+  in
+  let sp_core = Core.create sim ~freq_ghz ~id:1000 () in
+  let fp = Fast_path.create sim ~nic ~cores:fp_cores ~config in
+  Fast_path.attach fp;
+  (* Start with a single active core when scaling dynamically; at the
+     configured maximum otherwise. *)
+  if config.Config.dynamic_scaling then Fast_path.set_active_cores fp 1
+  else Fast_path.set_active_cores fp config.Config.max_fast_path_cores;
+  let sp = Slow_path.create sim ~fast_path:fp ~core:sp_core ~config in
+  { sim; config; fp; sp; fp_cores; sp_core }
+
+let fast_path t = t.fp
+let slow_path t = t.sp
+let config t = t.config
+let fp_cores t = t.fp_cores
+let sp_core t = t.sp_core
+
+let app t ~app_cores ~api =
+  Libtas.create t.sim ~fast_path:t.fp ~slow_path:t.sp ~app_cores ~api ()
+
+let fp_busy_ns t =
+  Array.fold_left (fun acc c -> acc + Core.busy_ns c) 0 t.fp_cores
+
+type snapshot = {
+  flows : int;
+  active_fp_cores : int;
+  conn_setups : int;
+  conn_teardowns : int;
+  timeout_retransmits : int;
+  rx_data_packets : int;
+  rx_ack_packets : int;
+  tx_data_packets : int;
+  acks_sent : int;
+  ooo_stored : int;
+  payload_drops : int;
+  fast_retransmits : int;
+  exceptions_forwarded : int;
+  fp_busy_ms : float;
+  sp_busy_ms : float;
+}
+
+let snapshot t =
+  let s = Fast_path.stats t.fp in
+  {
+    flows = Flow_table.count (Fast_path.flows t.fp);
+    active_fp_cores = Fast_path.active_cores t.fp;
+    conn_setups = Slow_path.conn_setups t.sp;
+    conn_teardowns = Slow_path.conn_teardowns t.sp;
+    timeout_retransmits = Slow_path.timeout_retransmits t.sp;
+    rx_data_packets = s.Fast_path.rx_data_packets;
+    rx_ack_packets = s.Fast_path.rx_ack_packets;
+    tx_data_packets = s.Fast_path.tx_data_packets;
+    acks_sent = s.Fast_path.acks_sent;
+    ooo_stored = s.Fast_path.ooo_stored;
+    payload_drops = s.Fast_path.payload_drops;
+    fast_retransmits = s.Fast_path.fast_retransmits;
+    exceptions_forwarded = s.Fast_path.exceptions_forwarded;
+    fp_busy_ms = float_of_int (fp_busy_ns t) /. 1e6;
+    sp_busy_ms = float_of_int (Core.busy_ns t.sp_core) /. 1e6;
+  }
+
+let pp_snapshot fmt s =
+  Format.fprintf fmt
+    "@[<v>flows: %d (setups %d, teardowns %d)@,fast path: %d active cores, \
+     %.1f ms busy@,rx: %d data + %d ack packets; tx: %d data + %d acks@,\
+     recovery: %d ooo stored, %d payload drops, %d fast rexmits, %d \
+     timeouts@,slow path: %d exceptions, %.1f ms busy@]"
+    s.flows s.conn_setups s.conn_teardowns s.active_fp_cores s.fp_busy_ms
+    s.rx_data_packets s.rx_ack_packets s.tx_data_packets s.acks_sent
+    s.ooo_stored s.payload_drops s.fast_retransmits s.timeout_retransmits
+    s.exceptions_forwarded s.sp_busy_ms

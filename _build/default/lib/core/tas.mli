@@ -1,0 +1,53 @@
+(** TAS host assembly: dedicated fast-path cores + a slow-path core wired to
+    a NIC, ready for applications to attach via {!Libtas}. *)
+
+type t
+
+val create :
+  Tas_engine.Sim.t ->
+  nic:Tas_netsim.Nic.t ->
+  config:Config.t ->
+  ?freq_ghz:float ->
+  unit ->
+  t
+(** Creates [config.max_fast_path_cores] fast-path cores (threads exist for
+    the maximum; inactive ones block, §3.4) and one slow-path core, attaches
+    the fast path to the NIC, and starts the slow path. *)
+
+val fast_path : t -> Fast_path.t
+val slow_path : t -> Slow_path.t
+val config : t -> Config.t
+val fp_cores : t -> Tas_cpu.Core.t array
+val sp_core : t -> Tas_cpu.Core.t
+
+val app :
+  t ->
+  app_cores:Tas_cpu.Core.t array ->
+  api:Libtas.api ->
+  Libtas.t
+(** Attach an application (registers its contexts with the fast path). *)
+
+val fp_busy_ns : t -> int
+(** Total busy time across fast-path cores (CPU accounting). *)
+
+(** Operational snapshot: the counters an operator would scrape. *)
+type snapshot = {
+  flows : int;  (** established flows in the fast-path table *)
+  active_fp_cores : int;
+  conn_setups : int;
+  conn_teardowns : int;
+  timeout_retransmits : int;
+  rx_data_packets : int;
+  rx_ack_packets : int;
+  tx_data_packets : int;
+  acks_sent : int;
+  ooo_stored : int;
+  payload_drops : int;
+  fast_retransmits : int;
+  exceptions_forwarded : int;
+  fp_busy_ms : float;
+  sp_busy_ms : float;
+}
+
+val snapshot : t -> snapshot
+val pp_snapshot : Format.formatter -> snapshot -> unit

@@ -1,0 +1,1 @@
+lib/cpu/core.ml: Tas_engine

@@ -1,0 +1,1 @@
+lib/cpu/core.mli: Tas_engine

@@ -1,0 +1,1 @@
+lib/cpu/cost_model.mli:

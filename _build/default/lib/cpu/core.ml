@@ -1,0 +1,34 @@
+module Sim = Tas_engine.Sim
+
+type t = {
+  sim : Sim.t;
+  id : int;
+  freq_ghz : float;
+  mutable busy_until : int;
+  mutable busy_ns : int;
+}
+
+let create sim ?(freq_ghz = 2.1) ~id () =
+  { sim; id; freq_ghz; busy_until = 0; busy_ns = 0 }
+
+let id t = t.id
+let freq_ghz t = t.freq_ghz
+
+let cycles_to_ns t cycles =
+  int_of_float (ceil (float_of_int cycles /. t.freq_ghz))
+
+let start_no_earlier_than t ready cycles f =
+  let start = max ready t.busy_until in
+  let dur = cycles_to_ns t cycles in
+  t.busy_until <- start + dur;
+  t.busy_ns <- t.busy_ns + dur;
+  ignore (Sim.schedule_at t.sim t.busy_until f)
+
+let run t ~cycles f = start_no_earlier_than t (Sim.now t.sim) cycles f
+
+let run_after t ~delay ~cycles f =
+  start_no_earlier_than t (Sim.now t.sim + delay) cycles f
+
+let busy_ns t = t.busy_ns
+let busy_until t = max t.busy_until (Sim.now t.sim)
+let backlog_ns t = max 0 (t.busy_until - Sim.now t.sim)

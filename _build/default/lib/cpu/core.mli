@@ -1,0 +1,34 @@
+(** A simulated CPU core.
+
+    Work items are charged in cycles and execute in FIFO order; a core is a
+    serial resource, so queueing delay emerges naturally when offered work
+    exceeds capacity. This is the mechanism behind every CPU-bound
+    throughput result in the paper: a stack's efficiency (cycles/request)
+    and its placement (which cores run stack vs. application code) determine
+    saturation throughput. *)
+
+type t
+
+val create : Tas_engine.Sim.t -> ?freq_ghz:float -> id:int -> unit -> t
+(** Default frequency 2.1 GHz (the paper's Xeon Platinum 8160). *)
+
+val id : t -> int
+val freq_ghz : t -> float
+
+val run : t -> cycles:int -> (unit -> unit) -> unit
+(** [run t ~cycles f] enqueues a work item consuming [cycles], then calls
+    [f] at its completion time. *)
+
+val run_after : t -> delay:Tas_engine.Time_ns.t -> cycles:int -> (unit -> unit) -> unit
+(** Work item that becomes runnable only after [delay] (e.g. wakeup IPI). *)
+
+val busy_ns : t -> int
+(** Cumulative busy nanoseconds. Diff snapshots for windowed utilization. *)
+
+val busy_until : t -> Tas_engine.Time_ns.t
+(** Completion time of the last queued item ([now] when idle). *)
+
+val backlog_ns : t -> int
+(** How far the core is behind: [busy_until - now], 0 when idle. *)
+
+val cycles_to_ns : t -> int -> int

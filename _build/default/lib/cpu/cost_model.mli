@@ -1,0 +1,59 @@
+(** Per-stack CPU cost profiles and the cache-footprint model.
+
+    The cycle numbers are calibrated to the paper's measured per-request
+    breakdown (Table 1, 8-core key-value store at 32 K connections) and its
+    connection-scaling observations (Fig. 4). The cache model captures the
+    mechanism §2.2 identifies: per-connection state that exceeds the
+    processor caches turns into per-request stall cycles. *)
+
+type t = {
+  name : string;
+  driver_cycles : int;  (** per packet, RX or TX half *)
+  ip_cycles : int;
+  tcp_rx_cycles : int;  (** per received packet *)
+  tcp_tx_cycles : int;  (** per transmitted packet *)
+  sockets_cycles : int;  (** per request at the API layer (recv+send) *)
+  other_cycles : int;  (** per request: softirq, scheduling, misc *)
+  syscall_cycles : int;  (** per syscall pair, included for in-kernel stacks *)
+  state_bytes_per_conn : int;
+  miss_penalty_cycles : int;
+      (** extra stall cycles per request for each factor-of-e by which
+          connection state overflows the cache *)
+  batch_flush_us : int;  (** stack-to-app batching delay, 0 = none *)
+  wakeup_ns : int;
+      (** interrupt + scheduler latency to wake a blocked application
+          thread; applied when an app core is woken from idle *)
+}
+
+val linux : t
+(** Monolithic in-kernel stack: 16.75 kc/request measured by the paper. *)
+
+val ix : t
+(** Protected kernel bypass: 2.73 kc/request, custom API (no sockets). *)
+
+val mtcp : t
+(** User-level kernel bypass with aggressive batching. *)
+
+val tas_fast_path : t
+(** TAS fast-path per-packet costs (driver + streamlined TCP). *)
+
+val tas_sockets_cycles : int
+(** libTAS POSIX sockets emulation, per request (paper Table 1: 0.62 kc). *)
+
+val tas_lowlevel_cycles : int
+(** libTAS low-level API, per request (paper §2.2: 168 cycles). *)
+
+val stack_request_cycles : t -> int
+(** Total stack-side cycles for one RPC request+response (one RX packet, one
+    TX packet, one pass through the API layer) — excludes application work
+    and cache penalties. *)
+
+val cache_extra_cycles : t -> conns:int -> cache_bytes:int -> int
+(** Extra stall cycles per request once [conns] connections' state no longer
+    fits [cache_bytes] of cache: [penalty * ln(footprint/cache)]⁺. *)
+
+val l3_cache_bytes : int
+(** Shared last-level cache of the paper's server (33 MB). *)
+
+val l23_cache_bytes_per_core : int
+(** ~2 MB of L2+L3 per core (paper §3.1). *)

@@ -1,0 +1,47 @@
+(** Deterministic pseudo-random numbers for simulations.
+
+    A thin splitmix64 generator: fast, high quality for simulation purposes,
+    and splittable so independent subsystems can draw from independent
+    streams without perturbing each other, keeping experiments reproducible
+    under refactoring. *)
+
+type t
+
+val create : int -> t
+(** [create seed] is a generator seeded with [seed]. Equal seeds yield equal
+    streams. *)
+
+val split : t -> t
+(** [split t] derives an independent generator and advances [t]. *)
+
+val int64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]. @raise Invalid_argument if
+    [bound <= 0]. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val bool : t -> bool
+
+val coin : t -> float -> bool
+(** [coin t p] is [true] with probability [p]. *)
+
+val exponential : t -> float -> float
+(** [exponential t mean] draws from Exp with the given mean. *)
+
+val pareto_bounded : t -> alpha:float -> min_v:float -> max_v:float -> float
+(** Bounded Pareto draw with shape [alpha] on [\[min_v, max_v\]]. Heavy
+    tailed: the standard datacenter flow-size model used by the paper's
+    single-link simulation. *)
+
+(** Zipf-distributed integer sampler over [\[0, n)] with skew [s], using a
+    precomputed inverse-CDF table (O(log n) per draw). *)
+module Zipf : sig
+  type sampler
+
+  val create : n:int -> s:float -> sampler
+  val draw : t -> sampler -> int
+end

@@ -1,0 +1,61 @@
+(** Measurement collection for experiments.
+
+    [Summary] keeps O(1) running aggregates (Welford); [Hist] keeps a
+    log-bucketed histogram for percentile queries over wide dynamic ranges
+    (nanoseconds to seconds) with bounded error; [Series] records (time,
+    value) points for figures plotted against time; [Counter] is a plain
+    monotonic event counter. *)
+
+(** Online mean / variance / extrema. *)
+module Summary : sig
+  type t
+
+  val create : unit -> t
+  val add : t -> float -> unit
+  val count : t -> int
+  val mean : t -> float
+  val stddev : t -> float
+  val min_v : t -> float
+  val max_v : t -> float
+  val total : t -> float
+end
+
+(** Log-bucketed histogram: relative bucket error ~2%. Negative samples are
+    clamped to zero. *)
+module Hist : sig
+  type t
+
+  val create : unit -> t
+  val add : t -> float -> unit
+  val count : t -> int
+  val percentile : t -> float -> float
+  (** [percentile h p] for [p] in [0,100]; 0 when empty. *)
+
+  val mean : t -> float
+  val max_v : t -> float
+
+  val cdf_points : t -> ?points:int -> unit -> (float * float) list
+  (** [(value, cumulative_fraction)] pairs suitable for plotting a CDF. *)
+end
+
+(** Time-stamped samples. *)
+module Series : sig
+  type t
+
+  val create : unit -> t
+  val add : t -> Time_ns.t -> float -> unit
+  val points : t -> (Time_ns.t * float) list
+  (** In insertion (time) order. *)
+
+  val length : t -> int
+end
+
+module Counter : sig
+  type t
+
+  val create : unit -> t
+  val incr : t -> unit
+  val add : t -> int -> unit
+  val value : t -> int
+  val reset : t -> unit
+end

@@ -1,0 +1,17 @@
+type t = int
+
+let zero = 0
+let ns n = n
+let us n = n * 1_000
+let ms n = n * 1_000_000
+let sec n = n * 1_000_000_000
+let of_sec_f s = int_of_float (s *. 1e9 +. 0.5)
+let to_sec_f t = float_of_int t /. 1e9
+let to_us_f t = float_of_int t /. 1e3
+let to_ms_f t = float_of_int t /. 1e6
+
+let pp fmt t =
+  if t < 1_000 then Format.fprintf fmt "%dns" t
+  else if t < 1_000_000 then Format.fprintf fmt "%.2fus" (to_us_f t)
+  else if t < 1_000_000_000 then Format.fprintf fmt "%.2fms" (to_ms_f t)
+  else Format.fprintf fmt "%.3fs" (to_sec_f t)

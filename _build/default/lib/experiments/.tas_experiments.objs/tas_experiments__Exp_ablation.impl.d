@@ -1,0 +1,1 @@
+lib/experiments/exp_ablation.ml: Array Exp_cc Exp_incast List Printf Report Scenario Tas_apps Tas_core Tas_cpu Tas_engine Tas_netsim Tas_tcp

@@ -1,0 +1,1 @@
+lib/experiments/exp_cc.ml: Array Buffer Bytes Format Int32 Int64 List Printf Report Tas_apps Tas_baseline Tas_core Tas_cpu Tas_engine Tas_netsim Tas_tcp

@@ -1,0 +1,1 @@
+lib/experiments/exp_cc.mli: Format Tas_engine Tas_tcp

@@ -1,0 +1,1 @@
+lib/experiments/exp_compat.ml: Array Bytes Printf Report Tas_apps Tas_baseline Tas_core Tas_cpu Tas_engine Tas_netsim

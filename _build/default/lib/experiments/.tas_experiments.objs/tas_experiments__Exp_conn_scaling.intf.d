@@ -1,0 +1,1 @@
+lib/experiments/exp_conn_scaling.mli: Format Scenario

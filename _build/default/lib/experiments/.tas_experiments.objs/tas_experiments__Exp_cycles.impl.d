@@ -1,0 +1,1 @@
+lib/experiments/exp_cycles.ml: Exp_kv List Printf Report Scenario Tas_core Tas_cpu

@@ -1,0 +1,1 @@
+lib/experiments/exp_flexstorm.ml: Array Bytes List Option Printf Report Scenario Tas_apps Tas_core Tas_cpu Tas_engine Tas_netsim

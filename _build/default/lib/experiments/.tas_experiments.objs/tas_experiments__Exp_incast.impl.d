@@ -1,0 +1,1 @@
+lib/experiments/exp_incast.ml: Array Bytes Hashtbl List Printf Report Scenario Tas_apps Tas_baseline Tas_core Tas_cpu Tas_engine Tas_netsim Tas_tcp

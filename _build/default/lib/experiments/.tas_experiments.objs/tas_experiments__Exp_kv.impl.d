@@ -1,0 +1,1 @@
+lib/experiments/exp_kv.ml: Array List Report Scenario Tas_apps Tas_core Tas_cpu Tas_engine Tas_netsim

@@ -1,0 +1,1 @@
+lib/experiments/exp_kv.mli: Format Scenario Tas_apps Tas_engine

@@ -1,0 +1,1 @@
+lib/experiments/exp_loss.ml: Bytes List Printf Report Tas_apps Tas_baseline Tas_core Tas_cpu Tas_engine Tas_netsim Tas_tcp

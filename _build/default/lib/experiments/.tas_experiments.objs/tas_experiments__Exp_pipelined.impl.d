@@ -1,0 +1,1 @@
+lib/experiments/exp_pipelined.ml: Array Format List Report Scenario Tas_apps Tas_core Tas_engine Tas_netsim

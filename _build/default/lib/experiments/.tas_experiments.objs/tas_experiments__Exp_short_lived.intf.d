@@ -1,0 +1,1 @@
+lib/experiments/exp_short_lived.mli: Format Scenario

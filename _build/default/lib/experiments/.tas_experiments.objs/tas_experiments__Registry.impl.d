@@ -1,0 +1,1 @@
+lib/experiments/registry.ml: Exp_ablation Exp_cc Exp_compat Exp_conn_scaling Exp_cycles Exp_flexstorm Exp_incast Exp_kv Exp_loss Exp_pipelined Exp_proportional Exp_short_lived Format List String Unix

@@ -1,0 +1,1 @@
+lib/experiments/report.ml: Format List Printf String

@@ -1,0 +1,1 @@
+lib/experiments/scenario.ml: Array Float Tas_apps Tas_baseline Tas_core Tas_cpu Tas_engine Tas_netsim Tas_proto

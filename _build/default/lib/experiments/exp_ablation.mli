@@ -1,0 +1,20 @@
+(** Ablations of TAS design choices beyond the paper's own figures:
+
+    - [x1]: congestion-control algorithm — the paper implements both
+      rate-based DCTCP and TIMELY (§3.2); compare them (plus window-mode
+      DCTCP enforced by the fast path) on the Fig. 11 single-link workload.
+    - [x2]: rate-based vs. window-based enforcement under incast — the
+      paper's §3.2 rationale for choosing rates ("more stable with many
+      flows, smoothes bursts") made directly measurable.
+    - [x3]: context-queue wakeup batching — per-event application cost is
+      what separates TAS SO from TAS LL; sweep the API cost to show where
+      the sockets emulation stops mattering.
+    - [x4]: NIC-offload projection — §6 argues the minimal, resource-
+      intensive fast path is the natural part to offload to a NIC while the
+      policy-heavy slow path stays on host CPUs; compare host CPU cores and
+      throughput for software TAS vs. a projected offloaded fast path. *)
+
+val x1_cc_algorithms : ?quick:bool -> Format.formatter -> unit
+val x2_rate_vs_window : ?quick:bool -> Format.formatter -> unit
+val x3_api_cost : ?quick:bool -> Format.formatter -> unit
+val x4_nic_offload : ?quick:bool -> Format.formatter -> unit

@@ -1,0 +1,7 @@
+(** Table 4: peer compatibility — 100 bulk flows between two hosts for every
+    sender/receiver combination of Linux and TAS must reach line rate on a
+    10 Gbps link. *)
+
+val run : ?quick:bool -> Format.formatter -> unit
+
+val goodput_gbps : sender_tas:bool -> receiver_tas:bool -> float

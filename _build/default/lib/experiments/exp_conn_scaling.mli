@@ -1,0 +1,9 @@
+(** Fig. 4: RPC echo throughput vs. number of client connections on a
+    20-core server, for TAS, IX and Linux. *)
+
+val run : ?quick:bool -> Format.formatter -> unit
+
+val throughput_at :
+  Scenario.kind -> conns:int -> total_cores:int -> float
+(** Measured RPC throughput (ops/s) for one configuration — exposed for
+    tests and for the other experiments that reuse the echo scenario. *)

@@ -1,0 +1,168 @@
+module Cost_model = Tas_cpu.Cost_model
+module Config = Tas_core.Config
+
+(* The experiment of §2.2: KV store on 8 server cores, 32 K connections. *)
+let setup ~quick kind =
+  let conns = if quick then 4_000 else 32_000 in
+  Exp_kv.run_kv kind ~total_cores:8 ~conns ()
+
+type breakdown = {
+  driver : float;
+  ip : float;
+  tcp : float;
+  sockets : float;
+  other : float;
+  app : float;
+}
+
+let total b = b.driver +. b.ip +. b.tcp +. b.sockets +. b.other +. b.app
+
+(* Attribute measured per-request cycles to modules: the profile fixes the
+   base module shares; cache stalls (the remainder of the measured stack
+   cycles) are attributed to the TCP module, which owns the per-connection
+   state whose misses cause them. *)
+let attribute kind (r : Exp_kv.result) =
+  match kind with
+  | Scenario.Linux | Scenario.Ix | Scenario.Mtcp ->
+    let p =
+      match kind with
+      | Scenario.Linux -> Cost_model.linux
+      | Scenario.Ix -> Cost_model.ix
+      | _ -> Cost_model.mtcp
+    in
+    let app = float_of_int (Exp_kv.default_app_cycles kind) in
+    let measured_stack = r.Exp_kv.app_cycles_per_req -. app in
+    let base_stack = float_of_int (Cost_model.stack_request_cycles p) in
+    let stall = max 0.0 (measured_stack -. base_stack) in
+    {
+      driver = float_of_int (2 * p.Cost_model.driver_cycles);
+      ip = float_of_int p.Cost_model.ip_cycles;
+      tcp =
+        float_of_int (p.Cost_model.tcp_rx_cycles + p.Cost_model.tcp_tx_cycles)
+        +. stall;
+      sockets = float_of_int p.Cost_model.sockets_cycles;
+      other = float_of_int (p.Cost_model.other_cycles + p.Cost_model.syscall_cycles);
+      app;
+    }
+  | Scenario.Tas_so | Scenario.Tas_ll ->
+    let c = Config.default in
+    let fp_base =
+      (3 * c.Config.fp_driver_cycles)
+      + c.Config.fp_rx_cycles + c.Config.fp_tx_cycles + c.Config.fp_ack_rx_cycles
+    in
+    let driver = float_of_int (3 * c.Config.fp_driver_cycles) in
+    let tcp_base = float_of_int (fp_base - (3 * c.Config.fp_driver_cycles)) in
+    let stall = max 0.0 (r.Exp_kv.stack_cycles_per_req -. float_of_int fp_base) in
+    let api =
+      float_of_int
+        (match kind with
+        | Scenario.Tas_so -> Cost_model.tas_sockets_cycles
+        | _ -> Cost_model.tas_lowlevel_cycles)
+    in
+    let app = float_of_int (Exp_kv.default_app_cycles kind) in
+    (* Remaining app-core cycles beyond api+app are epoll/notification work:
+       fold into sockets, where the paper accounts message-queue costs. *)
+    let extra_api = max 0.0 (r.Exp_kv.app_cycles_per_req -. api -. app) in
+    {
+      driver;
+      ip = 0.0;
+      tcp = tcp_base +. stall;
+      sockets = api +. extra_api;
+      other = 0.0;
+      app;
+    }
+
+let paper_table1 = function
+  | Scenario.Linux -> Some (0.73, 1.53, 3.92, 8.00, 1.50, 1.07, 16.75)
+  | Scenario.Ix -> Some (0.05, 0.12, 1.05, 0.76, 0.00, 0.76, 2.73)
+  | Scenario.Tas_so -> Some (0.09, 0.00, 0.81, 0.62, 0.00, 0.68, 2.57)
+  | _ -> None
+
+let kc v = Printf.sprintf "%.2f" (v /. 1000.0)
+
+let table1 ?(quick = false) fmt =
+  Report.section fmt
+    "Table 1: CPU cycles per request by network stack module (KV store, \
+     8 cores, 32K conns)";
+  let kinds = [ Scenario.Linux; Scenario.Ix; Scenario.Tas_so ] in
+  let results = List.map (fun k -> (k, setup ~quick k)) kinds in
+  let header =
+    "module [kc]"
+    :: List.concat_map
+         (fun k -> [ Scenario.kind_name k; "paper" ])
+         kinds
+  in
+  let module_rows =
+    [
+      ("Driver", (fun b -> b.driver), (fun (d, _, _, _, _, _, _) -> d));
+      ("IP", (fun b -> b.ip), (fun (_, i, _, _, _, _, _) -> i));
+      ("TCP", (fun b -> b.tcp), (fun (_, _, t, _, _, _, _) -> t));
+      ("Sockets/API", (fun b -> b.sockets), (fun (_, _, _, s, _, _, _) -> s));
+      ("Other", (fun b -> b.other), (fun (_, _, _, _, o, _, _) -> o));
+      ("App", (fun b -> b.app), (fun (_, _, _, _, _, a, _) -> a));
+      ("Total", total, (fun (_, _, _, _, _, _, t) -> t));
+    ]
+  in
+  let rows =
+    List.map
+      (fun (name, field, paper_field) ->
+        name
+        :: List.concat_map
+             (fun (kind, r) ->
+               let b = attribute kind r in
+               let measured = kc (field b) in
+               let paper =
+                 match paper_table1 kind with
+                 | Some p -> Printf.sprintf "%.2f" (paper_field p)
+                 | None -> "-"
+               in
+               [ measured; paper ])
+             results)
+      module_rows
+  in
+  Report.table fmt ~header ~rows;
+  List.iter
+    (fun (kind, r) ->
+      Report.kv fmt
+        (Scenario.kind_name kind ^ " measured total (app+stack cores)")
+        (kc (r.Exp_kv.app_cycles_per_req +. r.Exp_kv.stack_cycles_per_req)
+        ^ " kc/request"))
+    results
+
+(* Table 2: per-request app/stack cycle split plus the paper's
+   counter-derived rows for reference. Instructions and the pipeline
+   breakdown are microarchitectural inputs we cannot re-measure in a
+   simulator; we report our cycle measurements against them. *)
+let table2 ?(quick = false) fmt =
+  Report.section fmt "Table 2: per-request app/stack overheads";
+  let kinds = [ Scenario.Linux; Scenario.Ix; Scenario.Tas_so ] in
+  let results = List.map (fun k -> (k, setup ~quick k)) kinds in
+  let paper_cycles = function
+    | Scenario.Linux -> "1.1k/15.7k"
+    | Scenario.Ix -> "0.8k/1.9k"
+    | _ -> "0.7k/1.9k"
+  in
+  let rows =
+    List.map
+      (fun (kind, r) ->
+        let app = float_of_int (Exp_kv.default_app_cycles kind) in
+        let stack =
+          r.Exp_kv.app_cycles_per_req +. r.Exp_kv.stack_cycles_per_req -. app
+        in
+        [
+          Scenario.kind_name kind;
+          Printf.sprintf "%.1fk/%.1fk" (app /. 1000.) (stack /. 1000.);
+          paper_cycles kind;
+        ])
+      results
+  in
+  Report.table fmt
+    ~header:[ "stack"; "cycles app/stack (measured)"; "paper" ]
+    ~rows;
+  Report.note fmt
+    "paper-only microarchitectural rows (instructions, CPI, top-down \
+     categories) are measurement inputs to the cost model: Linux 12.7k \
+     instr CPI 1.32; IX 3.3k CPI 0.82; TAS 3.9k CPI 0.66";
+  Report.note fmt
+    "TAS frontend cost drops to 168 cycles with the low-level API (modeled \
+     by Libtas.Lowlevel)"

@@ -1,0 +1,7 @@
+(** Tables 1 and 2: per-request CPU cycle accounting for Linux, IX and TAS,
+    measured from the simulated key-value store run (8 cores, 32 K
+    connections, small requests) and broken down by module from the
+    calibrated cost profiles. *)
+
+val table1 : ?quick:bool -> Format.formatter -> unit
+val table2 : ?quick:bool -> Format.formatter -> unit

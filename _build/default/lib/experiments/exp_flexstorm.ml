@@ -1,0 +1,176 @@
+module Sim = Tas_engine.Sim
+module Time_ns = Tas_engine.Time_ns
+module Stats = Tas_engine.Stats
+module Core = Tas_cpu.Core
+module Topology = Tas_netsim.Topology
+module Config = Tas_core.Config
+module Transport = Tas_apps.Transport
+module Flexstorm = Tas_apps.Flexstorm
+
+type result = {
+  tuples_per_sec : float;
+  cores_used : int;
+  input_us : float;
+  processing_us : float;
+  output_us : float;
+}
+
+let node_config kind =
+  let base = Flexstorm.default_config in
+  match kind with
+  | Scenario.Tas_so | Scenario.Tas_ll ->
+    (* On TAS the deployment needs no batching for performance (§5.4): a
+       1 ms mux timer; the fast path segments writes at full MSS. *)
+    { base with Flexstorm.mux_batch_ns = 1_000_000; wire_block = 11 }
+  | Scenario.Mtcp ->
+    (* mTCP's stack batches moderately. *)
+    { base with Flexstorm.wire_block = 4 }
+  | _ ->
+    (* Linux: per-packet softirq + scheduling defeat most coalescing. *)
+    { base with Flexstorm.wire_block = 3 }
+
+let run_one kind ?(duration_ms = 80) () =
+  let sim = Sim.create () in
+  (* Hosts: generator (ideal) + 3 FlexStorm nodes. *)
+  let net = Topology.star sim ~n_clients:4 ~queues_per_nic:8 () in
+  let cfg = node_config kind in
+  let node_eps = Array.sub net.Topology.clients 1 3 in
+  let generator_ep = net.Topology.clients.(0) in
+  (* Per-node stack + pipeline: the stack's application events run on the
+     node's demux core (app_cores = [demux]). *)
+  let nodes = Array.make 3 None in
+  let transports =
+    Array.mapi
+      (fun i ep ->
+        let server =
+          match kind with
+          | Scenario.Tas_so | Scenario.Tas_ll ->
+            Scenario.build_server sim ~nic:ep.Topology.nic ~kind ~total_cores:2
+              ~split:(1, 1) ~buf_size:262144
+              ~tas_patch:(fun c ->
+                { c with Config.control_interval_min_ns = 1_000_000 })
+              ()
+          | _ ->
+            let split = if kind = Scenario.Mtcp then (1, 1) else (1, 0) in
+            Scenario.build_server sim ~nic:ep.Topology.nic ~kind
+              ~total_cores:(if kind = Scenario.Mtcp then 2 else 1)
+              ~split ~buf_size:262144 ()
+        in
+        let node =
+          Flexstorm.create sim cfg ~demux:server.Scenario.app_cores.(0)
+            ~workers:
+              (Array.init cfg.Flexstorm.n_workers (fun w ->
+                   Core.create sim ~id:(((i + 1) * 10) + w) ()))
+            ~mux:(Core.create sim ~id:(((i + 1) * 10) + 9) ())
+        in
+        nodes.(i) <- Some node;
+        server.Scenario.transport)
+      node_eps
+  in
+  let node i = Option.get nodes.(i) in
+  (* Sink at the generator host counts tuples that traversed all nodes. *)
+  let gen_transport =
+    Scenario.client_transport sim generator_ep ~buf_size:262144 ()
+  in
+  let completed = Stats.Counter.create () in
+  Transport.listen gen_transport ~port:7100 (fun _ ->
+      {
+        Transport.null_handlers with
+        Transport.on_data =
+          (fun _ d ->
+            Stats.Counter.add completed
+              (Bytes.length d / cfg.Flexstorm.tuple_size));
+      });
+  (* Node i listens and forwards to node i+1 (node 2 forwards to the sink). *)
+  Array.iteri
+    (fun i transport ->
+      Transport.listen transport ~port:7000 (fun _ ->
+          {
+            Transport.null_handlers with
+            Transport.on_data =
+              (fun _ data -> Flexstorm.handle_input (node i) data);
+          });
+      let dst_ip, dst_port =
+        if i = 2 then (Tas_netsim.Nic.ip generator_ep.Topology.nic, 7100)
+        else (Tas_netsim.Nic.ip node_eps.(i + 1).Topology.nic, 7000)
+      in
+      Transport.connect transport ~dst_ip ~dst_port (fun _ ->
+          {
+            Transport.null_handlers with
+            Transport.on_connected =
+              (fun conn -> Flexstorm.set_output (node i) conn);
+            Transport.on_sendable = (fun _ -> Flexstorm.pump (node i));
+          }))
+    transports;
+  (* Generator: open-loop tuple stream into node 0 at saturating load. *)
+  let offered_tuples_per_sec = 4.5e6 in
+  let batch = cfg.Flexstorm.wire_block in
+  let gap_ns =
+    int_of_float (float_of_int batch /. offered_tuples_per_sec *. 1e9)
+  in
+  let payload = Bytes.create (batch * cfg.Flexstorm.tuple_size) in
+  Transport.connect gen_transport
+    ~dst_ip:(Tas_netsim.Nic.ip node_eps.(0).Topology.nic) ~dst_port:7000
+    (fun _ ->
+      {
+        Transport.null_handlers with
+        Transport.on_connected =
+          (fun conn ->
+            let rec emit () =
+              ignore (Transport.send conn payload);
+              ignore (Sim.schedule sim gap_ns emit)
+            in
+            emit ());
+      });
+  (* Warm up, then measure. *)
+  Sim.run ~until:(Time_ns.ms 40) sim;
+  let tput =
+    Scenario.measure_rate sim ~warmup:(Time_ns.ms 10)
+      ~measure:(Time_ns.ms duration_ms) (fun () ->
+        Stats.Counter.value completed)
+  in
+  let mean f =
+    (f (node 0) +. f (node 1) +. f (node 2)) /. 3.0
+  in
+  let stack_cores =
+    match kind with
+    | Scenario.Linux -> 0
+    | _ -> 3 (* one stack/fast-path core per node *)
+  in
+  {
+    tuples_per_sec = tput;
+    cores_used = (3 * 4) + stack_cores;
+    input_us = mean (fun n -> Stats.Summary.mean (Flexstorm.input_wait n));
+    processing_us = mean (fun n -> Stats.Summary.mean (Flexstorm.processing n));
+    output_us = mean (fun n -> Stats.Summary.mean (Flexstorm.output_wait n));
+  }
+
+let run ?(quick = false) fmt =
+  Report.section fmt "Figure 10 / Table 8: FlexStorm throughput and latency";
+  Report.note fmt
+    "paper: raw tput Linux ~1.2M, mTCP 2.1x Linux, TAS +8% over mTCP; \
+     tuple latency Linux 20ms ~= mTCP 18ms >> TAS 8ms (no stack batching)";
+  let kinds =
+    if quick then [ Scenario.Tas_so; Scenario.Linux ]
+    else [ Scenario.Linux; Scenario.Mtcp; Scenario.Tas_so ]
+  in
+  let rows =
+    List.map
+      (fun kind ->
+        let r = run_one kind () in
+        [
+          Scenario.kind_name kind;
+          Printf.sprintf "%.2f" (r.tuples_per_sec /. 1e6);
+          Printf.sprintf "%.3f"
+            (r.tuples_per_sec /. 1e6 /. float_of_int r.cores_used);
+          Report.f1 r.input_us;
+          Report.f2 r.processing_us;
+          Printf.sprintf "%.1f" (r.output_us /. 1000.0);
+        ])
+      kinds
+  in
+  Report.table fmt
+    ~header:
+      [ "stack"; "tput[Mtuples/s]"; "per-core"; "input[us]"; "proc[us]";
+        "output[ms]" ]
+    ~rows

@@ -1,0 +1,17 @@
+(** Fig. 10 / Table 8: FlexStorm real-time analytics — a 3-node stream
+    processing topology where each node runs a demultiplexer thread, two
+    workers, and a multiplexer thread that batches outgoing tuples (up to
+    10 ms). Tuples traverse all three nodes over TCP. Compares Linux, mTCP
+    and TAS: raw and per-core throughput, plus the per-tuple latency
+    breakdown (input queueing / processing / output queueing). *)
+
+type result = {
+  tuples_per_sec : float;
+  cores_used : int;
+  input_us : float;  (** mean wait from stack delivery to worker start *)
+  processing_us : float;
+  output_us : float;  (** mean wait from worker end to wire *)
+}
+
+val run_one : Scenario.kind -> ?duration_ms:int -> unit -> result
+val run : ?quick:bool -> Format.formatter -> unit

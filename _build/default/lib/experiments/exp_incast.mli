@@ -1,0 +1,19 @@
+(** Fig. 13: fairness under incast — 4 sender machines to one receiver at
+    line rate; per-connection throughput distribution over 100 ms bins for
+    50–2000 connections. TAS's paced, rate-based flows stay near fair share;
+    Linux's window bursts starve some flows. *)
+
+type result = {
+  median_mb_per_100ms : float;
+  p99 : float;
+  p1 : float;
+  fair_share : float;
+}
+
+type mode = Tas_rate_mode | Tas_window_mode | Linux_mode
+
+val run_one_mode : mode -> conns:int -> result
+val run_one : tas:bool -> conns:int -> result
+(** [run_one ~tas] is [run_one_mode] with [Tas_rate_mode]/[Linux_mode]. *)
+
+val run : ?quick:bool -> Format.formatter -> unit

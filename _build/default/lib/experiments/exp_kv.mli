@@ -1,0 +1,38 @@
+(** Key-value store experiments (paper §5.3):
+    - Fig. 8: throughput vs. total server cores (TAS LL, TAS SO, IX, Linux);
+    - Table 6: the app/TAS core split used at each point;
+    - Fig. 9 / Table 5: request latency distribution at 15% utilization;
+    - Table 7: the non-scalable single-key workload. *)
+
+type result = {
+  throughput : float;  (** requests/second *)
+  latency_us : Tas_engine.Stats.Hist.t;
+  requests : int;
+  app_cycles_per_req : float;  (** measured busy cycles per request *)
+  stack_cycles_per_req : float;
+  conns : int;
+}
+
+val default_app_cycles : Scenario.kind -> int
+(** Per-stack application-side cycles per request from paper Table 1. *)
+
+val run_kv :
+  Scenario.kind ->
+  total_cores:int ->
+  conns:int ->
+  ?app_cycles:int ->
+  ?workload:Tas_apps.Kv_store.Client.workload ->
+  ?think_ns:int ->
+  ?serial_cycles:int ->
+  ?measure_ms:int ->
+  ?split:int * int ->
+  unit ->
+  result
+(** One KV-store run: star topology, 5 client machines, closed loop.
+    [serial_cycles] > 0 adds the Table 7 lock core. [app_cycles] defaults to
+    the per-stack Table 1 application cost. *)
+
+val fig8 : ?quick:bool -> Format.formatter -> unit
+val table6 : Format.formatter -> unit
+val fig9_table5 : ?quick:bool -> Format.formatter -> unit
+val table7 : ?quick:bool -> Format.formatter -> unit

@@ -1,0 +1,10 @@
+(** Fig. 7: throughput penalty under induced packet loss (0.1%–5%), 100 bulk
+    flows over one 10G link: Linux (full out-of-order buffering + SACK-like
+    recovery) vs. TAS (single out-of-order interval) vs. TAS with simple
+    go-back-N receive ("TAS simple recovery"). *)
+
+val run : ?quick:bool -> Format.formatter -> unit
+
+type variant = Linux_full | Tas_ooo | Tas_simple
+
+val goodput_gbps : variant -> loss_rate:float -> float

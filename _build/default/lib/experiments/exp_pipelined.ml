@@ -1,0 +1,86 @@
+module Sim = Tas_engine.Sim
+module Time_ns = Tas_engine.Time_ns
+module Stats = Tas_engine.Stats
+module Topology = Tas_netsim.Topology
+module Config = Tas_core.Config
+module Rpc_echo = Tas_apps.Rpc_echo
+
+let goodput_gbps kind ~dir ~msg_size ~app_cycles =
+  let sim = Sim.create () in
+  let net = Topology.star sim ~n_clients:4 ~queues_per_nic:8 () in
+  (* Single-threaded server: one app core; TAS additionally gets fast-path
+     cores (the paper's single-threaded comparison is about the app). *)
+  let total_cores, split =
+    match kind with
+    | Scenario.Linux -> (1, Some (1, 0))
+    | Scenario.Mtcp -> (2, Some (1, 1))  (* mTCP needs its own stack core *)
+    | _ -> (3, Some (1, 2))
+  in
+  let server =
+    Scenario.build_server sim ~nic:net.Topology.server.Topology.nic ~kind
+      ~total_cores ~app_cycles ?split ~buf_size:65536
+      ~tas_patch:(fun c ->
+        { c with Config.control_interval_min_ns = 500_000 })
+      ()
+  in
+  let counter = Stats.Counter.create () in
+  (match dir with
+  | `Rx ->
+    Rpc_echo.sink_server server.Scenario.transport ~port:7 ~msg_size
+      ~app_cycles ~received:counter
+  | `Tx ->
+    Rpc_echo.flood_server server.Scenario.transport ~port:7 ~msg_size
+      ~app_cycles ~sent:counter);
+  Array.iter
+    (fun client ->
+      let transport = Scenario.client_transport sim client ~buf_size:65536 () in
+      match dir with
+      | `Rx ->
+        Rpc_echo.flood_clients sim transport ~n:25 ~dst_ip:server.Scenario.ip
+          ~dst_port:7 ~msg_size ()
+      | `Tx ->
+        Rpc_echo.sink_clients sim transport ~n:25 ~dst_ip:server.Scenario.ip
+          ~dst_port:7 ~received:(Stats.Counter.create ()) ~msg_size ())
+    net.Topology.clients;
+  Sim.run ~until:(Time_ns.ms 20) sim;
+  let msgs_per_sec =
+    Scenario.measure_rate sim ~warmup:(Time_ns.ms 3) ~measure:(Time_ns.ms 6)
+      (fun () -> Stats.Counter.value counter)
+  in
+  msgs_per_sec *. float_of_int (msg_size * 8) /. 1e9
+
+let run ?(quick = false) fmt =
+  Report.section fmt
+    "Figure 6: pipelined RPC goodput, single-threaded server, 100 conns";
+  Report.note fmt
+    "paper: RX small RPCs TAS up to 4.5x Linux; TX small RPCs TAS 12.4x \
+     Linux, 1.5x mTCP; TAS reaches 40G line rate at 2KB/250cyc; \
+     ~2.5x Linux at 1000 cycles regardless of size";
+  let sizes = if quick then [ 64; 2048 ] else [ 32; 64; 128; 256; 512; 1024; 2048 ] in
+  let delays = if quick then [ 250 ] else [ 250; 1000 ] in
+  let kinds = [ Scenario.Tas_so; Scenario.Mtcp; Scenario.Linux ] in
+  List.iter
+    (fun dir ->
+      let dir_name = match dir with `Rx -> "RX" | `Tx -> "TX" in
+      List.iter
+        (fun app_cycles ->
+          Format.fprintf fmt "  -- %s, %d cycles/message --@." dir_name
+            app_cycles;
+          let header =
+            "size[B]"
+            :: List.map (fun k -> Scenario.kind_name k ^ " [Gbps]") kinds
+          in
+          let rows =
+            List.map
+              (fun msg_size ->
+                string_of_int msg_size
+                :: List.map
+                     (fun kind ->
+                       Report.f2
+                         (goodput_gbps kind ~dir ~msg_size ~app_cycles))
+                     kinds)
+              sizes
+          in
+          Report.table fmt ~header ~rows)
+        delays)
+    [ `Rx; `Tx ]

@@ -1,0 +1,9 @@
+(** Fig. 6: pipelined RPC throughput for a single-threaded server over 100
+    connections, varying message size and per-message application time
+    (250/1000 cycles), separately for receive-only (RX) and transmit-only
+    (TX) directions; TAS vs. mTCP vs. Linux. *)
+
+val run : ?quick:bool -> Format.formatter -> unit
+
+val goodput_gbps :
+  Scenario.kind -> dir:[ `Rx | `Tx ] -> msg_size:int -> app_cycles:int -> float

@@ -1,0 +1,61 @@
+type entry = {
+  id : string;
+  title : string;
+  run : ?quick:bool -> Format.formatter -> unit;
+}
+
+let all =
+  [
+    { id = "t1"; title = "Table 1: cycles/request by module";
+      run = Exp_cycles.table1 };
+    { id = "t2"; title = "Table 2: per-request app/stack overheads";
+      run = Exp_cycles.table2 };
+    { id = "t4"; title = "Table 4: Linux/TAS peer compatibility";
+      run = Exp_compat.run };
+    { id = "f4"; title = "Figure 4: connection scalability";
+      run = Exp_conn_scaling.run };
+    { id = "f5"; title = "Figure 5: short-lived connections";
+      run = Exp_short_lived.run };
+    { id = "f6"; title = "Figure 6: pipelined RPC throughput";
+      run = Exp_pipelined.run };
+    { id = "f7"; title = "Figure 7: packet loss penalty";
+      run = Exp_loss.run };
+    { id = "f8"; title = "Figure 8: KV-store throughput scalability";
+      run = Exp_kv.fig8 };
+    { id = "t6"; title = "Table 6: TAS core split";
+      run = (fun ?quick fmt -> ignore quick; Exp_kv.table6 fmt) };
+    { id = "f9"; title = "Figure 9 / Table 5: KV-store latency";
+      run = Exp_kv.fig9_table5 };
+    { id = "t7"; title = "Table 7: non-scalable KV workload";
+      run = Exp_kv.table7 };
+    { id = "f10"; title = "Figure 10 / Table 8: FlexStorm";
+      run = Exp_flexstorm.run };
+    { id = "f11"; title = "Figure 11: single-link congestion control";
+      run = Exp_cc.fig11 };
+    { id = "f12"; title = "Figure 12: cluster flow completion times";
+      run = Exp_cc.fig12 };
+    { id = "f13"; title = "Figure 13: incast fairness";
+      run = Exp_incast.run };
+    { id = "f14"; title = "Figure 14: workload proportionality";
+      run = Exp_proportional.fig14 };
+    { id = "f15"; title = "Figure 15: latency across core transition";
+      run = Exp_proportional.fig15 };
+    { id = "x1"; title = "Ablation: slow-path CC algorithms (TIMELY etc.)";
+      run = Exp_ablation.x1_cc_algorithms };
+    { id = "x2"; title = "Ablation: rate vs window enforcement under incast";
+      run = Exp_ablation.x2_rate_vs_window };
+    { id = "x3"; title = "Ablation: sockets emulation vs low-level API cost";
+      run = Exp_ablation.x3_api_cost };
+    { id = "x4"; title = "Ablation: NIC-offload projection of the fast path";
+      run = Exp_ablation.x4_nic_offload };
+  ]
+
+let find id = List.find_opt (fun e -> String.lowercase_ascii id = e.id) all
+
+let run_all ?quick fmt =
+  List.iter
+    (fun e ->
+      let t0 = Unix.gettimeofday () in
+      e.run ?quick fmt;
+      Format.fprintf fmt "  (%.1fs)@." (Unix.gettimeofday () -. t0))
+    all

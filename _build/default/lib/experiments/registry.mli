@@ -1,0 +1,11 @@
+(** Experiment registry: every paper table and figure, addressable by id. *)
+
+type entry = {
+  id : string;  (** e.g. "f4", "t1" *)
+  title : string;
+  run : ?quick:bool -> Format.formatter -> unit;
+}
+
+val all : entry list
+val find : string -> entry option
+val run_all : ?quick:bool -> Format.formatter -> unit

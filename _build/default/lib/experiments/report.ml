@@ -1,0 +1,34 @@
+let section fmt title =
+  Format.fprintf fmt "@.=== %s ===@." title
+
+let table fmt ~header ~rows =
+  let all = header :: rows in
+  let cols = List.length header in
+  let width c =
+    List.fold_left (fun acc row -> max acc (String.length (List.nth row c))) 0 all
+  in
+  let widths = List.init cols width in
+  let print_row row =
+    Format.fprintf fmt "  ";
+    List.iteri
+      (fun i cell ->
+        let w = List.nth widths i in
+        Format.fprintf fmt "%-*s  " w cell)
+      row;
+    Format.fprintf fmt "@."
+  in
+  print_row header;
+  Format.fprintf fmt "  %s@."
+    (String.concat "  " (List.map (fun w -> String.make w '-') widths));
+  List.iter print_row rows
+
+let series fmt ~name points =
+  Format.fprintf fmt "  %s:@." name;
+  List.iter (fun (x, y) -> Format.fprintf fmt "    %-12s %.4g@." x y) points
+
+let kv fmt k v = Format.fprintf fmt "  %s: %s@." k v
+let note fmt s = Format.fprintf fmt "  # %s@." s
+let f1 v = Printf.sprintf "%.1f" v
+let f2 v = Printf.sprintf "%.2f" v
+let mops v = Printf.sprintf "%.2f" (v /. 1e6)
+let pct v = Printf.sprintf "%.1f%%" v

@@ -1,0 +1,27 @@
+(** Table/series rendering for experiment output, paper-style: each
+    experiment prints the series the paper plots, alongside the paper's
+    reported values where it states them, so shape agreement is visible at
+    a glance. *)
+
+val section : Format.formatter -> string -> unit
+(** Header naming the paper table/figure being reproduced. *)
+
+val table :
+  Format.formatter -> header:string list -> rows:string list list -> unit
+(** Fixed-width text table. *)
+
+val series :
+  Format.formatter -> name:string -> (string * float) list -> unit
+(** One named data series: [(x-label, y)] pairs. *)
+
+val kv : Format.formatter -> string -> string -> unit
+(** One "key: value" result line. *)
+
+val note : Format.formatter -> string -> unit
+
+val f1 : float -> string
+val f2 : float -> string
+val mops : float -> string
+(** Millions of operations per second, 2 decimals. *)
+
+val pct : float -> string

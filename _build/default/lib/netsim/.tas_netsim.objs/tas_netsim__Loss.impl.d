@@ -1,0 +1,1 @@
+lib/netsim/loss.ml: Tas_engine

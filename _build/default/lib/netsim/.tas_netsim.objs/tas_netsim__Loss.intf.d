@@ -1,0 +1,1 @@
+lib/netsim/loss.mli: Tas_engine Tas_proto

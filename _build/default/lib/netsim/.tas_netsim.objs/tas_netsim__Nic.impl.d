@@ -1,0 +1,1 @@
+lib/netsim/nic.ml: Array Port Tas_proto

@@ -1,0 +1,1 @@
+lib/netsim/nic.mli: Port Tas_engine Tas_proto

@@ -1,0 +1,1 @@
+lib/netsim/pcap.ml: Buffer Bytes Char Fun List Tap Tas_proto

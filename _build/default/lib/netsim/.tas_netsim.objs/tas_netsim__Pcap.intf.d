@@ -1,0 +1,1 @@
+lib/netsim/pcap.mli: Tap

@@ -1,0 +1,1 @@
+lib/netsim/port.ml: Queue Tas_engine Tas_proto

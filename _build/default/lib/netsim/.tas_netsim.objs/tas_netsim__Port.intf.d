@@ -1,0 +1,1 @@
+lib/netsim/port.mli: Tas_engine Tas_proto

@@ -1,0 +1,1 @@
+lib/netsim/reorder.ml: Tas_engine

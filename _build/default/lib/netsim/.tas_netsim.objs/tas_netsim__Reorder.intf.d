@@ -1,0 +1,1 @@
+lib/netsim/reorder.mli: Tas_engine Tas_proto

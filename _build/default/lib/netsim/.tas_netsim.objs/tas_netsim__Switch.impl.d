@@ -1,0 +1,1 @@
+lib/netsim/switch.ml: Array Hashtbl Port Tas_engine Tas_proto

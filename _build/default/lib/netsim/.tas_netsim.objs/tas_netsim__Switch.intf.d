@@ -1,0 +1,1 @@
+lib/netsim/switch.mli: Port Tas_engine Tas_proto

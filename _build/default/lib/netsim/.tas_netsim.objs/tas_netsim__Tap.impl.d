@@ -1,0 +1,1 @@
+lib/netsim/tap.ml: Bytes Format List Queue String Tas_engine Tas_proto

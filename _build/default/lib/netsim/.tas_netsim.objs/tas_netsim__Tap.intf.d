@@ -1,0 +1,1 @@
+lib/netsim/tap.mli: Format Tas_engine Tas_proto

@@ -1,0 +1,1 @@
+lib/netsim/topology.ml: Array List Loss Nic Port Switch Tas_engine Tas_proto

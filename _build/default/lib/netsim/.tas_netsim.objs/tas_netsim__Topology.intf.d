@@ -1,0 +1,1 @@
+lib/netsim/topology.mli: Nic Port Switch Tas_engine

@@ -1,0 +1,7 @@
+module Rng = Tas_engine.Rng
+
+let wrap rng ~rate deliver pkt = if Rng.coin rng rate then () else deliver pkt
+
+let wrap_counted rng ~rate ~dropped deliver pkt =
+  if Rng.coin rng rate then Tas_engine.Stats.Counter.incr dropped
+  else deliver pkt

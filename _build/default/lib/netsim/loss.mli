@@ -1,0 +1,16 @@
+(** Random packet-loss injection (paper §5.2: induced loss 0.1%–5%). *)
+
+val wrap :
+  Tas_engine.Rng.t ->
+  rate:float ->
+  (Tas_proto.Packet.t -> unit) ->
+  Tas_proto.Packet.t -> unit
+(** [wrap rng ~rate deliver] is a delivery function that independently drops
+    each packet with probability [rate]. *)
+
+val wrap_counted :
+  Tas_engine.Rng.t ->
+  rate:float ->
+  dropped:Tas_engine.Stats.Counter.t ->
+  (Tas_proto.Packet.t -> unit) ->
+  Tas_proto.Packet.t -> unit

@@ -1,0 +1,71 @@
+module Packet = Tas_proto.Packet
+
+let rss_table_size = 128
+
+type t = {
+  ip : Tas_proto.Addr.ipv4;
+  mac : Tas_proto.Addr.mac;
+  num_queues : int;
+  tx_port : Port.t;
+  rss_table : int array;
+  mutable active : int;
+  mutable rx_handler : queue:int -> Packet.t -> unit;
+  mutable rx_packets : int;
+  mutable tx_packets : int;
+  mutable rx_bytes : int;
+  mutable tx_bytes : int;
+}
+
+let rewrite_table t n =
+  for i = 0 to rss_table_size - 1 do
+    t.rss_table.(i) <- i mod n
+  done
+
+let create _sim ~ip ~mac ~num_queues ~tx_port () =
+  if num_queues <= 0 then invalid_arg "Nic.create: need at least one queue";
+  let t =
+    {
+      ip;
+      mac;
+      num_queues;
+      tx_port;
+      rss_table = Array.make rss_table_size 0;
+      active = num_queues;
+      rx_handler = (fun ~queue:_ _ -> ());
+      rx_packets = 0;
+      tx_packets = 0;
+      rx_bytes = 0;
+      tx_bytes = 0;
+    }
+  in
+  rewrite_table t num_queues;
+  t
+
+let ip t = t.ip
+let mac t = t.mac
+let num_queues t = t.num_queues
+let set_rx_handler t f = t.rx_handler <- f
+
+let input t pkt =
+  t.rx_packets <- t.rx_packets + 1;
+  t.rx_bytes <- t.rx_bytes + Packet.wire_size pkt;
+  let queue = t.rss_table.(Packet.flow_hash pkt mod rss_table_size) in
+  t.rx_handler ~queue pkt
+
+let transmit t pkt =
+  t.tx_packets <- t.tx_packets + 1;
+  t.tx_bytes <- t.tx_bytes + Packet.wire_size pkt;
+  Port.enqueue t.tx_port pkt
+
+let set_active_queues t n =
+  if n < 1 || n > t.num_queues then
+    invalid_arg "Nic.set_active_queues: out of range";
+  t.active <- n;
+  rewrite_table t n
+
+let active_queues t = t.active
+let queue_for_hash t h = t.rss_table.(h mod rss_table_size)
+let rx_packets t = t.rx_packets
+let tx_packets t = t.tx_packets
+let rx_bytes t = t.rx_bytes
+let tx_bytes t = t.tx_bytes

@@ -1,0 +1,48 @@
+(** Host network interface with receive-side scaling.
+
+    Incoming packets are steered to one of [num_queues] receive queues via a
+    128-entry RSS redirection table indexed by flow hash — the mechanism the
+    TAS fast path uses both to pin flows to cores and to re-steer flows when
+    the proportionality controller adds or removes cores (paper §3.4: "we
+    eagerly update the NIC RSS redirection table"). *)
+
+type t
+
+val create :
+  Tas_engine.Sim.t ->
+  ip:Tas_proto.Addr.ipv4 ->
+  mac:Tas_proto.Addr.mac ->
+  num_queues:int ->
+  tx_port:Port.t ->
+  unit ->
+  t
+
+val ip : t -> Tas_proto.Addr.ipv4
+val mac : t -> Tas_proto.Addr.mac
+val num_queues : t -> int
+
+val set_rx_handler : t -> (queue:int -> Tas_proto.Packet.t -> unit) -> unit
+(** Install the host-side receive callback; invoked once per packet with the
+    RSS-selected queue index. *)
+
+val input : t -> Tas_proto.Packet.t -> unit
+(** Packet arriving from the network. *)
+
+val transmit : t -> Tas_proto.Packet.t -> unit
+(** Packet leaving the host. *)
+
+val set_active_queues : t -> int -> unit
+(** Rewrite the RSS redirection table to spread flows over the first [n]
+    queues (eager re-steering during fast-path core scale up/down).
+    @raise Invalid_argument if [n] is not within [1, num_queues]. *)
+
+val active_queues : t -> int
+
+val queue_for_hash : t -> int -> int
+(** The RSS queue the current redirection table assigns to a flow hash —
+    lets the host compute a flow's owning queue without a packet in hand. *)
+
+val rx_packets : t -> int
+val tx_packets : t -> int
+val rx_bytes : t -> int
+val tx_bytes : t -> int

@@ -1,0 +1,90 @@
+module Sim = Tas_engine.Sim
+module Packet = Tas_proto.Packet
+module Ipv4_header = Tas_proto.Ipv4_header
+
+type t = {
+  sim : Sim.t;
+  rate_bps : float;
+  delay : int;
+  capacity : int;
+  ecn_threshold : int option;
+  queue : Packet.t Queue.t;
+  mutable queued_bytes : int;
+  mutable transmitting : bool;
+  mutable deliver : Packet.t -> unit;
+  mutable drops : int;
+  mutable marks : int;
+  mutable tx_packets : int;
+  mutable tx_bytes : int;
+  mutable busy_ns : int;
+}
+
+let create sim ~rate_bps ~delay ?(capacity_pkts = 1024) ?ecn_threshold () =
+  {
+    sim;
+    rate_bps;
+    delay;
+    capacity = capacity_pkts;
+    ecn_threshold;
+    queue = Queue.create ();
+    queued_bytes = 0;
+    transmitting = false;
+    deliver = ignore;
+    drops = 0;
+    marks = 0;
+    tx_packets = 0;
+    tx_bytes = 0;
+    busy_ns = 0;
+  }
+
+let set_deliver t f = t.deliver <- f
+
+let tx_time_ns t pkt =
+  let bits = float_of_int (Packet.wire_size pkt * 8) in
+  int_of_float (ceil (bits /. t.rate_bps *. 1e9))
+
+let rec start_transmission t =
+  match Queue.take_opt t.queue with
+  | None -> t.transmitting <- false
+  | Some pkt ->
+    t.transmitting <- true;
+    let tx = tx_time_ns t pkt in
+    t.busy_ns <- t.busy_ns + tx;
+    ignore
+      (Sim.schedule t.sim tx (fun () ->
+           t.queued_bytes <- t.queued_bytes - Packet.wire_size pkt;
+           t.tx_packets <- t.tx_packets + 1;
+           t.tx_bytes <- t.tx_bytes + Packet.wire_size pkt;
+           (* Propagation delay, then hand to the far end. *)
+           ignore (Sim.schedule t.sim t.delay (fun () -> t.deliver pkt));
+           start_transmission t))
+
+let enqueue t pkt =
+  let qlen = Queue.length t.queue + if t.transmitting then 1 else 0 in
+  if qlen >= t.capacity then t.drops <- t.drops + 1
+  else begin
+    (* DCTCP marking: set CE when the instantaneous queue exceeds K and the
+       packet is ECN-capable. *)
+    let pkt =
+      match t.ecn_threshold with
+      | Some k
+        when qlen >= k
+             && (pkt.Packet.ip.Ipv4_header.ecn = Ipv4_header.Ect0
+                || pkt.Packet.ip.Ipv4_header.ecn = Ipv4_header.Ect1) ->
+        t.marks <- t.marks + 1;
+        { pkt with Packet.ip = Ipv4_header.with_ce pkt.Packet.ip }
+      | _ -> pkt
+    in
+    Queue.add pkt t.queue;
+    t.queued_bytes <- t.queued_bytes + Packet.wire_size pkt;
+    if not t.transmitting then start_transmission t
+  end
+
+let queue_len t = Queue.length t.queue + if t.transmitting then 1 else 0
+let queue_bytes t = t.queued_bytes
+let drops t = t.drops
+let marks t = t.marks
+let tx_packets t = t.tx_packets
+let tx_bytes t = t.tx_bytes
+
+let busy_ns t = t.busy_ns

@@ -1,0 +1,7 @@
+module Sim = Tas_engine.Sim
+module Rng = Tas_engine.Rng
+
+let wrap sim rng ~rate ~delay_ns deliver pkt =
+  if Rng.coin rng rate then
+    ignore (Sim.schedule sim delay_ns (fun () -> deliver pkt))
+  else deliver pkt

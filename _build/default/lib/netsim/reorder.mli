@@ -1,0 +1,19 @@
+(** Packet reordering injection.
+
+    Delays randomly-selected packets by a configurable interval, letting
+    later packets overtake them — the out-of-order arrivals that exercise
+    the TAS fast path's single-interval reassembly without any loss.
+    (The paper notes in-order delivery is the common case because datacenter
+    routing is connection-stable; this injector creates the uncommon case
+    on demand.) *)
+
+val wrap :
+  Tas_engine.Sim.t ->
+  Tas_engine.Rng.t ->
+  rate:float ->
+  delay_ns:int ->
+  (Tas_proto.Packet.t -> unit) ->
+  Tas_proto.Packet.t -> unit
+(** [wrap sim rng ~rate ~delay_ns deliver] holds each packet back by
+    [delay_ns] with probability [rate]; everything else is delivered
+    immediately. *)

@@ -1,0 +1,65 @@
+module Sim = Tas_engine.Sim
+module Packet = Tas_proto.Packet
+
+type route = Single of int | Ecmp of int array
+
+type t = {
+  sim : Sim.t;
+  forwarding_delay : int;
+  mutable ports : Port.t option array;
+  mutable port_count : int;
+  routes : (Tas_proto.Addr.ipv4, route) Hashtbl.t;
+  mutable no_route : int;
+}
+
+let create sim ?(forwarding_delay = 500) () =
+  {
+    sim;
+    forwarding_delay;
+    ports = Array.make 8 None;
+    port_count = 0;
+    routes = Hashtbl.create 64;
+    no_route = 0;
+  }
+
+let add_port t port =
+  if t.port_count = Array.length t.ports then begin
+    let bigger = Array.make (2 * t.port_count) None in
+    Array.blit t.ports 0 bigger 0 t.port_count;
+    t.ports <- bigger
+  end;
+  t.ports.(t.port_count) <- Some port;
+  t.port_count <- t.port_count + 1;
+  t.port_count - 1
+
+let port t i =
+  match if i < 0 || i >= t.port_count then None else t.ports.(i) with
+  | Some p -> p
+  | None -> invalid_arg "Switch.port: bad port id"
+
+let add_route t dst port_id = Hashtbl.replace t.routes dst (Single port_id)
+
+let add_ecmp_route t dst port_ids =
+  match port_ids with
+  | [] -> invalid_arg "Switch.add_ecmp_route: empty group"
+  | [ p ] -> add_route t dst p
+  | ps -> Hashtbl.replace t.routes dst (Ecmp (Array.of_list ps))
+
+let input t pkt =
+  match Hashtbl.find_opt t.routes pkt.Packet.ip.Tas_proto.Ipv4_header.dst with
+  | None -> t.no_route <- t.no_route + 1
+  | Some route ->
+    let port_id =
+      match route with
+      | Single p -> p
+      | Ecmp ps -> ps.(Packet.flow_hash pkt mod Array.length ps)
+    in
+    (match t.ports.(port_id) with
+    | None -> t.no_route <- t.no_route + 1
+    | Some out ->
+      if t.forwarding_delay = 0 then Port.enqueue out pkt
+      else
+        ignore
+          (Sim.schedule t.sim t.forwarding_delay (fun () -> Port.enqueue out pkt)))
+
+let no_route_drops t = t.no_route

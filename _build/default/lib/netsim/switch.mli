@@ -1,0 +1,31 @@
+(** An output-queued Ethernet/IP switch.
+
+    Forwarding is by destination IP: exact host routes, optionally ECMP
+    groups (multiple candidate ports, selected by flow hash — the
+    connection-stable multi-path routing the paper's fast path relies on for
+    in-order delivery, §3.1). A small fixed pipeline latency models
+    cut-through forwarding. *)
+
+type t
+
+val create :
+  Tas_engine.Sim.t -> ?forwarding_delay:Tas_engine.Time_ns.t -> unit -> t
+(** Default forwarding delay 500 ns. *)
+
+val add_port : t -> Port.t -> int
+(** Attach an output port; returns its port id. *)
+
+val port : t -> int -> Port.t
+
+val add_route : t -> Tas_proto.Addr.ipv4 -> int -> unit
+(** Route a destination host to an output port. Overwrites existing. *)
+
+val add_ecmp_route : t -> Tas_proto.Addr.ipv4 -> int list -> unit
+(** Route a destination over several ports; flows pick one by hash, so a
+    given connection always takes the same path. *)
+
+val input : t -> Tas_proto.Packet.t -> unit
+(** Accept a packet for forwarding. Packets without a route are dropped and
+    counted. *)
+
+val no_route_drops : t -> int

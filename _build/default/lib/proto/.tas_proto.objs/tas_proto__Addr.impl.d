@@ -1,0 +1,1 @@
+lib/proto/addr.ml: Format Printf String

@@ -1,0 +1,1 @@
+lib/proto/addr.mli: Format

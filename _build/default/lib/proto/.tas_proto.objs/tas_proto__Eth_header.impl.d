@@ -1,0 +1,1 @@
+lib/proto/eth_header.ml: Addr Bytes Char Format

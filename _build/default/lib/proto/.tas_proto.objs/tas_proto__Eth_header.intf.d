@@ -1,0 +1,1 @@
+lib/proto/eth_header.mli: Addr Format

@@ -1,0 +1,1 @@
+lib/proto/ipv4_header.mli: Addr Format

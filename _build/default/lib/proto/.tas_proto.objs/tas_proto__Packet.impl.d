@@ -1,0 +1,1 @@
+lib/proto/packet.ml: Addr Bytes Char Checksum Eth_header Format Ipv4_header Tcp_header

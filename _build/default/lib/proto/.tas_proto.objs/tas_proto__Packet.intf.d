@@ -1,0 +1,1 @@
+lib/proto/packet.mli: Addr Eth_header Format Ipv4_header Tcp_header

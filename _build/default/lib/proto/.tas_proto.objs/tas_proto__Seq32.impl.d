@@ -1,0 +1,1 @@
+lib/proto/seq32.ml: Format

@@ -1,0 +1,1 @@
+lib/proto/tcp_header.ml: Addr Bytes Char Format Seq32 String

@@ -1,0 +1,1 @@
+lib/proto/tcp_header.mli: Addr Format Seq32

@@ -1,0 +1,23 @@
+let ones_complement_sum ?(acc = 0) buf ~off ~len =
+  let sum = ref acc in
+  let i = ref off in
+  let last = off + len in
+  while !i + 1 < last do
+    sum := !sum + ((Char.code (Bytes.get buf !i) lsl 8) lor Char.code (Bytes.get buf (!i + 1)));
+    i := !i + 2
+  done;
+  if !i < last then sum := !sum + (Char.code (Bytes.get buf !i) lsl 8);
+  !sum
+
+let finish acc =
+  let s = ref acc in
+  while !s lsr 16 <> 0 do
+    s := (!s land 0xffff) + (!s lsr 16)
+  done;
+  lnot !s land 0xffff
+
+let compute buf ~off ~len = finish (ones_complement_sum buf ~off ~len)
+
+let verify buf ~off ~len =
+  let s = ones_complement_sum buf ~off ~len in
+  finish s = 0

@@ -1,0 +1,15 @@
+(** RFC 1071 Internet checksum (16-bit one's complement sum). *)
+
+val ones_complement_sum : ?acc:int -> bytes -> off:int -> len:int -> int
+(** Running one's complement 16-bit sum over a byte range; odd trailing bytes
+    are padded with zero per the RFC. The accumulator lets callers chain a
+    pseudo-header with a payload. *)
+
+val finish : int -> int
+(** Fold the accumulator and complement it into the final 16-bit checksum. *)
+
+val compute : bytes -> off:int -> len:int -> int
+(** One-shot checksum of a byte range. *)
+
+val verify : bytes -> off:int -> len:int -> bool
+(** [verify] is true when a range that embeds its own checksum sums to zero. *)

@@ -1,0 +1,35 @@
+(** IPv4 header (no options — the TAS fast path treats IP options as an
+    exception, and the datacenter packets it is built for never carry them). *)
+
+(** ECN codepoint (RFC 3168): TAS relies on ECT marking and CE feedback for
+    DCTCP-style congestion control. *)
+type ecn = Not_ect | Ect0 | Ect1 | Ce
+
+type t = {
+  src : Addr.ipv4;
+  dst : Addr.ipv4;
+  protocol : int;  (** 6 for TCP. *)
+  ttl : int;
+  ecn : ecn;
+  dscp : int;
+  ident : int;
+  total_length : int;  (** Header + payload, bytes. *)
+}
+
+val size : int
+(** Wire size without options: 20 bytes. *)
+
+val protocol_tcp : int
+
+val with_ce : t -> t
+(** The header with its ECN codepoint set to congestion-experienced. This is
+    what an ECN-marking switch queue applies. *)
+
+val write : t -> bytes -> off:int -> int
+(** Serializes including a correct header checksum; returns bytes written. *)
+
+val read : bytes -> off:int -> t
+(** @raise Invalid_argument on short buffer or non-IPv4 version. *)
+
+val checksum_ok : bytes -> off:int -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,96 @@
+type t = {
+  eth : Eth_header.t;
+  ip : Ipv4_header.t;
+  tcp : Tcp_header.t;
+  payload : bytes;
+}
+
+let make ~src_mac ~dst_mac ~src_ip ~dst_ip ?(ecn = Ipv4_header.Ect0) ~tcp
+    ~payload () =
+  let tcp_size = Tcp_header.size tcp in
+  {
+    eth =
+      { Eth_header.src = src_mac; dst = dst_mac;
+        ethertype = Eth_header.ethertype_ipv4 };
+    ip =
+      {
+        Ipv4_header.src = src_ip;
+        dst = dst_ip;
+        protocol = Ipv4_header.protocol_tcp;
+        ttl = 64;
+        ecn;
+        dscp = 0;
+        ident = 0;
+        total_length = Ipv4_header.size + tcp_size + Bytes.length payload;
+      };
+    tcp;
+    payload;
+  }
+
+let wire_size t = Eth_header.size + t.ip.Ipv4_header.total_length
+let payload_len t = Bytes.length t.payload
+
+let four_tuple_at_receiver t =
+  {
+    Addr.Four_tuple.local_ip = t.ip.Ipv4_header.dst;
+    local_port = t.tcp.Tcp_header.dst_port;
+    peer_ip = t.ip.Ipv4_header.src;
+    peer_port = t.tcp.Tcp_header.src_port;
+  }
+
+let flow_hash t = Addr.Four_tuple.sym_hash (four_tuple_at_receiver t)
+
+let set16 buf off v =
+  Bytes.set buf off (Char.chr ((v lsr 8) land 0xff));
+  Bytes.set buf (off + 1) (Char.chr (v land 0xff))
+
+let pseudo_header_sum ip tcp_len =
+  let buf = Bytes.create 12 in
+  set16 buf 0 ((ip.Ipv4_header.src lsr 16) land 0xffff);
+  set16 buf 2 (ip.Ipv4_header.src land 0xffff);
+  set16 buf 4 ((ip.Ipv4_header.dst lsr 16) land 0xffff);
+  set16 buf 6 (ip.Ipv4_header.dst land 0xffff);
+  Bytes.set buf 8 '\x00';
+  Bytes.set buf 9 (Char.chr ip.Ipv4_header.protocol);
+  set16 buf 10 tcp_len;
+  Checksum.ones_complement_sum buf ~off:0 ~len:12
+
+let to_wire t =
+  let total = wire_size t in
+  let buf = Bytes.make total '\x00' in
+  let off = Eth_header.write t.eth buf ~off:0 in
+  let ip_off = off in
+  let off = ip_off + Ipv4_header.write t.ip buf ~off:ip_off in
+  let tcp_off = off in
+  let tcp_size = Tcp_header.write t.tcp buf ~off:tcp_off in
+  Bytes.blit t.payload 0 buf (tcp_off + tcp_size) (Bytes.length t.payload);
+  let tcp_len = tcp_size + Bytes.length t.payload in
+  let acc = pseudo_header_sum t.ip tcp_len in
+  let acc = Checksum.ones_complement_sum ~acc buf ~off:tcp_off ~len:tcp_len in
+  set16 buf (tcp_off + 16) (Checksum.finish acc);
+  buf
+
+let of_wire buf =
+  let eth = Eth_header.read buf ~off:0 in
+  let ip = Ipv4_header.read buf ~off:Eth_header.size in
+  let tcp_off = Eth_header.size + Ipv4_header.size in
+  let tcp, tcp_size = Tcp_header.read buf ~off:tcp_off in
+  let payload_len =
+    ip.Ipv4_header.total_length - Ipv4_header.size - tcp_size
+  in
+  if payload_len < 0 || tcp_off + tcp_size + payload_len > Bytes.length buf
+  then invalid_arg "Packet.of_wire: inconsistent lengths";
+  let payload = Bytes.sub buf (tcp_off + tcp_size) payload_len in
+  { eth; ip; tcp; payload }
+
+let tcp_checksum_ok buf =
+  let ip = Ipv4_header.read buf ~off:Eth_header.size in
+  let tcp_off = Eth_header.size + Ipv4_header.size in
+  let tcp_len = ip.Ipv4_header.total_length - Ipv4_header.size in
+  let acc = pseudo_header_sum ip tcp_len in
+  let acc = Checksum.ones_complement_sum ~acc buf ~off:tcp_off ~len:tcp_len in
+  Checksum.finish acc = 0
+
+let pp fmt t =
+  Format.fprintf fmt "%a | %a | %d bytes payload" Ipv4_header.pp t.ip
+    Tcp_header.pp t.tcp (Bytes.length t.payload)

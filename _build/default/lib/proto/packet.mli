@@ -1,0 +1,50 @@
+(** A simulated TCP/IPv4/Ethernet packet.
+
+    Packets travel through the network simulator as structured records (no
+    per-hop reserialization — the simulator charges wire size for link
+    transit). [to_wire]/[of_wire] produce and parse the real byte-level
+    format, including the TCP pseudo-header checksum; they are exercised by
+    the test suite and microbenchmarks to keep the structured form honest. *)
+
+type t = {
+  eth : Eth_header.t;
+  ip : Ipv4_header.t;
+  tcp : Tcp_header.t;
+  payload : bytes;
+}
+
+val make :
+  src_mac:Addr.mac ->
+  dst_mac:Addr.mac ->
+  src_ip:Addr.ipv4 ->
+  dst_ip:Addr.ipv4 ->
+  ?ecn:Ipv4_header.ecn ->
+  tcp:Tcp_header.t ->
+  payload:bytes ->
+  unit ->
+  t
+(** Builds a packet with a consistent IP total length. Default ECN codepoint
+    is ECT(0), as DCTCP senders mark all data packets ECN-capable. *)
+
+val wire_size : t -> int
+(** Bytes on the wire including Ethernet header (no FCS/preamble). *)
+
+val payload_len : t -> int
+
+val flow_hash : t -> int
+(** Deterministic hash of the 4-tuple, symmetric per direction as computed by
+    receive-side scaling: used by NIC RSS to pick a queue. *)
+
+val four_tuple_at_receiver : t -> Addr.Four_tuple.t
+(** The connection key as seen by the host receiving this packet. *)
+
+val to_wire : t -> bytes
+(** Serialize to wire format with correct IP and TCP checksums. *)
+
+val of_wire : bytes -> t
+(** Parse wire format. @raise Invalid_argument on corrupt input. *)
+
+val tcp_checksum_ok : bytes -> bool
+(** Validate the TCP checksum of a wire-format packet. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,19 @@
+type t = int
+
+let mask = 0xFFFF_FFFF
+
+let of_int n = n land mask
+let add s n = (s + n) land mask
+
+let diff a b =
+  (* Signed 32-bit interpretation of (a - b) mod 2^32. *)
+  let d = (a - b) land mask in
+  if d >= 0x8000_0000 then d - 0x1_0000_0000 else d
+
+let lt a b = diff a b < 0
+let leq a b = diff a b <= 0
+let gt a b = diff a b > 0
+let geq a b = diff a b >= 0
+let between s ~low ~high = leq low s && lt s high
+let max_s a b = if geq a b then a else b
+let pp fmt s = Format.fprintf fmt "%u" s

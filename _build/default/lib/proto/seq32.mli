@@ -1,0 +1,32 @@
+(** 32-bit wrap-around TCP sequence number arithmetic (RFC 793 / RFC 1982).
+
+    Sequence numbers live in [\[0, 2^32)]. Comparisons are defined modulo
+    2^32 using the sign of the 32-bit difference, so they remain correct
+    across wrap-around as long as compared values are within 2^31 of each
+    other — always true for TCP windows. *)
+
+type t = int
+(** Invariant: within [\[0, 2^32)]. *)
+
+val of_int : int -> t
+(** Masks to 32 bits. *)
+
+val add : t -> int -> t
+(** [add s n] is [s + n] modulo 2^32. [n] may be negative. *)
+
+val diff : t -> t -> int
+(** [diff a b] is the signed 32-bit distance [a - b]: positive when [a] is
+    logically after [b]. *)
+
+val lt : t -> t -> bool
+val leq : t -> t -> bool
+val gt : t -> t -> bool
+val geq : t -> t -> bool
+
+val between : t -> low:t -> high:t -> bool
+(** [between s ~low ~high] is [low <= s < high] in sequence space. *)
+
+val max_s : t -> t -> t
+(** The later of the two in sequence space. *)
+
+val pp : Format.formatter -> t -> unit

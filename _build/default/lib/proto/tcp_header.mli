@@ -1,0 +1,51 @@
+(** TCP header with the options TAS uses: MSS (on SYN), window scale (on
+    SYN), and timestamps (every segment; the fast path uses them for RTT
+    estimation feeding congestion control, §3.1). *)
+
+type flags = {
+  syn : bool;
+  ack : bool;
+  fin : bool;
+  rst : bool;
+  psh : bool;
+  ece : bool;  (** ECN-echo: receiver feedback of CE marks (DCTCP). *)
+  cwr : bool;
+}
+
+type options = {
+  mss : int option;
+  wscale : int option;
+  timestamp : (int * int) option;  (** (ts_val, ts_ecr). *)
+}
+
+type t = {
+  src_port : Addr.port;
+  dst_port : Addr.port;
+  seq : Seq32.t;
+  ack : Seq32.t;
+  flags : flags;
+  window : int;
+  options : options;
+}
+
+val no_flags : flags
+val no_options : options
+
+val data_flags : flags
+(** ACK + PSH: the common-case data segment. *)
+
+val ack_flags : flags
+
+val size : t -> int
+(** Wire size: 20 bytes plus padded options. *)
+
+val write : t -> bytes -> off:int -> int
+(** Serializes (checksum field written as zero; TCP checksums over the
+    pseudo-header are applied by {!Packet.to_wire}). Returns bytes written. *)
+
+val read : bytes -> off:int -> t * int
+(** [read buf ~off] parses and returns the header and its size in bytes.
+    Unknown options are skipped.
+    @raise Invalid_argument on short/corrupt input. *)
+
+val pp : Format.formatter -> t -> unit

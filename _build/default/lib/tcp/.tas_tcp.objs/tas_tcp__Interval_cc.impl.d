@@ -1,0 +1,1 @@
+lib/tcp/interval_cc.ml:

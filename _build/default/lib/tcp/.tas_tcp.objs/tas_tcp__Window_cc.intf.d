@@ -1,0 +1,1 @@
+lib/tcp/window_cc.mli:

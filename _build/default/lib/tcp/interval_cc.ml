@@ -1,0 +1,161 @@
+type feedback = {
+  acked_bytes : int;
+  ecn_bytes : int;
+  fast_retransmits : int;
+  timeouts : int;
+  rtt_ns : int;
+  interval_ns : int;
+}
+
+type algorithm =
+  | Fixed_rate
+  | Dctcp_rate of { step_bps : float }
+  | Timely of { t_low_ns : int; t_high_ns : int; addstep_bps : float }
+  | Window_dctcp of { mss : int }
+
+type control = Rate_bps of float | Window_bytes of int
+
+type t = {
+  algorithm : algorithm;
+  mutable control : control;
+  mutable slow_start : bool;
+  mutable alpha : float;
+  mutable prev_rtt : int;  (* TIMELY gradient state *)
+}
+
+let dctcp_g = 1.0 /. 16.0
+let min_rate_bps = 1e6 (* 1 Mbps floor keeps flows alive *)
+
+let create algorithm ~initial =
+  { algorithm; control = initial; slow_start = true; alpha = 0.0; prev_rtt = 0 }
+
+let current t = t.control
+
+let rate_of t =
+  match t.control with
+  | Rate_bps r -> r
+  | Window_bytes _ -> invalid_arg "Interval_cc: expected a rate"
+
+let update_dctcp_rate t ~step_bps fb =
+  let rate = rate_of t in
+  (* Cap at 1.2x the achieved rate before anything else (paper §3.2). *)
+  let achieved_bps =
+    if fb.interval_ns = 0 then 0.0
+    else float_of_int (fb.acked_bytes * 8) /. (float_of_int fb.interval_ns /. 1e9)
+  in
+  let rate =
+    if achieved_bps > 0.0 && rate > 1.2 *. achieved_bps then 1.2 *. achieved_bps
+    else rate
+  in
+  let fraction =
+    if fb.acked_bytes = 0 then 0.0
+    else float_of_int fb.ecn_bytes /. float_of_int fb.acked_bytes
+  in
+  t.alpha <- ((1.0 -. dctcp_g) *. t.alpha) +. (dctcp_g *. fraction);
+  let rate =
+    if fb.timeouts > 0 then begin
+      t.slow_start <- false;
+      rate /. 2.0
+    end
+    else if fb.fast_retransmits > 0 then begin
+      t.slow_start <- false;
+      rate /. 2.0
+    end
+    else if fraction > 0.0 then begin
+      t.slow_start <- false;
+      rate *. (1.0 -. (t.alpha /. 2.0))
+    end
+    else if fb.acked_bytes = 0 then
+      (* Starved flow: no feedback this interval. Growing blindly would
+         double rates without bound during congestion storms; hold. *)
+      rate
+    else if t.slow_start then rate *. 2.0
+    else rate +. step_bps
+  in
+  let rate = max min_rate_bps rate in
+  t.control <- Rate_bps rate;
+  t.control
+
+let update_timely t ~t_low_ns ~t_high_ns ~addstep_bps fb =
+  let rate = rate_of t in
+  let beta = 0.8 and ewma = 0.3 in
+  let rate =
+    if fb.timeouts > 0 || fb.fast_retransmits > 0 then begin
+      t.slow_start <- false;
+      rate /. 2.0
+    end
+    else if fb.rtt_ns = 0 then rate
+    else begin
+      let gradient =
+        if t.prev_rtt = 0 then 0.0
+        else
+          (* Normalized per-interval RTT gradient, EWMA-smoothed via alpha. *)
+          float_of_int (fb.rtt_ns - t.prev_rtt) /. float_of_int (max 1 t.prev_rtt)
+      in
+      t.alpha <- ((1.0 -. ewma) *. t.alpha) +. (ewma *. gradient);
+      if fb.rtt_ns < t_low_ns then begin
+        if t.slow_start then rate *. 2.0 else rate +. addstep_bps
+      end
+      else if fb.rtt_ns > t_high_ns then begin
+        t.slow_start <- false;
+        rate *. (1.0 -. (beta *. (1.0 -. (float_of_int t_high_ns /. float_of_int fb.rtt_ns))))
+      end
+      else if t.alpha <= 0.0 then begin
+        if t.slow_start then rate *. 2.0 else rate +. addstep_bps
+      end
+      else begin
+        t.slow_start <- false;
+        rate *. (1.0 -. (beta *. min 1.0 t.alpha))
+      end
+    end
+  in
+  if fb.rtt_ns > 0 then t.prev_rtt <- fb.rtt_ns;
+  let rate = max min_rate_bps rate in
+  t.control <- Rate_bps rate;
+  t.control
+
+let update_window_dctcp t ~mss fb =
+  let window =
+    match t.control with
+    | Window_bytes w -> w
+    | Rate_bps _ -> invalid_arg "Interval_cc: expected a window"
+  in
+  let fraction =
+    if fb.acked_bytes = 0 then 0.0
+    else float_of_int fb.ecn_bytes /. float_of_int fb.acked_bytes
+  in
+  t.alpha <- ((1.0 -. dctcp_g) *. t.alpha) +. (dctcp_g *. fraction);
+  let window =
+    if fb.timeouts > 0 then begin
+      t.slow_start <- false;
+      mss
+    end
+    else if fb.fast_retransmits > 0 then begin
+      t.slow_start <- false;
+      window / 2
+    end
+    else if fraction > 0.0 then begin
+      t.slow_start <- false;
+      int_of_float (float_of_int window *. (1.0 -. (t.alpha /. 2.0)))
+    end
+    else if t.slow_start then window * 2
+    else window + mss
+  in
+  t.control <- Window_bytes (max mss window);
+  t.control
+
+let update t fb =
+  match t.algorithm with
+  | Fixed_rate ->
+    ignore fb;
+    t.control
+  | Dctcp_rate { step_bps } -> update_dctcp_rate t ~step_bps fb
+  | Timely { t_low_ns; t_high_ns; addstep_bps } ->
+    update_timely t ~t_low_ns ~t_high_ns ~addstep_bps fb
+  | Window_dctcp { mss } -> update_window_dctcp t ~mss fb
+
+let on_timeout_reset t =
+  t.slow_start <- false;
+  match t.control with
+  | Rate_bps r -> t.control <- Rate_bps (max min_rate_bps (r /. 2.0))
+  | Window_bytes w -> t.control <- Window_bytes (max 1460 (w / 2))

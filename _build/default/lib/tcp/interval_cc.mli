@@ -1,0 +1,48 @@
+(** Interval-based congestion control — the TAS slow-path control loop
+    (paper §3.2).
+
+    The fast path gathers per-flow feedback counters ([cnt_ackb], [cnt_ecnb],
+    [cnt_frexmits], [rtt_est]); every control interval (2 RTTs by default)
+    the slow path runs one iteration of the algorithm and installs a new
+    rate (or window) in fast-path state. *)
+
+type feedback = {
+  acked_bytes : int;
+  ecn_bytes : int;
+  fast_retransmits : int;
+  timeouts : int;
+  rtt_ns : int;  (** fast-path RTT estimate; 0 when unknown *)
+  interval_ns : int;  (** elapsed time this iteration covers *)
+}
+
+type algorithm =
+  | Fixed_rate
+      (** Hold the initial rate regardless of feedback — for experiments
+          isolating loss-recovery efficiency from congestion control. *)
+  | Dctcp_rate of { step_bps : float }
+      (** The paper's deliberate default: DCTCP's control law applied to
+          rates. Slow start doubles the rate each interval; additive
+          increase adds [step_bps] (10 Mbps default); decrease is
+          proportional to the EWMA-marked fraction; the rate is capped at
+          1.2× the measured achieved rate to stop unbounded growth in the
+          absence of congestion. *)
+  | Timely of { t_low_ns : int; t_high_ns : int; addstep_bps : float }
+      (** RTT-gradient control (TIMELY), adapted with slow start. *)
+  | Window_dctcp of { mss : int }
+      (** Window-based DCTCP enforced by the fast path (TAS supports both
+          rate and window enforcement). *)
+
+(** What the fast path should enforce. *)
+type control = Rate_bps of float | Window_bytes of int
+
+type t
+
+val create : algorithm -> initial:control -> t
+val current : t -> control
+
+val update : t -> feedback -> control
+(** One control-loop iteration. *)
+
+val on_timeout_reset : t -> unit
+(** Called when the slow path triggers a timeout retransmission: halve the
+    rate/window. *)

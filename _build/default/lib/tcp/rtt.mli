@@ -1,0 +1,24 @@
+(** RTT estimation (RFC 6298): smoothed RTT, variance, and the derived
+    retransmission timeout. TAS feeds this from fast-path TCP timestamps;
+    the baseline engine feeds it from ACK round trips. *)
+
+type t
+
+val create : ?initial_rto_ns:int -> unit -> t
+(** Default initial RTO: 10 ms (datacenter-tuned, not the RFC's 1 s). *)
+
+val sample : t -> int -> unit
+(** [sample t rtt_ns] folds in a new RTT measurement. *)
+
+val srtt_ns : t -> int
+(** Smoothed RTT; 0 before the first sample. *)
+
+val rttvar_ns : t -> int
+
+val rto_ns : t -> int
+(** Current retransmission timeout, clamped to [\[min_rto, max_rto\]]. *)
+
+val backoff : t -> unit
+(** Double the RTO (exponential backoff after a timeout). *)
+
+val reset_backoff : t -> unit

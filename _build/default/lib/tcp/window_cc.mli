@@ -1,0 +1,28 @@
+(** Per-ACK window-based congestion control for the baseline TCP engine
+    (Linux/IX/mTCP models and the simulation baselines of §5.5).
+
+    Windows are in bytes. The engine calls [on_ack] for every ACK that
+    advances [snd_una], with [ecn] true when the ACK carried ECN-echo. *)
+
+type algorithm = Newreno | Dctcp
+
+type t
+
+val create : algorithm -> mss:int -> initial_window:int -> t
+
+val cwnd : t -> int
+(** Current congestion window in bytes. *)
+
+val on_ack : t -> acked:int -> ecn:bool -> unit
+(** ACK advancing the window by [acked] bytes. *)
+
+val on_fast_retransmit : t -> unit
+(** Entering fast recovery (3 duplicate ACKs): multiplicative decrease. *)
+
+val on_timeout : t -> unit
+(** RTO fired: collapse to one segment and restart slow start. *)
+
+val in_slow_start : t -> bool
+val ssthresh : t -> int
+val alpha : t -> float
+(** DCTCP's EWMA of the marked fraction (0 for NewReno). *)

@@ -1,0 +1,1 @@
+test/test_apps.ml: Alcotest Array Bytes Printf Tas_apps Tas_baseline Tas_cpu Tas_engine Tas_netsim

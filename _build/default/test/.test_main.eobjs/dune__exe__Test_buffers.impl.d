@@ -1,0 +1,1 @@
+test/test_buffers.ml: Alcotest Bytes Char List QCheck QCheck_alcotest Queue Tas_buffers Tas_proto

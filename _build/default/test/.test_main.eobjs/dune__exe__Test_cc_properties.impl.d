@@ -1,0 +1,1 @@
+test/test_cc_properties.ml: Float List Printf QCheck QCheck_alcotest String Tas_tcp

@@ -1,0 +1,1 @@
+test/test_cpu_cc.ml: Alcotest List Printf Tas_core Tas_cpu Tas_engine Tas_tcp

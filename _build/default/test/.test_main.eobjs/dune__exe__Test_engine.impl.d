@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Array Format Gen List Printf QCheck QCheck_alcotest Tas_engine

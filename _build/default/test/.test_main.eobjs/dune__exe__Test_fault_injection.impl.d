@@ -1,0 +1,1 @@
+test/test_fault_injection.ml: Alcotest Buffer Bytes Char Format List Tas_baseline Tas_core Tas_cpu Tas_engine Tas_netsim Tas_proto

@@ -1,0 +1,1 @@
+test/test_framing.ml: Alcotest Buffer Bytes List Printf String Tas_baseline Tas_core Tas_cpu Tas_engine Tas_netsim

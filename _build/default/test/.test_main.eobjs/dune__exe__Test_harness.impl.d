@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Buffer Bytes Format List Printf QCheck QCheck_alcotest Str String Tas_engine Tas_experiments Tas_proto

@@ -1,0 +1,1 @@
+test/test_multi_app.ml: Alcotest Bytes List Tas_baseline Tas_core Tas_cpu Tas_engine Tas_netsim

@@ -1,0 +1,1 @@
+test/test_netsim.ml: Alcotest Array Bytes List Printf Tas_engine Tas_netsim Tas_proto

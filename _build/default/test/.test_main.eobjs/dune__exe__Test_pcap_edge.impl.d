@@ -1,0 +1,1 @@
+test/test_pcap_edge.ml: Alcotest Array Buffer Bytes Filename List Printf Sys Tas_baseline Tas_core Tas_cpu Tas_engine Tas_netsim Tas_proto

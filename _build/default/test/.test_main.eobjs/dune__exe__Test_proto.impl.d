@@ -1,0 +1,1 @@
+test/test_proto.ml: Alcotest Bytes Char Gen List QCheck QCheck_alcotest Tas_proto

@@ -1,0 +1,1 @@
+test/test_rate_bucket.ml: Alcotest Bytes Printf Tas_buffers Tas_core Tas_engine Tas_proto Tas_tcp

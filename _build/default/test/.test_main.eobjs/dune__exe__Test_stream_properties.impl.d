@@ -1,0 +1,1 @@
+test/test_stream_properties.ml: Buffer Bytes Char Printf QCheck QCheck_alcotest Tas_baseline Tas_core Tas_cpu Tas_engine Tas_netsim

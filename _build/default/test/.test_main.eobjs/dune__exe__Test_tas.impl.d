@@ -1,0 +1,1 @@
+test/test_tas.ml: Alcotest Array Buffer Bytes Char Tas_baseline Tas_core Tas_cpu Tas_engine Tas_netsim Tas_proto

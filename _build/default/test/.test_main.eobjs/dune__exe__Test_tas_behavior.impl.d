@@ -1,0 +1,1 @@
+test/test_tas_behavior.ml: Alcotest Buffer Bytes Char List Printf Tas_baseline Tas_core Tas_cpu Tas_engine Tas_experiments Tas_netsim Tas_proto

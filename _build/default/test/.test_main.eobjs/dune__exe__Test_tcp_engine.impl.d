@@ -1,0 +1,1 @@
+test/test_tcp_engine.ml: Alcotest Buffer Bytes Char Tas_baseline Tas_engine Tas_netsim Tas_proto

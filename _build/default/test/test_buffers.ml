@@ -1,0 +1,273 @@
+(* Unit and property tests for ring buffers, SPSC queues, and the
+   out-of-order interval tracker. *)
+
+module Ring = Tas_buffers.Ring_buffer
+module Spsc = Tas_buffers.Spsc_queue
+module Ooo = Tas_buffers.Ooo_interval
+module Seq32 = Tas_proto.Seq32
+
+(* --- Ring buffer ------------------------------------------------------------ *)
+
+let test_ring_basic () =
+  let r = Ring.create 16 in
+  Alcotest.(check int) "initially empty" 0 (Ring.used r);
+  let n = Ring.push r (Bytes.of_string "hello") ~off:0 ~len:5 in
+  Alcotest.(check int) "pushed 5" 5 n;
+  Alcotest.(check int) "used 5" 5 (Ring.used r);
+  let dst = Bytes.create 5 in
+  let m = Ring.pop r ~dst ~dst_off:0 ~len:5 in
+  Alcotest.(check int) "popped 5" 5 m;
+  Alcotest.(check string) "content" "hello" (Bytes.to_string dst);
+  Alcotest.(check int) "empty again" 0 (Ring.used r)
+
+let test_ring_wrap () =
+  let r = Ring.create 8 in
+  ignore (Ring.push r (Bytes.of_string "abcdef") ~off:0 ~len:6);
+  let dst = Bytes.create 4 in
+  ignore (Ring.pop r ~dst ~dst_off:0 ~len:4);
+  (* Now physically wrapped: push 6 more across the boundary. *)
+  let n = Ring.push r (Bytes.of_string "ghijkl") ~off:0 ~len:6 in
+  Alcotest.(check int) "pushed 6 across wrap" 6 n;
+  let dst = Bytes.create 8 in
+  let m = Ring.pop r ~dst ~dst_off:0 ~len:8 in
+  Alcotest.(check int) "popped all" 8 m;
+  Alcotest.(check string) "wrapped content in order" "efghijkl"
+    (Bytes.to_string dst)
+
+let test_ring_partial_push () =
+  let r = Ring.create 4 in
+  let n = Ring.push r (Bytes.of_string "abcdef") ~off:0 ~len:6 in
+  Alcotest.(check int) "accepts only capacity" 4 n;
+  Alcotest.(check int) "full" 0 (Ring.free r)
+
+let test_ring_write_at_ooo () =
+  (* Out-of-order deposit beyond head, then fill the gap. *)
+  let r = Ring.create 16 in
+  Ring.write_at r ~pos:4 (Bytes.of_string "heyo") ~off:0 ~len:4;
+  Ring.write_at r ~pos:0 (Bytes.of_string "gap!") ~off:0 ~len:4;
+  Ring.advance_head r 8;
+  let dst = Bytes.create 8 in
+  ignore (Ring.pop r ~dst ~dst_off:0 ~len:8);
+  Alcotest.(check string) "gap filled in order" "gap!heyo" (Bytes.to_string dst)
+
+let test_ring_bounds_checks () =
+  let r = Ring.create 8 in
+  Alcotest.(check bool) "write beyond window rejected" true
+    (try
+       Ring.write_at r ~pos:5 (Bytes.make 8 'x') ~off:0 ~len:8;
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "advance_tail beyond head rejected" true
+    (try
+       Ring.advance_tail r 1;
+       false
+     with Invalid_argument _ -> true)
+
+let prop_ring_fifo =
+  (* Interleaved pushes and pops preserve byte order (reference: Buffer). *)
+  QCheck.Test.make ~name:"ring buffer is FIFO under random ops" ~count:200
+    QCheck.(list (pair bool (int_range 1 32)))
+    (fun ops ->
+      let r = Ring.create 64 in
+      let reference = Queue.create () in
+      let next = ref 0 in
+      let ok = ref true in
+      List.iter
+        (fun (is_push, len) ->
+          if is_push then begin
+            let data =
+              Bytes.init len (fun _ ->
+                  incr next;
+                  Char.chr (!next land 0xff))
+            in
+            let accepted = Ring.push r data ~off:0 ~len in
+            for i = 0 to accepted - 1 do
+              Queue.add (Bytes.get data i) reference
+            done;
+            (* Rewind [next] for bytes not accepted so streams agree. *)
+            next := !next - (len - accepted)
+          end
+          else begin
+            let dst = Bytes.create len in
+            let got = Ring.pop r ~dst ~dst_off:0 ~len in
+            for i = 0 to got - 1 do
+              match Queue.take_opt reference with
+              | Some c -> if c <> Bytes.get dst i then ok := false
+              | None -> ok := false
+            done
+          end)
+        ops;
+      !ok && Ring.used r = Queue.length reference)
+
+(* --- SPSC queue ------------------------------------------------------------- *)
+
+let test_spsc_fifo () =
+  let q = Spsc.create 4 in
+  Alcotest.(check bool) "push 1" true (Spsc.try_push q 1);
+  Alcotest.(check bool) "push 2" true (Spsc.try_push q 2);
+  Alcotest.(check (option int)) "peek" (Some 1) (Spsc.peek q);
+  Alcotest.(check (option int)) "pop 1" (Some 1) (Spsc.try_pop q);
+  Alcotest.(check (option int)) "pop 2" (Some 2) (Spsc.try_pop q);
+  Alcotest.(check (option int)) "empty" None (Spsc.try_pop q)
+
+let test_spsc_full () =
+  let q = Spsc.create 2 in
+  Alcotest.(check bool) "push a" true (Spsc.try_push q 'a');
+  Alcotest.(check bool) "push b" true (Spsc.try_push q 'b');
+  Alcotest.(check bool) "full rejects" false (Spsc.try_push q 'c');
+  ignore (Spsc.try_pop q);
+  Alcotest.(check bool) "slot freed" true (Spsc.try_push q 'c')
+
+let test_spsc_drain () =
+  let q = Spsc.create 8 in
+  List.iter (fun x -> ignore (Spsc.try_push q x)) [ 1; 2; 3; 4; 5 ];
+  let acc = ref [] in
+  let n = Spsc.drain q (fun x -> acc := x :: !acc) in
+  Alcotest.(check int) "drained all" 5 n;
+  Alcotest.(check (list int)) "in order" [ 1; 2; 3; 4; 5 ] (List.rev !acc)
+
+let prop_spsc_conservation =
+  QCheck.Test.make ~name:"spsc: pops = accepted pushes, in order" ~count:200
+    QCheck.(list (option (int_bound 1000)))
+    (fun ops ->
+      (* Some x = push x, None = pop. *)
+      let q = Spsc.create 8 in
+      let model = Queue.create () in
+      List.for_all
+        (fun op ->
+          match op with
+          | Some x ->
+            let pushed = Spsc.try_push q x in
+            if pushed then Queue.add x model;
+            Spsc.length q = Queue.length model
+          | None -> (
+            match (Spsc.try_pop q, Queue.take_opt model) with
+            | Some a, Some b -> a = b
+            | None, None -> true
+            | _ -> false))
+        ops)
+
+(* --- Out-of-order interval --------------------------------------------------- *)
+
+let test_ooo_in_order () =
+  let o = Ooo.create () in
+  match Ooo.handle o ~exp:1000 ~window:4096 ~seg_start:1000 ~seg_len:100 with
+  | Ooo.Deliver { write_at; write_len; advance } ->
+    Alcotest.(check int) "write at exp" 1000 write_at;
+    Alcotest.(check int) "full segment" 100 write_len;
+    Alcotest.(check int) "advance" 100 advance;
+    Alcotest.(check bool) "no interval stored" true (Ooo.is_empty o)
+  | _ -> Alcotest.fail "expected Deliver"
+
+let test_ooo_store_and_merge () =
+  let o = Ooo.create () in
+  (* Segment beyond the expected seq: stored. *)
+  (match Ooo.handle o ~exp:1000 ~window:4096 ~seg_start:1100 ~seg_len:100 with
+  | Ooo.Store { write_at; write_len } ->
+    Alcotest.(check int) "stored at" 1100 write_at;
+    Alcotest.(check int) "stored len" 100 write_len
+  | _ -> Alcotest.fail "expected Store");
+  (* Adjacent extension. *)
+  (match Ooo.handle o ~exp:1000 ~window:4096 ~seg_start:1200 ~seg_len:50 with
+  | Ooo.Store _ -> ()
+  | _ -> Alcotest.fail "expected Store for adjacent extension");
+  Alcotest.(check (option (pair int int))) "interval grew"
+    (Some (1100, 150)) (Ooo.interval o);
+  (* Gap fill: delivers through the stored interval. *)
+  match Ooo.handle o ~exp:1000 ~window:4096 ~seg_start:1000 ~seg_len:100 with
+  | Ooo.Deliver { advance; _ } ->
+    Alcotest.(check int) "advance covers merged interval" 250 advance;
+    Alcotest.(check bool) "interval consumed" true (Ooo.is_empty o)
+  | _ -> Alcotest.fail "expected Deliver"
+
+let test_ooo_second_interval_dropped () =
+  let o = Ooo.create () in
+  ignore (Ooo.handle o ~exp:0 ~window:65536 ~seg_start:1000 ~seg_len:100);
+  (* A segment in a *different* hole is dropped (single-interval limit). *)
+  match Ooo.handle o ~exp:0 ~window:65536 ~seg_start:5000 ~seg_len:100 with
+  | Ooo.Drop -> ()
+  | _ -> Alcotest.fail "expected Drop for disjoint second interval"
+
+let test_ooo_duplicate () =
+  let o = Ooo.create () in
+  match Ooo.handle o ~exp:500 ~window:4096 ~seg_start:100 ~seg_len:200 with
+  | Ooo.Duplicate -> ()
+  | _ -> Alcotest.fail "expected Duplicate for fully-old segment"
+
+let test_ooo_window_clip () =
+  let o = Ooo.create () in
+  (* Only 50 bytes of window: in-order segment clipped. *)
+  (match Ooo.handle o ~exp:0 ~window:50 ~seg_start:0 ~seg_len:100 with
+  | Ooo.Deliver { write_len; advance; _ } ->
+    Alcotest.(check int) "clipped to window" 50 write_len;
+    Alcotest.(check int) "advance clipped" 50 advance
+  | _ -> Alcotest.fail "expected clipped Deliver");
+  (* Beyond-window OOO segment dropped outright. *)
+  let o = Ooo.create () in
+  match Ooo.handle o ~exp:0 ~window:50 ~seg_start:60 ~seg_len:10 with
+  | Ooo.Drop -> ()
+  | _ -> Alcotest.fail "expected Drop beyond window"
+
+let test_ooo_partial_overlap_trim () =
+  let o = Ooo.create () in
+  (* Partially old: the prefix below exp must be trimmed. *)
+  match Ooo.handle o ~exp:100 ~window:4096 ~seg_start:50 ~seg_len:100 with
+  | Ooo.Deliver { write_at; write_len; advance } ->
+    Alcotest.(check int) "trimmed to exp" 100 write_at;
+    Alcotest.(check int) "only fresh bytes" 50 write_len;
+    Alcotest.(check int) "advance" 50 advance
+  | _ -> Alcotest.fail "expected trimmed Deliver"
+
+(* Property: a random segment arrival sequence through the OOO tracker always
+   delivers a prefix of the stream, never duplicates or reorders delivered
+   bytes, and advance >= write_len only when merging. *)
+let prop_ooo_stream_consistency =
+  QCheck.Test.make
+    ~name:"ooo: delivered stream advances monotonically and within bounds"
+    ~count:300
+    QCheck.(list (pair (int_bound 2000) (int_range 1 300)))
+    (fun segs ->
+      let o = Ooo.create () in
+      let exp = ref 0 in
+      let window = 1024 in
+      List.for_all
+        (fun (start, len) ->
+          match
+            Ooo.handle o ~exp:!exp ~window ~seg_start:(Seq32.of_int start)
+              ~seg_len:len
+          with
+          | Ooo.Deliver { write_at; write_len; advance } ->
+            let ok =
+              write_at = !exp && write_len <= len && advance >= write_len
+              && advance <= window
+            in
+            exp := Seq32.add !exp advance;
+            ok
+          | Ooo.Store { write_at; write_len } ->
+            Seq32.gt write_at !exp && write_len > 0
+            && Seq32.diff write_at !exp + write_len <= window
+          | Ooo.Duplicate | Ooo.Drop -> true)
+        segs)
+
+let suite =
+  [
+    Alcotest.test_case "ring basic" `Quick test_ring_basic;
+    Alcotest.test_case "ring wrap" `Quick test_ring_wrap;
+    Alcotest.test_case "ring partial push" `Quick test_ring_partial_push;
+    Alcotest.test_case "ring out-of-order deposit" `Quick test_ring_write_at_ooo;
+    Alcotest.test_case "ring bounds checks" `Quick test_ring_bounds_checks;
+    Alcotest.test_case "spsc fifo" `Quick test_spsc_fifo;
+    Alcotest.test_case "spsc full" `Quick test_spsc_full;
+    Alcotest.test_case "spsc drain" `Quick test_spsc_drain;
+    Alcotest.test_case "ooo in-order" `Quick test_ooo_in_order;
+    Alcotest.test_case "ooo store and merge" `Quick test_ooo_store_and_merge;
+    Alcotest.test_case "ooo single-interval limit" `Quick
+      test_ooo_second_interval_dropped;
+    Alcotest.test_case "ooo duplicate" `Quick test_ooo_duplicate;
+    Alcotest.test_case "ooo window clipping" `Quick test_ooo_window_clip;
+    Alcotest.test_case "ooo partial overlap trim" `Quick
+      test_ooo_partial_overlap_trim;
+    QCheck_alcotest.to_alcotest prop_ring_fifo;
+    QCheck_alcotest.to_alcotest prop_spsc_conservation;
+    QCheck_alcotest.to_alcotest prop_ooo_stream_consistency;
+  ]

@@ -1,0 +1,267 @@
+(* Unit and property tests for the discrete-event engine. *)
+
+module Sim = Tas_engine.Sim
+module Time_ns = Tas_engine.Time_ns
+module Rng = Tas_engine.Rng
+module Stats = Tas_engine.Stats
+
+let test_event_ordering () =
+  let sim = Sim.create () in
+  let order = ref [] in
+  ignore (Sim.schedule sim 300 (fun () -> order := 3 :: !order));
+  ignore (Sim.schedule sim 100 (fun () -> order := 1 :: !order));
+  ignore (Sim.schedule sim 200 (fun () -> order := 2 :: !order));
+  Sim.run sim;
+  Alcotest.(check (list int)) "time order" [ 1; 2; 3 ] (List.rev !order);
+  Alcotest.(check int) "clock at last event" 300 (Sim.now sim)
+
+let test_same_time_fifo () =
+  let sim = Sim.create () in
+  let order = ref [] in
+  for i = 1 to 10 do
+    ignore (Sim.schedule sim 50 (fun () -> order := i :: !order))
+  done;
+  Sim.run sim;
+  Alcotest.(check (list int))
+    "FIFO among simultaneous events"
+    [ 1; 2; 3; 4; 5; 6; 7; 8; 9; 10 ]
+    (List.rev !order)
+
+let test_cancel () =
+  let sim = Sim.create () in
+  let fired = ref false in
+  let ev = Sim.schedule sim 100 (fun () -> fired := true) in
+  Sim.cancel sim ev;
+  Sim.run sim;
+  Alcotest.(check bool) "cancelled event does not fire" false !fired;
+  Alcotest.(check int) "no live events" 0 (Sim.pending sim)
+
+let test_cancel_after_fire_is_noop () =
+  let sim = Sim.create () in
+  let ev = Sim.schedule sim 10 ignore in
+  ignore (Sim.schedule sim 20 ignore);
+  Sim.run sim;
+  Sim.cancel sim ev;
+  Alcotest.(check int) "live count not corrupted" 0 (Sim.pending sim)
+
+let test_run_until () =
+  let sim = Sim.create () in
+  let count = ref 0 in
+  for i = 1 to 10 do
+    ignore (Sim.schedule sim (i * 100) (fun () -> incr count))
+  done;
+  Sim.run ~until:550 sim;
+  Alcotest.(check int) "only events up to the limit" 5 !count;
+  Alcotest.(check int) "clock pinned to limit" 550 (Sim.now sim);
+  Sim.run sim;
+  Alcotest.(check int) "remaining events run" 10 !count
+
+let test_nested_scheduling () =
+  let sim = Sim.create () in
+  let depth = ref 0 in
+  let rec nest n =
+    if n > 0 then begin
+      incr depth;
+      ignore (Sim.schedule sim 10 (fun () -> nest (n - 1)))
+    end
+  in
+  nest 100;
+  Sim.run sim;
+  Alcotest.(check int) "100 nested events" 100 !depth;
+  Alcotest.(check int) "clock advanced 100 steps" 1000 (Sim.now sim)
+
+let test_periodic () =
+  let sim = Sim.create () in
+  let fires = ref 0 in
+  let handle = Sim.periodic sim 100 (fun () -> incr fires) in
+  ignore (Sim.schedule sim 1050 (fun () -> Sim.cancel sim !handle));
+  Sim.run sim;
+  Alcotest.(check int) "10 periodic fires before cancel" 10 !fires
+
+let test_negative_delay_rejected () =
+  let sim = Sim.create () in
+  Alcotest.check_raises "negative delay"
+    (Invalid_argument "Sim.schedule: negative delay") (fun () ->
+      ignore (Sim.schedule sim (-1) ignore))
+
+let test_many_events_heap () =
+  (* Stress the heap with a pseudo-random schedule; verify global order. *)
+  let sim = Sim.create () in
+  let rng = Rng.create 99 in
+  let last = ref (-1) in
+  let monotone = ref true in
+  for _ = 1 to 10_000 do
+    let at = Rng.int rng 1_000_000 in
+    ignore
+      (Sim.schedule_at sim at (fun () ->
+           if Sim.now sim < !last then monotone := false;
+           last := Sim.now sim))
+  done;
+  Sim.run sim;
+  Alcotest.(check bool) "events fired in nondecreasing time order" true !monotone
+
+(* --- Rng ---------------------------------------------------------------- *)
+
+let test_rng_determinism () =
+  let a = Rng.create 7 and b = Rng.create 7 in
+  let xs = List.init 100 (fun _ -> Rng.int a 1000) in
+  let ys = List.init 100 (fun _ -> Rng.int b 1000) in
+  Alcotest.(check (list int)) "same seed, same stream" xs ys
+
+let test_rng_split_independent () =
+  let a = Rng.create 7 in
+  let c = Rng.split a in
+  let xs = List.init 50 (fun _ -> Rng.int a 1000) in
+  let ys = List.init 50 (fun _ -> Rng.int c 1000) in
+  Alcotest.(check bool) "split streams differ" true (xs <> ys)
+
+let test_rng_bounds () =
+  let rng = Rng.create 3 in
+  let ok = ref true in
+  for _ = 1 to 10_000 do
+    let v = Rng.int rng 17 in
+    if v < 0 || v >= 17 then ok := false;
+    let f = Rng.float rng 2.5 in
+    if f < 0.0 || f >= 2.5 then ok := false
+  done;
+  Alcotest.(check bool) "int and float draws in range" true !ok
+
+let test_exponential_mean () =
+  let rng = Rng.create 11 in
+  let n = 100_000 in
+  let sum = ref 0.0 in
+  for _ = 1 to n do
+    sum := !sum +. Rng.exponential rng 5.0
+  done;
+  let mean = !sum /. float_of_int n in
+  Alcotest.(check bool)
+    (Printf.sprintf "exponential mean ~5 (got %.3f)" mean)
+    true
+    (abs_float (mean -. 5.0) < 0.15)
+
+let test_zipf_skew () =
+  let rng = Rng.create 13 in
+  let sampler = Rng.Zipf.create ~n:1000 ~s:0.9 in
+  let counts = Array.make 1000 0 in
+  let n = 100_000 in
+  for _ = 1 to n do
+    let k = Rng.Zipf.draw rng sampler in
+    counts.(k) <- counts.(k) + 1
+  done;
+  (* Rank-0 frequency should dominate and roughly follow 1/k^0.9. *)
+  Alcotest.(check bool) "rank 0 most frequent" true (counts.(0) > counts.(10));
+  let ratio = float_of_int counts.(0) /. float_of_int (max 1 counts.(9)) in
+  let expected = 10.0 ** 0.9 in
+  Alcotest.(check bool)
+    (Printf.sprintf "zipf ratio plausible (got %.2f, want ~%.2f)" ratio expected)
+    true
+    (ratio > expected /. 2.0 && ratio < expected *. 2.0)
+
+let test_pareto_bounds () =
+  let rng = Rng.create 17 in
+  let ok = ref true in
+  for _ = 1 to 10_000 do
+    let v = Rng.pareto_bounded rng ~alpha:1.2 ~min_v:1.0 ~max_v:1000.0 in
+    if v < 1.0 || v > 1000.0 +. 1e-9 then ok := false
+  done;
+  Alcotest.(check bool) "bounded pareto stays in bounds" true !ok
+
+(* --- Stats --------------------------------------------------------------- *)
+
+let test_summary () =
+  let s = Stats.Summary.create () in
+  List.iter (Stats.Summary.add s) [ 1.0; 2.0; 3.0; 4.0; 5.0 ];
+  Alcotest.(check (float 1e-9)) "mean" 3.0 (Stats.Summary.mean s);
+  Alcotest.(check (float 1e-9)) "min" 1.0 (Stats.Summary.min_v s);
+  Alcotest.(check (float 1e-9)) "max" 5.0 (Stats.Summary.max_v s);
+  Alcotest.(check (float 1e-6)) "stddev" (sqrt 2.5) (Stats.Summary.stddev s);
+  Alcotest.(check int) "count" 5 (Stats.Summary.count s)
+
+let test_hist_percentiles () =
+  let h = Stats.Hist.create () in
+  for i = 1 to 1000 do
+    Stats.Hist.add h (float_of_int i)
+  done;
+  let p50 = Stats.Hist.percentile h 50.0 in
+  let p99 = Stats.Hist.percentile h 99.0 in
+  (* Log buckets have ~2% relative error. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "p50 ~500 (got %.1f)" p50)
+    true
+    (p50 > 450.0 && p50 < 550.0);
+  Alcotest.(check bool)
+    (Printf.sprintf "p99 ~990 (got %.1f)" p99)
+    true
+    (p99 > 930.0 && p99 < 1050.0)
+
+let test_hist_empty () =
+  let h = Stats.Hist.create () in
+  Alcotest.(check (float 0.0)) "empty percentile" 0.0
+    (Stats.Hist.percentile h 99.0)
+
+let test_series_order () =
+  let s = Stats.Series.create () in
+  Stats.Series.add s 10 1.0;
+  Stats.Series.add s 20 2.0;
+  Stats.Series.add s 30 3.0;
+  Alcotest.(check int) "length" 3 (Stats.Series.length s);
+  let times = List.map fst (Stats.Series.points s) in
+  Alcotest.(check (list int)) "insertion order" [ 10; 20; 30 ] times
+
+(* --- QCheck properties ---------------------------------------------------- *)
+
+let prop_hist_percentile_monotone =
+  QCheck.Test.make ~name:"hist percentiles are monotone in p" ~count:100
+    QCheck.(list_of_size Gen.(int_range 1 200) (float_range 0.0 1e6))
+    (fun samples ->
+      let h = Stats.Hist.create () in
+      List.iter (Stats.Hist.add h) samples;
+      let ps = [ 1.0; 10.0; 25.0; 50.0; 75.0; 90.0; 99.0 ] in
+      let vals = List.map (Stats.Hist.percentile h) ps in
+      let rec mono = function
+        | a :: (b :: _ as rest) -> a <= b && mono rest
+        | _ -> true
+      in
+      mono vals)
+
+let prop_summary_mean_bounded =
+  QCheck.Test.make ~name:"summary mean within [min,max]" ~count:200
+    QCheck.(list_of_size Gen.(int_range 1 100) (float_range (-1e6) 1e6))
+    (fun samples ->
+      let s = Stats.Summary.create () in
+      List.iter (Stats.Summary.add s) samples;
+      Stats.Summary.mean s >= Stats.Summary.min_v s -. 1e-6
+      && Stats.Summary.mean s <= Stats.Summary.max_v s +. 1e-6)
+
+let test_time_pp () =
+  let render t = Format.asprintf "%a" Time_ns.pp t in
+  Alcotest.(check string) "ns" "999ns" (render 999);
+  Alcotest.(check string) "us" "1.50us" (render 1500);
+  Alcotest.(check string) "ms" "2.00ms" (render (Time_ns.ms 2));
+  Alcotest.(check string) "s" "3.000s" (render (Time_ns.sec 3))
+
+let suite =
+  [
+    Alcotest.test_case "event ordering" `Quick test_event_ordering;
+    Alcotest.test_case "same-time FIFO" `Quick test_same_time_fifo;
+    Alcotest.test_case "cancel" `Quick test_cancel;
+    Alcotest.test_case "cancel after fire" `Quick test_cancel_after_fire_is_noop;
+    Alcotest.test_case "run ~until" `Quick test_run_until;
+    Alcotest.test_case "nested scheduling" `Quick test_nested_scheduling;
+    Alcotest.test_case "periodic" `Quick test_periodic;
+    Alcotest.test_case "negative delay rejected" `Quick test_negative_delay_rejected;
+    Alcotest.test_case "10k random events stay ordered" `Quick test_many_events_heap;
+    Alcotest.test_case "rng determinism" `Quick test_rng_determinism;
+    Alcotest.test_case "rng split independence" `Quick test_rng_split_independent;
+    Alcotest.test_case "rng bounds" `Quick test_rng_bounds;
+    Alcotest.test_case "exponential mean" `Quick test_exponential_mean;
+    Alcotest.test_case "zipf skew" `Quick test_zipf_skew;
+    Alcotest.test_case "bounded pareto bounds" `Quick test_pareto_bounds;
+    Alcotest.test_case "summary stats" `Quick test_summary;
+    Alcotest.test_case "histogram percentiles" `Quick test_hist_percentiles;
+    Alcotest.test_case "empty histogram" `Quick test_hist_empty;
+    Alcotest.test_case "series order" `Quick test_series_order;
+    Alcotest.test_case "time pretty-printing" `Quick test_time_pp;
+    QCheck_alcotest.to_alcotest prop_hist_percentile_monotone;
+    QCheck_alcotest.to_alcotest prop_summary_mean_bounded;
+  ]

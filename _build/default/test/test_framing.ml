@@ -1,0 +1,171 @@
+(* Tests for datagram framing over TAS byte streams (the §6 extension),
+   plus window-scaling effectiveness and whole-system determinism. *)
+
+module Sim = Tas_engine.Sim
+module Time_ns = Tas_engine.Time_ns
+module Core = Tas_cpu.Core
+module Topology = Tas_netsim.Topology
+module Nic = Tas_netsim.Nic
+module Config = Tas_core.Config
+module Tas = Tas_core.Tas
+module Libtas = Tas_core.Libtas
+module Framing = Tas_core.Framing
+module E = Tas_baseline.Tcp_engine
+
+let make_tas_pair () =
+  let sim = Sim.create () in
+  let net = Topology.point_to_point sim ~queues_per_nic:4 () in
+  let mk ep id =
+    let tas = Tas.create sim ~nic:ep.Topology.nic ~config:Config.default () in
+    Tas.app tas ~app_cores:[| Core.create sim ~id () |] ~api:Libtas.Sockets
+  in
+  (sim, net, mk net.Topology.a 100, mk net.Topology.b 200)
+
+let test_messages_roundtrip () =
+  let sim, net, lt_a, lt_b = make_tas_pair () in
+  let got = ref [] in
+  Libtas.listen lt_b ~port:7 ~ctx_of_tuple:(fun _ -> 0) (fun sock ->
+      let _state, handlers =
+        Framing.attach sock ~on_message:(fun _ m -> got := Bytes.to_string m :: !got)
+      in
+      handlers);
+  let messages =
+    [ "a"; ""; String.make 5000 'x'; "final-message" ]
+  in
+  let handlers =
+    {
+      Libtas.null_handlers with
+      Libtas.on_connected =
+        (fun sock ->
+          List.iter
+            (fun m ->
+              Alcotest.(check bool) "queued" true
+                (Framing.send_message sock (Bytes.of_string m)))
+            messages);
+    }
+  in
+  ignore
+    (Libtas.connect lt_a ~ctx:0
+       ~dst_ip:(Nic.ip net.Topology.b.Topology.nic) ~dst_port:7 handlers);
+  Sim.run ~until:(Time_ns.ms 100) sim;
+  Alcotest.(check (list string))
+    "messages delivered whole, in order, exactly once" messages
+    (List.rev !got)
+
+let test_oversize_rejected () =
+  let _sim, _net, lt_a, _lt_b = make_tas_pair () in
+  ignore lt_a;
+  Alcotest.check_raises "oversize message"
+    (Invalid_argument "Framing.send_message: message too large") (fun () ->
+      (* A disconnected socket is fine: the size check fires first. *)
+      let sim2 = Sim.create () in
+      let net2 = Topology.point_to_point sim2 ~queues_per_nic:2 () in
+      let tas = Tas.create sim2 ~nic:net2.Topology.a.Topology.nic ~config:Config.default () in
+      let lt = Tas.app tas ~app_cores:[| Core.create sim2 ~id:1 () |] ~api:Libtas.Sockets in
+      let sock = Libtas.connect lt ~ctx:0 ~dst_ip:1 ~dst_port:1 Libtas.null_handlers in
+      ignore (Framing.send_message sock (Bytes.create (Framing.max_message_size + 1))))
+
+let test_backpressure_returns_false () =
+  let sim, net, lt_a, lt_b = make_tas_pair () in
+  Libtas.listen lt_b ~port:7 ~ctx_of_tuple:(fun _ -> 0) (fun _ ->
+      Libtas.null_handlers);
+  let refused = ref false in
+  let handlers =
+    {
+      Libtas.null_handlers with
+      Libtas.on_connected =
+        (fun sock ->
+          (* Fill the 64KB transmit buffer, then one more must refuse. *)
+          let big = Bytes.create 30_000 in
+          ignore (Framing.send_message sock big);
+          ignore (Framing.send_message sock big);
+          refused := not (Framing.send_message sock big));
+    }
+  in
+  ignore
+    (Libtas.connect lt_a ~ctx:0
+       ~dst_ip:(Nic.ip net.Topology.b.Topology.nic) ~dst_port:7 handlers);
+  Sim.run ~until:(Time_ns.ms 5) sim;
+  Alcotest.(check bool) "third message refused cleanly" true !refused
+
+let test_window_scaling_effective () =
+  (* On a 10G link with 1 ms RTT, a 64 KB window caps goodput at ~0.5 Gbps;
+     window scaling with 512 KB buffers must beat that decisively. *)
+  let sim = Sim.create () in
+  let spec =
+    { (Topology.link_10g ()) with Topology.delay = Time_ns.us 250 }
+  in
+  let net = Topology.point_to_point sim ~spec ~queues_per_nic:2 () in
+  let config =
+    { E.default_config with E.rx_buf = 524_288; tx_buf = 524_288 }
+  in
+  let a = E.create sim net.Topology.a.Topology.nic config in
+  let b = E.create sim net.Topology.b.Topology.nic config in
+  E.attach a;
+  E.attach b;
+  let received = ref 0 in
+  E.listen b ~port:9 (fun _ ->
+      {
+        E.null_callbacks with
+        E.on_receive = (fun _ d -> received := !received + Bytes.length d);
+      });
+  let chunk = Bytes.create 16384 in
+  let push c = while E.send c chunk > 0 do () done in
+  ignore
+    (E.connect a ~dst_ip:(Nic.ip net.Topology.b.Topology.nic) ~dst_port:9
+       {
+         E.null_callbacks with
+         E.on_connected = (fun c -> push c);
+         E.on_sendable = (fun c _ -> push c);
+       });
+  Sim.run ~until:(Time_ns.ms 100) sim;
+  let gbps = float_of_int (!received * 8) /. 0.1 /. 1e9 in
+  Alcotest.(check bool)
+    (Printf.sprintf "goodput %.2f Gbps exceeds the 64KB-window cap" gbps)
+    true (gbps > 1.5)
+
+let test_determinism () =
+  (* Two identical simulations produce byte-identical outcomes. *)
+  let run () =
+    let sim, net, lt_a, lt_b = make_tas_pair () in
+    let transcript = Buffer.create 256 in
+    Libtas.listen lt_b ~port:7 ~ctx_of_tuple:(fun _ -> 0) (fun _ ->
+        {
+          Libtas.null_handlers with
+          Libtas.on_data =
+            (fun sock d ->
+              Buffer.add_string transcript
+                (Printf.sprintf "%d:%d;" (Sim.now sim) (Bytes.length d));
+              ignore (Libtas.send sock d));
+        });
+    let rpcs = ref 0 in
+    let handlers =
+      {
+        Libtas.null_handlers with
+        Libtas.on_connected =
+          (fun sock -> ignore (Libtas.send sock (Bytes.make 100 'q')));
+        Libtas.on_data =
+          (fun sock _ ->
+            incr rpcs;
+            if !rpcs < 50 then ignore (Libtas.send sock (Bytes.make 100 'q')));
+      }
+    in
+    ignore
+      (Libtas.connect lt_a ~ctx:0
+         ~dst_ip:(Nic.ip net.Topology.b.Topology.nic) ~dst_port:7 handlers);
+    Sim.run ~until:(Time_ns.ms 50) sim;
+    Buffer.contents transcript
+  in
+  Alcotest.(check string) "identical transcripts" (run ()) (run ())
+
+let suite =
+  [
+    Alcotest.test_case "framed messages round-trip" `Quick
+      test_messages_roundtrip;
+    Alcotest.test_case "oversize message rejected" `Quick test_oversize_rejected;
+    Alcotest.test_case "framing backpressure" `Quick
+      test_backpressure_returns_false;
+    Alcotest.test_case "window scaling effective" `Quick
+      test_window_scaling_effective;
+    Alcotest.test_case "simulation determinism" `Quick test_determinism;
+  ]
