@@ -138,7 +138,7 @@ let () =
     List.iter
       (fun id ->
         match Registry.find id with
-        | Some e -> e.Registry.run fmt
+        | Some e -> ignore (Registry.run_entry e fmt)
         | None -> Printf.eprintf "unknown experiment id: %s\n" id)
       ids);
   Format.pp_print_flush fmt ()

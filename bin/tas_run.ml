@@ -20,7 +20,7 @@ let run_cmd quick ids =
         (fun rc id ->
           match Tas_experiments.Registry.find id with
           | Some e ->
-            e.Tas_experiments.Registry.run ~quick fmt;
+            ignore (Tas_experiments.Registry.run_entry ~quick e fmt);
             rc
           | None ->
             Printf.eprintf "unknown experiment id: %s (try 'tas_run list')\n" id;

@@ -24,6 +24,8 @@ type t = {
   fp_ack_rx_cycles : int;
   sp_conn_cycles : int;
   sp_flow_control_cycles : int;
+  trace_enabled : bool;
+  trace_capacity : int;
 }
 
 let default =
@@ -55,6 +57,8 @@ let default =
     fp_ack_rx_cycles = 100;
     sp_conn_cycles = 3000;
     sp_flow_control_cycles = 80;
+    trace_enabled = false;
+    trace_capacity = 8192;
   }
 
 let rate_mode t =

@@ -32,6 +32,10 @@ type t = {
   fp_ack_rx_cycles : int;  (** process incoming ACK, reclaim tx buffer *)
   sp_conn_cycles : int;  (** slow-path connection setup/teardown handling *)
   sp_flow_control_cycles : int;  (** slow-path CC loop, per flow *)
+  trace_enabled : bool;
+      (** record structured telemetry trace events; when [false] (default)
+          the trace ring costs one boolean test per would-be event *)
+  trace_capacity : int;  (** bounded trace ring size (events) *)
 }
 
 val default : t

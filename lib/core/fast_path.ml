@@ -8,6 +8,8 @@ module Tcp_header = Tas_proto.Tcp_header
 module Ipv4_header = Tas_proto.Ipv4_header
 module Ring = Tas_buffers.Ring_buffer
 module Ooo = Tas_buffers.Ooo_interval
+module Metrics = Tas_telemetry.Metrics
+module Trace = Tas_telemetry.Trace
 
 type stats = {
   mutable rx_data_packets : int;
@@ -31,11 +33,12 @@ type t = {
   mutable active : int;
   mutable exception_handler : Packet.t -> unit;
   stats : stats;
+  trace : Trace.t;
   mutable busy_snapshot : int array;
   mutable last_rx_time : int array;  (* per-core, for idle blocking *)
 }
 
-let create sim ~nic ~cores ~config =
+let create ?trace sim ~nic ~cores ~config =
   if Array.length cores = 0 then invalid_arg "Fast_path.create: no cores";
   {
     sim;
@@ -58,6 +61,7 @@ let create sim ~nic ~cores ~config =
         fast_retransmits = 0;
         exceptions_forwarded = 0;
       };
+    trace = (match trace with Some tr -> tr | None -> Trace.disabled ());
     busy_snapshot = Array.make (Array.length cores) 0;
     last_rx_time = Array.make (Array.length cores) 0;
   }
@@ -66,8 +70,35 @@ let flows t = t.flows
 let stats t = t.stats
 let config t = t.config
 let nic t = t.nic
+let trace t = t.trace
 let set_exception_handler t f = t.exception_handler <- f
 let active_cores t = t.active
+
+(* One boolean test when tracing is off; event construction only when on. *)
+let trace_ev t kind ~core ~flow =
+  if Trace.enabled t.trace then
+    Trace.record t.trace ~ts:(Sim.now t.sim) ~kind ~core ~flow
+
+let register t m =
+  let s = t.stats in
+  let c name help f = Metrics.counter_fn m ~help name f in
+  c "fp_rx_data_packets" "data segments processed by the fast path" (fun () ->
+      s.rx_data_packets);
+  c "fp_rx_ack_packets" "pure ACKs processed by the fast path" (fun () ->
+      s.rx_ack_packets);
+  c "fp_tx_data_packets" "data segments transmitted" (fun () ->
+      s.tx_data_packets);
+  c "fp_acks_sent" "ACKs generated" (fun () -> s.acks_sent);
+  c "fp_ooo_stored" "out-of-order segments buffered" (fun () -> s.ooo_stored);
+  c "fp_payload_drops" "receive payload drops" (fun () -> s.payload_drops);
+  c "fp_fast_retransmits" "triple-dupACK fast retransmits" (fun () ->
+      s.fast_retransmits);
+  c "fp_exceptions_forwarded" "packets punted to the slow path" (fun () ->
+      s.exceptions_forwarded);
+  Metrics.gauge_fn m ~help:"fast-path cores currently active" "fp_active_cores"
+    (fun () -> float_of_int t.active);
+  Metrics.gauge_fn m ~help:"flows installed in the fast-path flow table"
+    "fp_flows" (fun () -> float_of_int (Flow_table.count t.flows))
 
 let set_active_cores t n =
   (* Bounded by both the configured cores and the NIC's RSS queues. *)
@@ -138,6 +169,10 @@ let send_raw t pkt = Nic.transmit t.nic pkt
 let send_ack t flow ~ece =
   let flags = { Tcp_header.ack_flags with ece } in
   t.stats.acks_sent <- t.stats.acks_sent + 1;
+  if Trace.enabled t.trace then
+    Trace.record t.trace ~ts:(Sim.now t.sim) ~kind:Trace.Ack_tx
+      ~core:(Core.id (core_of_flow t flow))
+      ~flow:flow.Flow_state.opaque;
   Nic.transmit t.nic
     (build_packet t flow ~flags ~seq:flow.Flow_state.seq ~payload:Bytes.empty)
 
@@ -178,10 +213,13 @@ let rec maybe_send t flow core =
         flow.Flow_state.seq <- Seq32.add seq granted;
         flow.Flow_state.tx_sent <- flow.Flow_state.tx_sent + granted;
         t.stats.tx_data_packets <- t.stats.tx_data_packets + 1;
+        trace_ev t Trace.Tx_data ~core:(Core.id core)
+          ~flow:flow.Flow_state.opaque;
         let pkt =
           build_packet t flow ~flags:Tcp_header.data_flags ~seq ~payload
         in
-        Core.run core ~cycles:(tx_cycles t) (fun () -> Nic.transmit t.nic pkt);
+        Core.run core ~cat:Core.Tx ~cycles:(tx_cycles t) (fun () ->
+            Nic.transmit t.nic pkt);
         maybe_send t flow core
       end
       else arm_pacing_timer t flow core ~want
@@ -204,11 +242,11 @@ and arm_pacing_timer t flow core ~want =
 let notify_tx t flow =
   let core = core_of_flow t flow in
   (* The TX command costs a few cycles of fast-path attention. *)
-  Core.run core ~cycles:50 (fun () -> maybe_send t flow core)
+  Core.run core ~cat:Core.Tx ~cycles:50 (fun () -> maybe_send t flow core)
 
 let trigger_retransmit t flow =
   let core = core_of_flow t flow in
-  Core.run core ~cycles:100 (fun () ->
+  Core.run core ~cat:Core.Tx ~cycles:100 (fun () ->
       (* Reset sender state as if the unacked segments were never sent. *)
       flow.Flow_state.seq <- Flow_state.snd_una flow;
       flow.Flow_state.tx_sent <- 0;
@@ -278,6 +316,8 @@ let process_ack t flow pkt core =
          sees cnt_frexmits and cuts the flow's rate. *)
       flow.Flow_state.cnt_frexmits <- flow.Flow_state.cnt_frexmits + 1;
       t.stats.fast_retransmits <- t.stats.fast_retransmits + 1;
+      trace_ev t Trace.Fast_rexmit ~core:(Core.id core)
+        ~flow:flow.Flow_state.opaque;
       flow.Flow_state.seq <- Flow_state.snd_una flow;
       flow.Flow_state.tx_sent <- 0;
       flow.Flow_state.dupack_cnt <- 0;
@@ -285,7 +325,7 @@ let process_ack t flow pkt core =
     end
   end
 
-let process_data t flow pkt =
+let process_data t flow pkt core =
   let tcp = pkt.Packet.tcp in
   let payload = pkt.Packet.payload in
   let seg_len = Bytes.length payload in
@@ -338,11 +378,15 @@ let process_data t flow pkt =
       ~pos:(Flow_state.rx_offset_of_seq flow write_at)
       payload ~off:src_off ~len:write_len;
     t.stats.ooo_stored <- t.stats.ooo_stored + 1;
+    trace_ev t Trace.Ooo_store ~core:(Core.id core)
+      ~flow:flow.Flow_state.opaque;
     (* Duplicate ACK tells the sender what we are still waiting for. *)
     send_ack t flow ~ece:ce
   | Ooo.Duplicate -> send_ack t flow ~ece:ce
   | Ooo.Drop ->
     t.stats.payload_drops <- t.stats.payload_drops + 1;
+    trace_ev t Trace.Payload_drop ~core:(Core.id core)
+      ~flow:flow.Flow_state.opaque;
     send_ack t flow ~ece:ce
 
 let process t pkt core =
@@ -350,12 +394,14 @@ let process t pkt core =
   let flags = tcp.Tcp_header.flags in
   if flags.Tcp_header.syn || flags.Tcp_header.rst || flags.Tcp_header.fin then begin
     t.stats.exceptions_forwarded <- t.stats.exceptions_forwarded + 1;
+    trace_ev t Trace.Exception_fwd ~core:(Core.id core) ~flow:(-1);
     t.exception_handler pkt
   end
   else begin
     match Flow_table.find t.flows (Packet.four_tuple_at_receiver pkt) with
     | None ->
       t.stats.exceptions_forwarded <- t.stats.exceptions_forwarded + 1;
+      trace_ev t Trace.Exception_fwd ~core:(Core.id core) ~flow:(-1);
       t.exception_handler pkt
     | Some flow ->
       (match tcp.Tcp_header.options.Tcp_header.timestamp with
@@ -363,12 +409,16 @@ let process t pkt core =
       | None -> ());
       if Bytes.length pkt.Packet.payload = 0 then begin
         t.stats.rx_ack_packets <- t.stats.rx_ack_packets + 1;
+        trace_ev t Trace.Rx_ack ~core:(Core.id core)
+          ~flow:flow.Flow_state.opaque;
         process_ack t flow pkt core
       end
       else begin
         t.stats.rx_data_packets <- t.stats.rx_data_packets + 1;
+        trace_ev t Trace.Rx_data ~core:(Core.id core)
+          ~flow:flow.Flow_state.opaque;
         process_ack t flow pkt core;
-        process_data t flow pkt
+        process_data t flow pkt core
       end
   end
 
@@ -388,10 +438,14 @@ let attach t =
       let asleep = now - t.last_rx_time.(idx) > t.config.Config.idle_block_ns in
       t.last_rx_time.(idx) <- now;
       let cycles = rx_cost t pkt in
+      let cat =
+        if Bytes.length pkt.Packet.payload = 0 then Core.Ack_rx
+        else Core.Driver_rx
+      in
       if asleep then
-        Core.run_after core ~delay:t.config.Config.wakeup_ns ~cycles (fun () ->
-            process t pkt core)
-      else Core.run core ~cycles (fun () -> process t pkt core))
+        Core.run_after core ~cat ~delay:t.config.Config.wakeup_ns ~cycles
+          (fun () -> process t pkt core)
+      else Core.run core ~cat ~cycles (fun () -> process t pkt core))
 
 let reinject t pkt =
   let tuple = Packet.four_tuple_at_receiver pkt in
@@ -399,7 +453,11 @@ let reinject t pkt =
   | None -> ()
   | Some flow ->
     let core = core_of_flow t flow in
-    Core.run core ~cycles:(rx_cost t pkt) (fun () -> process t pkt core)
+    let cat =
+      if Bytes.length pkt.Packet.payload = 0 then Core.Ack_rx
+      else Core.Driver_rx
+    in
+    Core.run core ~cat ~cycles:(rx_cost t pkt) (fun () -> process t pkt core)
 
 let idle_core_total t ~window_ns =
   let total = ref 0.0 in

@@ -24,11 +24,14 @@ type stats = {
 }
 
 val create :
+  ?trace:Tas_telemetry.Trace.t ->
   Tas_engine.Sim.t ->
   nic:Tas_netsim.Nic.t ->
   cores:Tas_cpu.Core.t array ->
   config:Config.t ->
   t
+(** [trace] is the structured trace-event ring; defaults to a disabled
+    ring (one boolean test per would-be event). *)
 
 val attach : t -> unit
 (** Install the NIC receive handler: packets are charged and processed on
@@ -42,6 +45,13 @@ val flows : t -> Flow_table.t
 val stats : t -> stats
 val config : t -> Config.t
 val nic : t -> Tas_netsim.Nic.t
+val trace : t -> Tas_telemetry.Trace.t
+
+val register : t -> Tas_telemetry.Metrics.t -> unit
+(** Register the fast path's counters ([fp_*]) plus active-core and
+    flow-count gauges into a metrics registry. The counters remain the
+    plain mutable fields of {!stats}; the registry reads them through
+    closures, so the data path is untouched. *)
 
 val active_cores : t -> int
 val set_active_cores : t -> int -> unit

@@ -1,8 +1,16 @@
 module Sim = Tas_engine.Sim
 module Core = Tas_cpu.Core
 module Ring = Tas_buffers.Ring_buffer
+module Metrics = Tas_telemetry.Metrics
 
 type api = Sockets | Lowlevel
+
+type stats = {
+  mutable events_dispatched : int;
+  mutable sockets_opened : int;
+  mutable rx_bytes : int;
+  mutable tx_bytes : int;
+}
 
 type t = {
   sim : Sim.t;
@@ -14,6 +22,7 @@ type t = {
   epoll_cycles : int;
   sockets : (int, socket) Hashtbl.t;
   mutable next_id : int;
+  stats : stats;
 }
 
 and app_context = {
@@ -56,6 +65,18 @@ let is_open s = (not s.closed) && s.flow <> None
 let num_contexts t = Array.length t.contexts
 let context_core t i = t.contexts.(i).core
 let api_event_cycles t = t.api_cycles
+let stats t = t.stats
+
+let register t m ?(labels = []) () =
+  let s = t.stats in
+  let c name help f = Metrics.counter_fn m ~labels ~help name f in
+  c "lt_events_dispatched" "context-queue events delivered to the app"
+    (fun () -> s.events_dispatched);
+  c "lt_sockets_opened" "sockets created" (fun () -> s.sockets_opened);
+  c "lt_rx_bytes" "payload bytes delivered to the app" (fun () -> s.rx_bytes);
+  c "lt_tx_bytes" "payload bytes accepted from the app" (fun () -> s.tx_bytes);
+  Metrics.gauge_fn m ~labels ~help:"sockets currently open" "lt_open_sockets"
+    (fun () -> float_of_int (Hashtbl.length t.sockets))
 
 (* Table 1 calibration: the sockets layer costs 0.62 kc per request (one
    Readable event plus the send call it triggers); the low-level interface
@@ -68,7 +89,8 @@ let rec drain_context t actx =
   match Context.pop actx.ctx with
   | None -> actx.draining <- false
   | Some event ->
-    Core.run actx.core ~cycles:t.api_cycles (fun () ->
+    t.stats.events_dispatched <- t.stats.events_dispatched + 1;
+    Core.run actx.core ~cat:Core.Api ~cycles:t.api_cycles (fun () ->
         dispatch t event;
         drain_context t actx)
 
@@ -83,6 +105,7 @@ and dispatch t event =
         let buf = Bytes.create available in
         let n = Ring.pop flow.Flow_state.rx_buf ~dst:buf ~dst_off:0 ~len:available in
         assert (n = available);
+        t.stats.rx_bytes <- t.stats.rx_bytes + n;
         sock.handlers.on_data sock buf
       end;
       if
@@ -106,9 +129,11 @@ let wake t actx =
     (* eventfd wakeup of a blocked application thread (~3 us) when the core
        is idle; a busy core is already polling its context queue. *)
     if Core.backlog_ns actx.core = 0 then
-      Core.run_after actx.core ~delay:3_000 ~cycles:t.epoll_cycles (fun () ->
+      Core.run_after actx.core ~cat:Core.Api ~delay:3_000
+        ~cycles:t.epoll_cycles (fun () -> drain_context t actx)
+    else
+      Core.run actx.core ~cat:Core.Api ~cycles:t.epoll_cycles (fun () ->
           drain_context t actx)
-    else Core.run actx.core ~cycles:t.epoll_cycles (fun () -> drain_context t actx)
   end
 
 (* --- Construction -------------------------------------------------------- *)
@@ -139,6 +164,8 @@ let create sim ~fast_path ~slow_path ~app_cores ~api () =
       epoll_cycles = 150;
       sockets = Hashtbl.create 256;
       next_id = 1;
+      stats =
+        { events_dispatched = 0; sockets_opened = 0; rx_bytes = 0; tx_bytes = 0 };
     }
   in
   Array.iter
@@ -152,9 +179,9 @@ let create sim ~fast_path ~slow_path ~app_cores ~api () =
 
 (* Slow-path events are re-scheduled onto the socket's application core with
    a wake + API charge, like any other notification. *)
-let on_app_core sock cycles k =
+let on_app_core ?(cat = Core.Api) sock cycles k =
   let core = sock.owner.contexts.(sock.ctx_index).core in
-  Core.run core ~cycles k
+  Core.run core ~cat ~cycles k
 
 let conn_callbacks t sock =
   ignore t;
@@ -197,6 +224,7 @@ let fresh_socket t ~ctx_index ~handlers =
     }
   in
   Hashtbl.replace t.sockets id sock;
+  t.stats.sockets_opened <- t.stats.sockets_opened + 1;
   sock
 
 let listen t ~port ~ctx_of_tuple handler_gen =
@@ -221,6 +249,7 @@ let send sock data =
     if sock.closed || flow.Flow_state.fin_sent then 0
     else begin
       let n = Ring.push flow.Flow_state.tx_buf data ~off:0 ~len:(Bytes.length data) in
+      sock.owner.stats.tx_bytes <- sock.owner.stats.tx_bytes + n;
       if n > 0 then Fast_path.notify_tx sock.owner.fp flow;
       if n < Bytes.length data then flow.Flow_state.tx_interest <- true;
       n
@@ -243,7 +272,7 @@ let close sock =
     | Some flow -> Slow_path.close sock.owner.sp flow
   end
 
-let app_cycles sock cycles k = on_app_core sock cycles k
+let app_cycles sock cycles k = on_app_core ~cat:Core.App sock cycles k
 
 (* Application exit: the slow path detects the hangup on the UNIX domain
    socket and cleans up every connection the application still holds

@@ -73,6 +73,22 @@ val app_cycles : socket -> int -> (unit -> unit) -> unit
 val api_event_cycles : t -> int
 (** Per-event API cost currently charged (sockets vs low-level). *)
 
+type stats = {
+  mutable events_dispatched : int;
+  mutable sockets_opened : int;
+  mutable rx_bytes : int;
+  mutable tx_bytes : int;
+}
+
+val stats : t -> stats
+
+val register :
+  t -> Tas_telemetry.Metrics.t -> ?labels:Tas_telemetry.Metrics.labels ->
+  unit -> unit
+(** Register this application's counters ([lt_*]) and an open-sockets gauge.
+    Pass distinguishing [labels] (e.g. [("app", "0")]) when several
+    applications share one registry. *)
+
 val shutdown : t -> unit
 (** Application exit: closes every socket the application holds and
     releases its context queues — the automatic cleanup the TAS slow path

@@ -7,6 +7,8 @@ module Packet = Tas_proto.Packet
 module Tcp_header = Tas_proto.Tcp_header
 module Ring = Tas_buffers.Ring_buffer
 module Interval_cc = Tas_tcp.Interval_cc
+module Metrics = Tas_telemetry.Metrics
+module Trace = Tas_telemetry.Trace
 
 (* Connection-control events are logged under this source (cold path only;
    the fast path stays log-free). Enable with
@@ -81,6 +83,24 @@ let conn_setups t = t.conn_setups
 let conn_teardowns t = t.conn_teardowns
 let timeout_retransmits t = t.timeout_retransmits
 let set_scale_observer t f = t.scale_observer <- f
+
+(* The slow path shares the fast path's trace ring: one totally-ordered
+   event stream per TAS instance. *)
+let trace_ev t kind ~flow =
+  let tr = Fast_path.trace t.fp in
+  if Trace.enabled tr then
+    Trace.record tr ~ts:(Sim.now t.sim) ~kind ~core:(Core.id t.core) ~flow
+
+let register t m =
+  let c name help f = Metrics.counter_fn m ~help name f in
+  c "sp_conn_setups" "connections established" (fun () -> t.conn_setups);
+  c "sp_conn_teardowns" "connections removed" (fun () -> t.conn_teardowns);
+  c "sp_timeout_retransmits" "slow-path timeout retransmissions" (fun () ->
+      t.timeout_retransmits);
+  Metrics.gauge_fn m ~help:"established flows tracked by the slow path"
+    "sp_flows" (fun () -> float_of_int (Tuple_tbl.length t.entries));
+  Metrics.gauge_fn m ~help:"handshakes in progress" "sp_pending_handshakes"
+    (fun () -> float_of_int (Tuple_tbl.length t.pending))
 
 let now_us t = Sim.now t.sim / 1000
 
@@ -214,6 +234,7 @@ let establish t p =
   Tuple_tbl.add t.entries p.p_tuple entry;
   Fast_path.install_flow t.fp ~tuple:p.p_tuple flow;
   t.conn_setups <- t.conn_setups + 1;
+  trace_ev t Trace.Conn_setup ~flow:flow.Flow_state.opaque;
   Log.debug (fun m ->
       m "established %a" Addr.Four_tuple.pp p.p_tuple);
   p.p_cb.established flow;
@@ -228,6 +249,7 @@ let remove_entry t entry =
     Fast_path.remove_flow t.fp ~tuple:entry.f_tuple;
     Tuple_tbl.remove t.entries entry.f_tuple;
     t.conn_teardowns <- t.conn_teardowns + 1;
+    trace_ev t Trace.Conn_teardown ~flow:entry.flow.Flow_state.opaque;
     Log.debug (fun m -> m "removed %a" Addr.Four_tuple.pp entry.f_tuple);
     entry.f_cb.closed entry.flow
   end
@@ -459,6 +481,7 @@ let run_control_iteration t entry =
       if now - entry.stall_since >= stall_threshold_ns t entry then begin
         entry.stall_since <- -1;
         t.timeout_retransmits <- t.timeout_retransmits + 1;
+        trace_ev t Trace.Timeout_rexmit ~flow:flow.Flow_state.opaque;
         Log.debug (fun m ->
             m "timeout retransmit %a" Addr.Four_tuple.pp entry.f_tuple);
         Fast_path.trigger_retransmit t.fp flow;
@@ -507,7 +530,7 @@ let control_tick t =
   if !n > 0 then begin
     let cycles = !n * t.config.Config.sp_flow_control_cycles in
     let entries = !due in
-    Core.run t.core ~cycles (fun () ->
+    Core.run t.core ~cat:Core.Cc ~cycles (fun () ->
         List.iter
           (fun entry ->
             if not entry.removed then begin
@@ -525,6 +548,7 @@ let scale_tick t =
   let active = Fast_path.active_cores t.fp in
   if idle > t.config.Config.scale_down_idle_cores && active > 1 then begin
     Fast_path.set_active_cores t.fp (active - 1);
+    trace_ev t Trace.Core_scale ~flow:(-1);
     t.scale_observer (Sim.now t.sim) (active - 1)
   end
   else if
@@ -532,6 +556,7 @@ let scale_tick t =
     && active < t.config.Config.max_fast_path_cores
   then begin
     Fast_path.set_active_cores t.fp (active + 1);
+    trace_ev t Trace.Core_scale ~flow:(-1);
     t.scale_observer (Sim.now t.sim) (active + 1)
   end
 
@@ -555,8 +580,8 @@ let create sim ~fast_path ~core ~config =
     }
   in
   Fast_path.set_exception_handler t.fp (fun pkt ->
-      Core.run t.core ~cycles:config.Config.sp_conn_cycles (fun () ->
-          process_exception t pkt));
+      Core.run t.core ~cat:Core.Conn ~cycles:config.Config.sp_conn_cycles
+        (fun () -> process_exception t pkt));
   let tick_interval =
     match config.Config.control_interval_fixed_ns with
     | Some fixed -> max fixed 10_000
@@ -572,7 +597,8 @@ let create sim ~fast_path ~core ~config =
 let listen t ~port accept_fn = Hashtbl.replace t.listeners port accept_fn
 
 let connect t ~opaque ~context_id ~dst_ip ~dst_port cb =
-  Core.run t.core ~cycles:t.config.Config.sp_conn_cycles (fun () ->
+  Core.run t.core ~cat:Core.Conn ~cycles:t.config.Config.sp_conn_cycles
+    (fun () ->
       let nic = Fast_path.nic t.fp in
       (* Ephemeral port allocation: scan from a rotating base. *)
       let rec pick_port attempt =
@@ -615,7 +641,8 @@ let connect t ~opaque ~context_id ~dst_ip ~dst_port cb =
       arm_pending_timer t p)
 
 let close t flow =
-  Core.run t.core ~cycles:t.config.Config.sp_conn_cycles (fun () ->
+  Core.run t.core ~cat:Core.Conn ~cycles:t.config.Config.sp_conn_cycles
+    (fun () ->
       match Tuple_tbl.find_opt t.entries (Flow_state.tuple flow ~local_ip:(Nic.ip (Fast_path.nic t.fp))) with
       | None -> ()
       | Some entry ->

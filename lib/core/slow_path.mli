@@ -60,6 +60,12 @@ val conn_setups : t -> int
 val conn_teardowns : t -> int
 val timeout_retransmits : t -> int
 
+val register : t -> Tas_telemetry.Metrics.t -> unit
+(** Register the slow path's counters ([sp_*]) plus flow/handshake gauges
+    into a metrics registry (read-through closures; the existing mutable
+    fields stay the source of truth). Trace events go to the fast path's
+    shared ring. *)
+
 val set_scale_observer : t -> (Tas_engine.Time_ns.t -> int -> unit) -> unit
 (** Observe fast-path core count changes (for the Fig. 14/15 series). *)
 

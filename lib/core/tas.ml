@@ -1,4 +1,6 @@
 module Core = Tas_cpu.Core
+module Metrics = Tas_telemetry.Metrics
+module Trace = Tas_telemetry.Trace
 
 type t = {
   sim : Tas_engine.Sim.t;
@@ -7,7 +9,26 @@ type t = {
   sp : Slow_path.t;
   fp_cores : Core.t array;
   sp_core : Core.t;
+  metrics : Metrics.t;
+  tracer : Trace.t;
+  mutable next_app : int;
 }
+
+(* Per-core busy gauges, broken down by the paper's per-module categories
+   (Table 1/2): core_busy_ns{core=...,cat=...}. *)
+let register_core_breakdown m ~role core =
+  let labels_base = [ ("core", string_of_int (Core.id core)); ("role", role) ] in
+  Metrics.gauge_fn m ~labels:labels_base
+    ~help:"total busy time on this core (ns)" "core_busy_ns" (fun () ->
+      float_of_int (Core.busy_ns core));
+  List.iter
+    (fun cat ->
+      Metrics.gauge_fn m
+        ~labels:(("cat", Core.category_name cat) :: labels_base)
+        ~help:"busy time on this core attributed to one module category (ns)"
+        "core_busy_cat_ns"
+        (fun () -> float_of_int (Core.busy_ns_of core cat)))
+    Core.categories
 
 let create sim ~nic ~config ?(freq_ghz = 2.1) () =
   let fp_cores =
@@ -15,26 +36,58 @@ let create sim ~nic ~config ?(freq_ghz = 2.1) () =
         Core.create sim ~freq_ghz ~id:i ())
   in
   let sp_core = Core.create sim ~freq_ghz ~id:1000 () in
-  let fp = Fast_path.create sim ~nic ~cores:fp_cores ~config in
+  let tracer =
+    if config.Config.trace_enabled then
+      Trace.create ~enabled:true ~capacity:config.Config.trace_capacity ()
+    else Trace.disabled ()
+  in
+  let fp = Fast_path.create ~trace:tracer sim ~nic ~cores:fp_cores ~config in
   Fast_path.attach fp;
   (* Start with a single active core when scaling dynamically; at the
      configured maximum otherwise. *)
   if config.Config.dynamic_scaling then Fast_path.set_active_cores fp 1
   else Fast_path.set_active_cores fp config.Config.max_fast_path_cores;
   let sp = Slow_path.create sim ~fast_path:fp ~core:sp_core ~config in
-  { sim; config; fp; sp; fp_cores; sp_core }
+  let metrics = Metrics.create () in
+  Fast_path.register fp metrics;
+  Slow_path.register sp metrics;
+  Tas_netsim.Nic.register nic metrics ();
+  Array.iter (register_core_breakdown metrics ~role:"fp") fp_cores;
+  register_core_breakdown metrics ~role:"sp" sp_core;
+  { sim; config; fp; sp; fp_cores; sp_core; metrics; tracer; next_app = 0 }
 
 let fast_path t = t.fp
 let slow_path t = t.sp
 let config t = t.config
 let fp_cores t = t.fp_cores
 let sp_core t = t.sp_core
+let metrics t = t.metrics
+let trace t = t.tracer
 
 let app t ~app_cores ~api =
-  Libtas.create t.sim ~fast_path:t.fp ~slow_path:t.sp ~app_cores ~api ()
+  let lt = Libtas.create t.sim ~fast_path:t.fp ~slow_path:t.sp ~app_cores ~api () in
+  let idx = t.next_app in
+  t.next_app <- t.next_app + 1;
+  Libtas.register lt t.metrics ~labels:[ ("app", string_of_int idx) ] ();
+  Array.iteri
+    (fun i core ->
+      register_core_breakdown t.metrics
+        ~role:(Printf.sprintf "app%d_%d" idx i)
+        core)
+    app_cores;
+  lt
 
 let fp_busy_ns t =
   Array.fold_left (fun acc c -> acc + Core.busy_ns c) 0 t.fp_cores
+
+let cycle_breakdown t =
+  let acc = List.map (fun cat -> (cat, ref 0)) Core.categories in
+  let add core =
+    List.iter (fun (cat, r) -> r := !r + Core.busy_ns_of core cat) acc
+  in
+  Array.iter add t.fp_cores;
+  add t.sp_core;
+  List.map (fun (cat, r) -> (cat, !r)) acc
 
 type snapshot = {
   flows : int;
@@ -54,6 +107,9 @@ type snapshot = {
   sp_busy_ms : float;
 }
 
+(* The snapshot is now a typed view over the metrics registry: every field
+   below is also registered (fp_*, sp_*, core_busy_ns) and the two are read
+   from the same underlying mutable counters. *)
 let snapshot t =
   let s = Fast_path.stats t.fp in
   {

@@ -20,6 +20,21 @@ val config : t -> Config.t
 val fp_cores : t -> Tas_cpu.Core.t array
 val sp_core : t -> Tas_cpu.Core.t
 
+val metrics : t -> Tas_telemetry.Metrics.t
+(** The instance's metrics registry. Fast path, slow path, NIC, per-core
+    busy breakdowns, and (as they attach) applications all register here;
+    export with {!Tas_telemetry.Metrics.to_prometheus} or [to_json]. *)
+
+val trace : t -> Tas_telemetry.Trace.t
+(** The instance's trace ring (shared by fast and slow path). Disabled — a
+    single boolean test per would-be event — unless
+    [config.trace_enabled]. *)
+
+val cycle_breakdown : t -> (Tas_cpu.Core.category * int) list
+(** Busy nanoseconds per module category, summed over the fast-path cores
+    and the slow-path core — the simulation's analogue of the paper's
+    per-module cycle breakdown (Tables 1 and 2). *)
+
 val app :
   t ->
   app_cores:Tas_cpu.Core.t array ->

@@ -1,15 +1,47 @@
 module Sim = Tas_engine.Sim
 
+type category = Driver_rx | Ack_rx | Tx | Conn | Cc | Api | App | Other
+
+let categories = [ Driver_rx; Ack_rx; Tx; Conn; Cc; Api; App; Other ]
+
+let category_name = function
+  | Driver_rx -> "rx"
+  | Ack_rx -> "ack_rx"
+  | Tx -> "tx"
+  | Conn -> "conn"
+  | Cc -> "cc"
+  | Api -> "api"
+  | App -> "app"
+  | Other -> "other"
+
+let cat_index = function
+  | Driver_rx -> 0
+  | Ack_rx -> 1
+  | Tx -> 2
+  | Conn -> 3
+  | Cc -> 4
+  | Api -> 5
+  | App -> 6
+  | Other -> 7
+
 type t = {
   sim : Sim.t;
   id : int;
   freq_ghz : float;
   mutable busy_until : int;
   mutable busy_ns : int;
+  busy_by : int array;  (* ns per category, indexed by cat_index *)
 }
 
 let create sim ?(freq_ghz = 2.1) ~id () =
-  { sim; id; freq_ghz; busy_until = 0; busy_ns = 0 }
+  {
+    sim;
+    id;
+    freq_ghz;
+    busy_until = 0;
+    busy_ns = 0;
+    busy_by = Array.make (List.length categories) 0;
+  }
 
 let id t = t.id
 let freq_ghz t = t.freq_ghz
@@ -17,18 +49,23 @@ let freq_ghz t = t.freq_ghz
 let cycles_to_ns t cycles =
   int_of_float (ceil (float_of_int cycles /. t.freq_ghz))
 
-let start_no_earlier_than t ready cycles f =
+let start_no_earlier_than t ~cat ready cycles f =
   let start = max ready t.busy_until in
   let dur = cycles_to_ns t cycles in
   t.busy_until <- start + dur;
   t.busy_ns <- t.busy_ns + dur;
+  let i = cat_index cat in
+  t.busy_by.(i) <- t.busy_by.(i) + dur;
   ignore (Sim.schedule_at t.sim t.busy_until f)
 
-let run t ~cycles f = start_no_earlier_than t (Sim.now t.sim) cycles f
+let run t ?(cat = Other) ~cycles f =
+  start_no_earlier_than t ~cat (Sim.now t.sim) cycles f
 
-let run_after t ~delay ~cycles f =
-  start_no_earlier_than t (Sim.now t.sim + delay) cycles f
+let run_after t ?(cat = Other) ~delay ~cycles f =
+  start_no_earlier_than t ~cat (Sim.now t.sim + delay) cycles f
 
 let busy_ns t = t.busy_ns
+let busy_ns_of t cat = t.busy_by.(cat_index cat)
+let breakdown t = List.map (fun c -> (c, busy_ns_of t c)) categories
 let busy_until t = max t.busy_until (Sim.now t.sim)
 let backlog_ns t = max 0 (t.busy_until - Sim.now t.sim)

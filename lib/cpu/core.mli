@@ -5,9 +5,26 @@
     exceeds capacity. This is the mechanism behind every CPU-bound
     throughput result in the paper: a stack's efficiency (cycles/request)
     and its placement (which cores run stack vs. application code) determine
-    saturation throughput. *)
+    saturation throughput.
+
+    Every work item carries a {!category}, and busy time accumulates per
+    category as well as in total — the raw material for the paper-style
+    per-module cycle breakdowns (Tables 1/2) that the telemetry registry
+    exports per core. *)
 
 type t
+
+(** Where a work item's cycles are attributed, mirroring the paper's
+    per-module breakdown: fast-path receive (driver + TCP RX), ACK
+    processing, segmentation/transmit, slow-path connection handling,
+    slow-path congestion control, the libTAS API layer, application code,
+    and everything unattributed. *)
+type category = Driver_rx | Ack_rx | Tx | Conn | Cc | Api | App | Other
+
+val categories : category list
+(** All categories, in a fixed declaration order. *)
+
+val category_name : category -> string
 
 val create : Tas_engine.Sim.t -> ?freq_ghz:float -> id:int -> unit -> t
 (** Default frequency 2.1 GHz (the paper's Xeon Platinum 8160). *)
@@ -15,15 +32,23 @@ val create : Tas_engine.Sim.t -> ?freq_ghz:float -> id:int -> unit -> t
 val id : t -> int
 val freq_ghz : t -> float
 
-val run : t -> cycles:int -> (unit -> unit) -> unit
+val run : t -> ?cat:category -> cycles:int -> (unit -> unit) -> unit
 (** [run t ~cycles f] enqueues a work item consuming [cycles], then calls
-    [f] at its completion time. *)
+    [f] at its completion time. [cat] defaults to [Other]. *)
 
-val run_after : t -> delay:Tas_engine.Time_ns.t -> cycles:int -> (unit -> unit) -> unit
+val run_after :
+  t -> ?cat:category -> delay:Tas_engine.Time_ns.t -> cycles:int -> (unit -> unit) -> unit
 (** Work item that becomes runnable only after [delay] (e.g. wakeup IPI). *)
 
 val busy_ns : t -> int
 (** Cumulative busy nanoseconds. Diff snapshots for windowed utilization. *)
+
+val busy_ns_of : t -> category -> int
+(** Cumulative busy nanoseconds attributed to one category. *)
+
+val breakdown : t -> (category * int) list
+(** Per-category busy nanoseconds, in {!categories} order; sums to
+    {!busy_ns}. *)
 
 val busy_until : t -> Tas_engine.Time_ns.t
 (** Completion time of the last queued item ([now] when idle). *)

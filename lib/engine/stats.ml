@@ -29,6 +29,26 @@ module Summary = struct
   let min_v t = if t.n = 0 then 0.0 else t.min_v
   let max_v t = if t.n = 0 then 0.0 else t.max_v
   let total t = t.total
+
+  (* Chan et al. parallel combination of Welford aggregates. *)
+  let merge a b =
+    if a.n = 0 then { b with n = b.n }
+    else if b.n = 0 then { a with n = a.n }
+    else begin
+      let n = a.n + b.n in
+      let fa = float_of_int a.n and fb = float_of_int b.n in
+      let delta = b.mean -. a.mean in
+      let mean = a.mean +. (delta *. fb /. float_of_int n) in
+      let m2 = a.m2 +. b.m2 +. (delta *. delta *. fa *. fb /. float_of_int n) in
+      {
+        n;
+        mean;
+        m2;
+        min_v = Float.min a.min_v b.min_v;
+        max_v = Float.max a.max_v b.max_v;
+        total = a.total +. b.total;
+      }
+    end
 end
 
 module Hist = struct
@@ -69,6 +89,14 @@ module Hist = struct
   let count t = t.n
   let mean t = if t.n = 0 then 0.0 else t.sum /. float_of_int t.n
   let max_v t = t.max_v
+
+  let merge a b =
+    {
+      counts = Array.init bucket_count (fun i -> a.counts.(i) + b.counts.(i));
+      n = a.n + b.n;
+      sum = a.sum +. b.sum;
+      max_v = Float.max a.max_v b.max_v;
+    }
 
   let percentile t p =
     if t.n = 0 then 0.0

@@ -18,6 +18,11 @@ module Summary : sig
   val min_v : t -> float
   val max_v : t -> float
   val total : t -> float
+
+  val merge : t -> t -> t
+  (** [merge a b] aggregates as if every sample of [a] and [b] had been
+      added to one summary (Chan's parallel variance combination). Inputs
+      are not mutated. *)
 end
 
 (** Log-bucketed histogram: relative bucket error ~2%. Negative samples are
@@ -33,6 +38,9 @@ module Hist : sig
 
   val mean : t -> float
   val max_v : t -> float
+
+  val merge : t -> t -> t
+  (** Bucket-wise sum; exact (histograms with identical bucketing). *)
 
   val cdf_points : t -> ?points:int -> unit -> (float * float) list
   (** [(value, cumulative_fraction)] pairs suitable for plotting a CDF. *)

@@ -1,0 +1,128 @@
+(* Telemetry showcase ("tm"): a closed-loop RPC echo workload on a TAS
+   server with the trace ring enabled. Emits throughput and latency, the
+   per-core cycle breakdown mirroring the paper's per-module accounting
+   (Tables 1/2), the full metrics-registry snapshot, and a trace-ring
+   summary — all mirrored into BENCH_tm.json by the registry wrapper. *)
+
+module Sim = Tas_engine.Sim
+module Time_ns = Tas_engine.Time_ns
+module Stats = Tas_engine.Stats
+module Topology = Tas_netsim.Topology
+module Config = Tas_core.Config
+module Tas = Tas_core.Tas
+module Core = Tas_cpu.Core
+module Rpc_echo = Tas_apps.Rpc_echo
+module Metrics = Tas_telemetry.Metrics
+module Trace = Tas_telemetry.Trace
+module J = Tas_telemetry.Json
+
+let run ?(quick = false) fmt =
+  Report.section fmt
+    "Telemetry: metrics registry, per-core cycle breakdown, trace ring";
+  Report.note fmt
+    "RPC echo on TAS (sockets API) with tracing on; the full registry \
+     snapshot and trace summary land in BENCH_tm.json";
+  let sim = Sim.create () in
+  let net = Topology.star sim ~n_clients:2 ~queues_per_nic:8 () in
+  let msg_size = 64 and app_cycles = 680 in
+  let server =
+    Scenario.build_server sim ~nic:net.Topology.server.Topology.nic
+      ~kind:Scenario.Tas_so ~total_cores:4 ~app_cycles
+      ~tas_patch:(fun c ->
+        { c with Config.trace_enabled = true; trace_capacity = 65536 })
+      ()
+  in
+  Rpc_echo.server server.Scenario.transport ~port:7 ~msg_size ~app_cycles;
+  let stats = Rpc_echo.make_stats () in
+  let conns_per_client = if quick then 8 else 32 in
+  Array.iter
+    (fun client ->
+      let transport = Scenario.client_transport sim client () in
+      Rpc_echo.closed_loop_clients sim transport ~n:conns_per_client
+        ~dst_ip:server.Scenario.ip ~dst_port:7 ~msg_size ~pipeline:4
+        ~stagger_ns:5_000 ~stats ())
+    net.Topology.clients;
+  let warmup = Time_ns.ms 3 in
+  let measure = if quick then Time_ns.ms 5 else Time_ns.ms 12 in
+  let rate =
+    Scenario.measure_rate sim ~warmup ~measure (fun () ->
+        Stats.Counter.value stats.Rpc_echo.completed)
+  in
+  let lat = stats.Rpc_echo.latency_us in
+  Report.table fmt
+    ~header:[ "metric"; "value" ]
+    ~rows:
+      [
+        [ "throughput [Kreq/s]"; Report.f1 (rate /. 1e3) ];
+        [ "latency p50 [us]"; Report.f1 (Stats.Hist.percentile lat 50.) ];
+        [ "latency p90 [us]"; Report.f1 (Stats.Hist.percentile lat 90.) ];
+        [ "latency p99 [us]"; Report.f1 (Stats.Hist.percentile lat 99.) ];
+        [ "rpcs measured"; string_of_int (Stats.Hist.count lat) ];
+      ];
+  let tas =
+    match server.Scenario.tas with
+    | Some tas -> tas
+    | None -> assert false (* Tas_so servers always carry a TAS instance *)
+  in
+  (* Per-module cycle breakdown over fast-path + slow-path cores. *)
+  let breakdown = Tas.cycle_breakdown tas in
+  let total = List.fold_left (fun acc (_, ns) -> acc + ns) 0 breakdown in
+  Report.table fmt
+    ~header:[ "category"; "busy [ms]"; "share" ]
+    ~rows:
+      (List.filter_map
+         (fun (cat, ns) ->
+           if ns = 0 then None
+           else
+             Some
+               [
+                 Core.category_name cat;
+                 Report.f2 (float_of_int ns /. 1e6);
+                 (if total = 0 then "-"
+                  else
+                    Report.pct (100. *. float_of_int ns /. float_of_int total));
+               ])
+         breakdown);
+  Report.attach "cycle_breakdown"
+    (J.Obj
+       (List.map
+          (fun (cat, ns) -> (Core.category_name cat, J.Int ns))
+          breakdown));
+  Report.attach "throughput_rps" (J.Float rate);
+  Report.attach "latency_us"
+    (J.Obj
+       [
+         ("count", J.Int (Stats.Hist.count lat));
+         ("mean", J.Float (Stats.Hist.mean lat));
+         ("p50", J.Float (Stats.Hist.percentile lat 50.));
+         ("p90", J.Float (Stats.Hist.percentile lat 90.));
+         ("p99", J.Float (Stats.Hist.percentile lat 99.));
+         ("max", J.Float (Stats.Hist.max_v lat));
+       ]);
+  (* Full registry snapshot. *)
+  Report.attach "metrics" (Metrics.to_json (Tas.metrics tas));
+  (* Trace summary: counts per event kind; the raw ring is bounded so the
+     retained events cover the tail of the run. *)
+  let tr = Tas.trace tas in
+  let events = Trace.drain tr in
+  let counts = Trace.counts_by_kind events in
+  Report.table fmt
+    ~header:[ "trace event"; "count" ]
+    ~rows:
+      (List.map
+         (fun (k, n) -> [ Trace.kind_name k; string_of_int n ])
+         counts);
+  Report.kv fmt "trace events recorded" (string_of_int (Trace.recorded tr));
+  Report.kv fmt "trace events dropped (ring full)"
+    (string_of_int (Trace.dropped tr));
+  Report.attach "trace"
+    (J.Obj
+       [
+         ("recorded", J.Int (Trace.recorded tr));
+         ("dropped", J.Int (Trace.dropped tr));
+         ( "counts_by_kind",
+           J.Obj
+             (List.map
+                (fun (k, n) -> (Trace.kind_name k, J.Int n))
+                counts) );
+       ])

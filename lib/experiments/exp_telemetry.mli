@@ -1,0 +1,5 @@
+(** Telemetry showcase experiment ("tm"): RPC echo on TAS with tracing
+    enabled; emits throughput/latency, the per-core cycle breakdown, the
+    metrics-registry snapshot and a trace summary into the BENCH artifact. *)
+
+val run : ?quick:bool -> Format.formatter -> unit

@@ -48,14 +48,52 @@ let all =
       run = Exp_ablation.x3_api_cost };
     { id = "x4"; title = "Ablation: NIC-offload projection of the fast path";
       run = Exp_ablation.x4_nic_offload };
+    { id = "tm"; title = "Telemetry: metrics registry + cycle breakdown + trace";
+      run = Exp_telemetry.run };
   ]
 
 let find id = List.find_opt (fun e -> String.lowercase_ascii id = e.id) all
 
+module J = Tas_telemetry.Json
+
+let bench_dir () =
+  match Sys.getenv_opt "TAS_BENCH_DIR" with
+  | Some d when d <> "" -> d
+  | _ -> "."
+
+let write_artifact e ~quick ~elapsed body =
+  let j =
+    J.Obj
+      [
+        ("experiment", J.Str e.id);
+        ("title", J.Str e.title);
+        ("quick", J.Bool quick);
+        ("elapsed_s", J.Float elapsed);
+        ("output", body);
+      ]
+  in
+  let path =
+    Filename.concat (bench_dir ()) (Printf.sprintf "BENCH_%s.json" e.id)
+  in
+  let oc = open_out path in
+  output_string oc (J.to_string ~pretty:true j);
+  output_char oc '\n';
+  close_out oc
+
+let run_entry ?quick e fmt =
+  Report.Artifact.start ();
+  let t0 = Unix.gettimeofday () in
+  e.run ?quick fmt;
+  let elapsed = Unix.gettimeofday () -. t0 in
+  let body = Report.Artifact.finish () in
+  (try write_artifact e ~quick:(quick = Some true) ~elapsed body
+   with Sys_error msg ->
+     Format.fprintf fmt "  # BENCH_%s.json not written: %s@." e.id msg);
+  elapsed
+
 let run_all ?quick fmt =
   List.iter
     (fun e ->
-      let t0 = Unix.gettimeofday () in
-      e.run ?quick fmt;
-      Format.fprintf fmt "  (%.1fs)@." (Unix.gettimeofday () -. t0))
+      let elapsed = run_entry ?quick e fmt in
+      Format.fprintf fmt "  (%.1fs)@." elapsed)
     all

@@ -8,4 +8,11 @@ type entry = {
 
 val all : entry list
 val find : string -> entry option
+
+val run_entry : ?quick:bool -> entry -> Format.formatter -> float
+(** Run one experiment with a structured artifact capture around it, write
+    [BENCH_<id>.json] (into [$TAS_BENCH_DIR], default the current
+    directory), and return the elapsed wall-clock seconds. *)
+
 val run_all : ?quick:bool -> Format.formatter -> unit
+(** {!run_entry} over {!all}: one [BENCH_<id>.json] per experiment. *)

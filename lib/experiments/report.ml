@@ -1,7 +1,47 @@
+module J = Tas_telemetry.Json
+
+(* Structured mirror of everything an experiment prints. While an artifact
+   is open (Registry wraps each run), section/table/series/kv/note append a
+   JSON item alongside the text output, so BENCH_<id>.json artifacts need no
+   per-experiment changes. *)
+module Artifact = struct
+  type t = { mutable rev : J.t list }
+
+  let current : t option ref = ref None
+  let start () = current := Some { rev = [] }
+  let add j = match !current with None -> () | Some a -> a.rev <- j :: a.rev
+
+  let finish () =
+    match !current with
+    | None -> J.List []
+    | Some a ->
+      current := None;
+      J.List (List.rev a.rev)
+
+  let attach name j = add (J.Obj [ (name, j) ])
+end
+
+let attach = Artifact.attach
+
 let section fmt title =
+  Artifact.add (J.Obj [ ("section", J.Str title) ]);
   Format.fprintf fmt "@.=== %s ===@." title
 
 let table fmt ~header ~rows =
+  Artifact.add
+    (J.Obj
+       [
+         ( "table",
+           J.Obj
+             [
+               ("header", J.List (List.map (fun h -> J.Str h) header));
+               ( "rows",
+                 J.List
+                   (List.map
+                      (fun row -> J.List (List.map (fun c -> J.Str c) row))
+                      rows) );
+             ] );
+       ]);
   let all = header :: rows in
   let cols = List.length header in
   let width c =
@@ -23,11 +63,32 @@ let table fmt ~header ~rows =
   List.iter print_row rows
 
 let series fmt ~name points =
+  Artifact.add
+    (J.Obj
+       [
+         ( "series",
+           J.Obj
+             [
+               ("name", J.Str name);
+               ( "points",
+                 J.List
+                   (List.map
+                      (fun (x, y) ->
+                        J.Obj [ ("x", J.Str x); ("y", J.Float y) ])
+                      points) );
+             ] );
+       ]);
   Format.fprintf fmt "  %s:@." name;
   List.iter (fun (x, y) -> Format.fprintf fmt "    %-12s %.4g@." x y) points
 
-let kv fmt k v = Format.fprintf fmt "  %s: %s@." k v
-let note fmt s = Format.fprintf fmt "  # %s@." s
+let kv fmt k v =
+  Artifact.add (J.Obj [ ("kv", J.Obj [ ("key", J.Str k); ("value", J.Str v) ]) ]);
+  Format.fprintf fmt "  %s: %s@." k v
+
+let note fmt s =
+  Artifact.add (J.Obj [ ("note", J.Str s) ]);
+  Format.fprintf fmt "  # %s@." s
+
 let f1 v = Printf.sprintf "%.1f" v
 let f2 v = Printf.sprintf "%.2f" v
 let mops v = Printf.sprintf "%.2f" (v /. 1e6)

@@ -1,7 +1,28 @@
 (** Table/series rendering for experiment output, paper-style: each
     experiment prints the series the paper plots, alongside the paper's
     reported values where it states them, so shape agreement is visible at
-    a glance. *)
+    a glance.
+
+    Every printing function also mirrors its content into the currently
+    open artifact (see {!Artifact}), so the registry can write a structured
+    [BENCH_<id>.json] per experiment without per-experiment changes. *)
+
+(** Structured capture of an experiment's output. The registry opens one
+    artifact around each run; nesting is not supported (there is a single
+    current artifact). When no artifact is open, printing functions only
+    print. *)
+module Artifact : sig
+  val start : unit -> unit
+  val finish : unit -> Tas_telemetry.Json.t
+  (** The items mirrored since [start], in print order, as a JSON array. *)
+
+  val attach : string -> Tas_telemetry.Json.t -> unit
+  (** Add a raw named JSON item (e.g. a metrics snapshot) to the open
+      artifact. No-op when none is open. *)
+end
+
+val attach : string -> Tas_telemetry.Json.t -> unit
+(** Alias for {!Artifact.attach}. *)
 
 val section : Format.formatter -> string -> unit
 (** Header naming the paper table/figure being reproduced. *)

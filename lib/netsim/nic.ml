@@ -69,3 +69,14 @@ let rx_packets t = t.rx_packets
 let tx_packets t = t.tx_packets
 let rx_bytes t = t.rx_bytes
 let tx_bytes t = t.tx_bytes
+
+let register t m ?(labels = []) () =
+  let module Metrics = Tas_telemetry.Metrics in
+  let c name help f = Metrics.counter_fn m ~labels ~help name f in
+  c "nic_rx_packets" "packets delivered to the host" (fun () -> t.rx_packets);
+  c "nic_tx_packets" "packets transmitted by the host" (fun () -> t.tx_packets);
+  c "nic_rx_bytes" "wire bytes received" (fun () -> t.rx_bytes);
+  c "nic_tx_bytes" "wire bytes transmitted" (fun () -> t.tx_bytes);
+  Metrics.gauge_fn m ~labels ~help:"RSS queues currently in the redirection table"
+    "nic_active_queues" (fun () -> float_of_int t.active);
+  Port.register t.tx_port m ~labels ()

@@ -46,3 +46,8 @@ val rx_packets : t -> int
 val tx_packets : t -> int
 val rx_bytes : t -> int
 val tx_bytes : t -> int
+
+val register :
+  t -> Tas_telemetry.Metrics.t -> ?labels:Tas_telemetry.Metrics.labels -> unit -> unit
+(** Register NIC packet/byte counters, the active-RSS-queue gauge, and the
+    egress port's [port_*] metrics with the given labels. *)

@@ -88,3 +88,17 @@ let tx_packets t = t.tx_packets
 let tx_bytes t = t.tx_bytes
 
 let busy_ns t = t.busy_ns
+
+let register t m ?(labels = []) () =
+  let module Metrics = Tas_telemetry.Metrics in
+  let c name help f = Metrics.counter_fn m ~labels ~help name f in
+  let g name help f = Metrics.gauge_fn m ~labels ~help name f in
+  c "port_tx_packets" "packets fully transmitted" (fun () -> t.tx_packets);
+  c "port_tx_bytes" "bytes fully transmitted" (fun () -> t.tx_bytes);
+  c "port_drops" "packets tail-dropped at enqueue" (fun () -> t.drops);
+  c "port_ecn_marks" "packets CE-marked at enqueue" (fun () -> t.marks);
+  c "port_busy_ns" "cumulative transmission time" (fun () -> t.busy_ns);
+  g "port_queue_pkts" "instantaneous queue depth" (fun () ->
+      float_of_int (queue_len t));
+  g "port_queue_bytes" "instantaneous queued bytes" (fun () ->
+      float_of_int t.queued_bytes)

@@ -39,3 +39,9 @@ val tx_bytes : t -> int
 val busy_ns : t -> int
 (** Cumulative nanoseconds spent serializing since creation. Diff two
     snapshots to compute link utilization over a window. *)
+
+val register :
+  t -> Tas_telemetry.Metrics.t -> ?labels:Tas_telemetry.Metrics.labels -> unit -> unit
+(** Register this port's counters (tx packets/bytes, drops, ECN marks, busy
+    time) and queue-depth gauges under [port_*] metric names with the given
+    labels. Read-through closures: no cost on the data path. *)

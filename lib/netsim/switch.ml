@@ -63,3 +63,14 @@ let input t pkt =
           (Sim.schedule t.sim t.forwarding_delay (fun () -> Port.enqueue out pkt)))
 
 let no_route_drops t = t.no_route
+
+let register t m ?(labels = []) () =
+  let module Metrics = Tas_telemetry.Metrics in
+  Metrics.counter_fn m ~labels ~help:"packets dropped for lack of a route"
+    "switch_no_route_drops" (fun () -> t.no_route);
+  for i = 0 to t.port_count - 1 do
+    match t.ports.(i) with
+    | None -> ()
+    | Some p ->
+      Port.register p m ~labels:(labels @ [ ("port", string_of_int i) ]) ()
+  done

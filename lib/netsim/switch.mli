@@ -29,3 +29,9 @@ val input : t -> Tas_proto.Packet.t -> unit
     counted. *)
 
 val no_route_drops : t -> int
+
+val register :
+  t -> Tas_telemetry.Metrics.t -> ?labels:Tas_telemetry.Metrics.labels -> unit -> unit
+(** Register the no-route drop counter plus every attached output port's
+    [port_*] metrics, each labelled with its port id. Ports attached after
+    this call are not covered. *)

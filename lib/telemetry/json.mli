@@ -1,0 +1,24 @@
+(** Minimal JSON document type and deterministic serializer.
+
+    Hand-rolled (no external dependency) because the telemetry exporters only
+    need emission, never parsing. Serialization is deterministic: field order
+    is the construction order, floats render via a fixed format, and
+    non-finite floats become [null]. Determinism matters — the byte-identical
+    telemetry snapshots of two same-seed runs are a test invariant. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : ?pretty:bool -> t -> string
+(** [to_string t] is the compact encoding; [~pretty:true] indents with two
+    spaces for human-readable artifact files. *)
+
+val float_repr : float -> string
+(** The serializer's float rendering (exposed for exporters that format
+    numbers outside a document, e.g. Prometheus text). *)

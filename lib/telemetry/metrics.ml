@@ -1,0 +1,222 @@
+module Stats = Tas_engine.Stats
+
+type labels = (string * string) list
+
+type instrument =
+  | Counter_fn of (unit -> int)
+  | Gauge_fn of (unit -> float)
+  | Histogram of Stats.Hist.t
+
+type entry = {
+  name : string;
+  labels : labels;
+  help : string;
+  instrument : instrument;
+}
+
+type t = {
+  tbl : (string * labels, entry) Hashtbl.t;
+  mutable rev_order : entry list;  (* insertion order, for iteration *)
+}
+
+let create () = { tbl = Hashtbl.create 64; rev_order = [] }
+
+let norm_labels labels =
+  List.sort (fun (a, _) (b, _) -> String.compare a b) labels
+
+let validate_name name =
+  if name = "" then invalid_arg "Metrics: empty metric name";
+  String.iter
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> ()
+      | _ -> invalid_arg (Printf.sprintf "Metrics: invalid metric name %S" name))
+    name
+
+let add t ~name ~labels ~help instrument =
+  validate_name name;
+  let labels = norm_labels labels in
+  let key = (name, labels) in
+  if Hashtbl.mem t.tbl key then
+    invalid_arg
+      (Printf.sprintf "Metrics: duplicate registration of %S" name);
+  let e = { name; labels; help; instrument } in
+  Hashtbl.replace t.tbl key e;
+  t.rev_order <- e :: t.rev_order
+
+let find t ~name ~labels = Hashtbl.find_opt t.tbl (name, norm_labels labels)
+
+let counter_fn t ?(labels = []) ?(help = "") name f =
+  add t ~name ~labels ~help (Counter_fn f)
+
+let gauge_fn t ?(labels = []) ?(help = "") name f =
+  add t ~name ~labels ~help (Gauge_fn f)
+
+let counter t ?(labels = []) ?(help = "") name =
+  match find t ~name ~labels with
+  | Some { instrument = Counter_fn _; _ } ->
+    invalid_arg
+      (Printf.sprintf "Metrics.counter: %S already registered as a closure" name)
+  | Some _ -> invalid_arg (Printf.sprintf "Metrics.counter: %S is not a counter" name)
+  | None ->
+    let c = Stats.Counter.create () in
+    add t ~name ~labels ~help (Counter_fn (fun () -> Stats.Counter.value c));
+    c
+
+let hist t ?(labels = []) ?(help = "") name =
+  match find t ~name ~labels with
+  | Some { instrument = Histogram h; _ } -> h
+  | Some _ ->
+    invalid_arg (Printf.sprintf "Metrics.hist: %S is not a histogram" name)
+  | None ->
+    let h = Stats.Hist.create () in
+    add t ~name ~labels ~help (Histogram h);
+    h
+
+(* --- Snapshots ---------------------------------------------------------- *)
+
+type hist_summary = {
+  count : int;
+  mean : float;
+  max_v : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+}
+
+type value =
+  | Counter of int
+  | Gauge of float
+  | Hist of hist_summary
+
+type sample = {
+  s_name : string;
+  s_labels : labels;
+  s_help : string;
+  s_value : value;
+}
+
+let read = function
+  | Counter_fn f -> Counter (f ())
+  | Gauge_fn f -> Gauge (f ())
+  | Histogram h ->
+    Hist
+      {
+        count = Stats.Hist.count h;
+        mean = Stats.Hist.mean h;
+        max_v = Stats.Hist.max_v h;
+        p50 = Stats.Hist.percentile h 50.0;
+        p90 = Stats.Hist.percentile h 90.0;
+        p99 = Stats.Hist.percentile h 99.0;
+      }
+
+let compare_entry a b =
+  match String.compare a.name b.name with
+  | 0 -> compare a.labels b.labels
+  | c -> c
+
+let snapshot t =
+  List.rev t.rev_order
+  |> List.stable_sort compare_entry
+  |> List.map (fun e ->
+         {
+           s_name = e.name;
+           s_labels = e.labels;
+           s_help = e.help;
+           s_value = read e.instrument;
+         })
+
+(* --- Exporters ---------------------------------------------------------- *)
+
+let prom_labels = function
+  | [] -> ""
+  | labels ->
+    let body =
+      List.map
+        (fun (k, v) ->
+          let b = Buffer.create 16 in
+          Buffer.add_string b k;
+          Buffer.add_string b "=\"";
+          String.iter
+            (function
+              | '"' -> Buffer.add_string b "\\\""
+              | '\\' -> Buffer.add_string b "\\\\"
+              | '\n' -> Buffer.add_string b "\\n"
+              | c -> Buffer.add_char b c)
+            v;
+          Buffer.add_char b '"';
+          Buffer.contents b)
+        labels
+    in
+    "{" ^ String.concat "," body ^ "}"
+
+let to_prometheus t =
+  let b = Buffer.create 1024 in
+  let last_name = ref "" in
+  let header name help typ =
+    if name <> !last_name then begin
+      last_name := name;
+      if help <> "" then
+        Buffer.add_string b (Printf.sprintf "# HELP %s %s\n" name help);
+      Buffer.add_string b (Printf.sprintf "# TYPE %s %s\n" name typ)
+    end
+  in
+  List.iter
+    (fun s ->
+      let ls = prom_labels s.s_labels in
+      match s.s_value with
+      | Counter v ->
+        header s.s_name s.s_help "counter";
+        Buffer.add_string b (Printf.sprintf "%s%s %d\n" s.s_name ls v)
+      | Gauge v ->
+        header s.s_name s.s_help "gauge";
+        Buffer.add_string b
+          (Printf.sprintf "%s%s %s\n" s.s_name ls (Json.float_repr v))
+      | Hist h ->
+        header s.s_name s.s_help "summary";
+        let q quant v =
+          let labels = s.s_labels @ [ ("quantile", quant) ] in
+          Buffer.add_string b
+            (Printf.sprintf "%s%s %s\n" s.s_name (prom_labels labels)
+               (Json.float_repr v))
+        in
+        q "0.5" h.p50;
+        q "0.9" h.p90;
+        q "0.99" h.p99;
+        Buffer.add_string b
+          (Printf.sprintf "%s_count%s %d\n" s.s_name ls h.count);
+        Buffer.add_string b
+          (Printf.sprintf "%s_max%s %s\n" s.s_name ls (Json.float_repr h.max_v)))
+    (snapshot t);
+  Buffer.contents b
+
+let sample_to_json s =
+  let base =
+    [
+      ("name", Json.Str s.s_name);
+      ("labels", Json.Obj (List.map (fun (k, v) -> (k, Json.Str v)) s.s_labels));
+    ]
+  in
+  let value =
+    match s.s_value with
+    | Counter v -> [ ("type", Json.Str "counter"); ("value", Json.Int v) ]
+    | Gauge v -> [ ("type", Json.Str "gauge"); ("value", Json.Float v) ]
+    | Hist h ->
+      [
+        ("type", Json.Str "histogram");
+        ( "value",
+          Json.Obj
+            [
+              ("count", Json.Int h.count);
+              ("mean", Json.Float h.mean);
+              ("max", Json.Float h.max_v);
+              ("p50", Json.Float h.p50);
+              ("p90", Json.Float h.p90);
+              ("p99", Json.Float h.p99);
+            ] );
+      ]
+  in
+  Json.Obj (base @ value)
+
+let to_json t = Json.List (List.map sample_to_json (snapshot t))
+let to_json_string ?pretty t = Json.to_string ?pretty (to_json t)

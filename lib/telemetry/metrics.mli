@@ -1,0 +1,71 @@
+(** Process-wide metrics registry: named counters, gauges and log-bucketed
+    histograms with label support.
+
+    Design constraints, in order:
+
+    - {b Zero hot-path overhead.} Components keep mutating their existing
+      plain [int] stat fields; the registry holds {e closures} that read
+      them on demand ([counter_fn]/[gauge_fn]). Registration happens once at
+      construction time; the data path never touches the registry.
+    - {b Determinism.} Snapshots and both exporters order samples by
+      (name, sorted labels), so two same-seed simulation runs export
+      byte-identical telemetry.
+    - {b One registry per stack instance} (not a global): experiments build
+      many TAS instances per process and each gets an isolated namespace.
+
+    Histograms reuse {!Tas_engine.Stats.Hist} (log-bucketed, ~2% relative
+    bucket width). *)
+
+type t
+
+type labels = (string * string) list
+(** Label sets are normalized (sorted by key) at registration. *)
+
+val create : unit -> t
+
+val counter_fn : t -> ?labels:labels -> ?help:string -> string -> (unit -> int) -> unit
+(** Register a monotonic counter read through a closure.
+    @raise Invalid_argument on duplicate (name, labels) or invalid name
+    (allowed: [[A-Za-z0-9_:]]). *)
+
+val gauge_fn : t -> ?labels:labels -> ?help:string -> string -> (unit -> float) -> unit
+(** Register a point-in-time gauge read through a closure. *)
+
+val counter : t -> ?labels:labels -> ?help:string -> string -> Tas_engine.Stats.Counter.t
+(** Create, register and return an owned counter cell. *)
+
+val hist : t -> ?labels:labels -> ?help:string -> string -> Tas_engine.Stats.Hist.t
+(** Get-or-create a registered histogram: calling again with the same
+    (name, labels) returns the same histogram. *)
+
+(** {2 Snapshots} *)
+
+type hist_summary = {
+  count : int;
+  mean : float;
+  max_v : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+}
+
+type value = Counter of int | Gauge of float | Hist of hist_summary
+
+type sample = {
+  s_name : string;
+  s_labels : labels;
+  s_help : string;
+  s_value : value;
+}
+
+val snapshot : t -> sample list
+(** Current values, sorted by (name, labels) — deterministic. *)
+
+(** {2 Exporters} *)
+
+val to_prometheus : t -> string
+(** Prometheus text exposition format; histograms export as summaries with
+    0.5/0.9/0.99 quantiles plus [_count] and [_max] series. *)
+
+val to_json : t -> Json.t
+val to_json_string : ?pretty:bool -> t -> string

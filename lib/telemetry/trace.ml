@@ -1,0 +1,98 @@
+module Spsc = Tas_buffers.Spsc_queue
+
+type kind =
+  | Rx_data
+  | Rx_ack
+  | Tx_data
+  | Ack_tx
+  | Ooo_store
+  | Payload_drop
+  | Fast_rexmit
+  | Timeout_rexmit
+  | Conn_setup
+  | Conn_teardown
+  | Exception_fwd
+  | Core_scale
+
+let kind_name = function
+  | Rx_data -> "rx_data"
+  | Rx_ack -> "rx_ack"
+  | Tx_data -> "tx_data"
+  | Ack_tx -> "ack_tx"
+  | Ooo_store -> "ooo_store"
+  | Payload_drop -> "payload_drop"
+  | Fast_rexmit -> "fast_rexmit"
+  | Timeout_rexmit -> "timeout_rexmit"
+  | Conn_setup -> "conn_setup"
+  | Conn_teardown -> "conn_teardown"
+  | Exception_fwd -> "exception_fwd"
+  | Core_scale -> "core_scale"
+
+let all_kinds =
+  [
+    Rx_data; Rx_ack; Tx_data; Ack_tx; Ooo_store; Payload_drop; Fast_rexmit;
+    Timeout_rexmit; Conn_setup; Conn_teardown; Exception_fwd; Core_scale;
+  ]
+
+type event = {
+  ts : Tas_engine.Time_ns.t;
+  kind : kind;
+  core : int;
+  flow : int;
+}
+
+type t = {
+  enabled : bool;
+  ring : event Spsc.t;
+  mutable dropped : int;
+  mutable recorded : int;
+}
+
+let create ?(enabled = true) ~capacity () =
+  { enabled; ring = Spsc.create (max 1 capacity); dropped = 0; recorded = 0 }
+
+let disabled () = create ~enabled:false ~capacity:1 ()
+
+let enabled t = t.enabled
+let capacity t = Spsc.capacity t.ring
+let length t = Spsc.length t.ring
+let dropped t = t.dropped
+let recorded t = t.recorded
+
+let record t ~ts ~kind ~core ~flow =
+  if t.enabled then begin
+    t.recorded <- t.recorded + 1;
+    if not (Spsc.try_push t.ring { ts; kind; core; flow }) then
+      t.dropped <- t.dropped + 1
+  end
+
+let drain t =
+  let out = ref [] in
+  ignore (Spsc.drain t.ring (fun e -> out := e :: !out));
+  List.rev !out
+
+let event_to_json e =
+  Json.Obj
+    [
+      ("ts", Json.Int e.ts);
+      ("kind", Json.Str (kind_name e.kind));
+      ("core", Json.Int e.core);
+      ("flow", Json.Int e.flow);
+    ]
+
+let to_json t events =
+  Json.Obj
+    [
+      ("enabled", Json.Bool t.enabled);
+      ("capacity", Json.Int (capacity t));
+      ("recorded", Json.Int t.recorded);
+      ("dropped", Json.Int t.dropped);
+      ("events", Json.List (List.map event_to_json events));
+    ]
+
+let counts_by_kind events =
+  List.map
+    (fun k ->
+      (k, List.length (List.filter (fun e -> e.kind = k) events)))
+    all_kinds
+  |> List.filter (fun (_, n) -> n > 0)

@@ -1,0 +1,67 @@
+(** Bounded structured trace-event ring.
+
+    A flight recorder for the simulated stack: every interesting data-path or
+    control-path step can log a fixed-shape event (sim timestamp, event kind,
+    core id, flow id). The ring is a bounded SPSC queue
+    ({!Tas_buffers.Spsc_queue}, the same structure as the shared-memory
+    context queues); when full, new events are dropped and counted rather
+    than blocking or growing — tracing must never perturb the simulation.
+
+    Cost when disabled: {!record} tests one immutable boolean and returns.
+    Constructing the event record only happens on the enabled path. *)
+
+type kind =
+  | Rx_data         (** fast path received a data segment *)
+  | Rx_ack          (** fast path received a pure ACK *)
+  | Tx_data         (** fast path transmitted a data segment *)
+  | Ack_tx          (** fast path generated an ACK *)
+  | Ooo_store       (** out-of-order segment buffered *)
+  | Payload_drop    (** receive payload dropped (window/ooo limits) *)
+  | Fast_rexmit     (** triple-duplicate-ACK fast retransmit *)
+  | Timeout_rexmit  (** slow-path timeout retransmit *)
+  | Conn_setup      (** slow path established a connection *)
+  | Conn_teardown   (** slow path removed a connection *)
+  | Exception_fwd   (** fast path forwarded a packet to the slow path *)
+  | Core_scale      (** workload-proportionality changed the core count *)
+
+val kind_name : kind -> string
+val all_kinds : kind list
+
+type event = {
+  ts : Tas_engine.Time_ns.t;
+  kind : kind;
+  core : int;  (** simulated core id, -1 when not core-attributed *)
+  flow : int;  (** application-opaque flow id, -1 when not flow-attributed *)
+}
+
+type t
+
+val create : ?enabled:bool -> capacity:int -> unit -> t
+val disabled : unit -> t
+(** A permanently-off ring (capacity 1); the default wired into components
+    when no tracing is requested. *)
+
+val enabled : t -> bool
+val capacity : t -> int
+val length : t -> int
+
+val record : t -> ts:Tas_engine.Time_ns.t -> kind:kind -> core:int -> flow:int -> unit
+(** O(1); a single boolean test when disabled; drops (and counts) when the
+    ring is full. *)
+
+val dropped : t -> int
+(** Events discarded because the ring was full. *)
+
+val recorded : t -> int
+(** Events offered while enabled (accepted + dropped). *)
+
+val drain : t -> event list
+(** Pop all buffered events in record order (consuming). *)
+
+val event_to_json : event -> Json.t
+
+val to_json : t -> event list -> Json.t
+(** Ring metadata plus the given (previously drained) events. *)
+
+val counts_by_kind : event list -> (kind * int) list
+(** Histogram of event kinds, in declaration order, zero entries omitted. *)

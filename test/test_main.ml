@@ -18,4 +18,8 @@ let () =
       ("rate_bucket", Test_rate_bucket.suite);
       ("multi_app", Test_multi_app.suite);
       ("cc_properties", Test_cc_properties.suite);
+      ("stats_properties", Test_stats_properties.suite);
+      ("telemetry", Test_telemetry.suite);
+      ("wrap_edges", Test_wrap_edges.suite);
+      ("determinism", Test_determinism.suite);
     ]

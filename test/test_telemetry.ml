@@ -1,0 +1,162 @@
+(* Unit tests of the telemetry subsystem: registry semantics (closures,
+   labels, duplicates, get-or-create), exporter formats, JSON rendering,
+   and the bounded trace ring. *)
+
+module Metrics = Tas_telemetry.Metrics
+module Trace = Tas_telemetry.Trace
+module Json = Tas_telemetry.Json
+module Stats = Tas_engine.Stats
+
+let contains hay needle =
+  let lh = String.length hay and ln = String.length needle in
+  let rec go i = i + ln <= lh && (String.sub hay i ln = needle || go (i + 1)) in
+  ln = 0 || go 0
+
+let test_counter_fn_reads_through () =
+  let m = Metrics.create () in
+  let cell = ref 0 in
+  Metrics.counter_fn m "requests_total" (fun () -> !cell);
+  cell := 41;
+  incr cell;
+  match Metrics.snapshot m with
+  | [ { Metrics.s_name = "requests_total"; s_value = Metrics.Counter 42; _ } ]
+    -> ()
+  | _ -> Alcotest.fail "expected one counter sample reading 42"
+
+let test_duplicate_raises () =
+  let m = Metrics.create () in
+  Metrics.counter_fn m "x_total" (fun () -> 0);
+  Alcotest.check_raises "duplicate (name, labels)"
+    (Invalid_argument "Metrics: duplicate registration of \"x_total\"")
+    (fun () -> Metrics.counter_fn m "x_total" (fun () -> 1));
+  (* Same name under different labels is a distinct series. *)
+  Metrics.counter_fn m ~labels:[ ("core", "0") ] "x_total" (fun () -> 2);
+  Alcotest.(check int) "two series" 2 (List.length (Metrics.snapshot m))
+
+let test_label_order_normalized () =
+  let m = Metrics.create () in
+  Metrics.counter_fn m ~labels:[ ("b", "2"); ("a", "1") ] "y_total" (fun () -> 7);
+  (* Registering the same label set in the other order is the same series. *)
+  Alcotest.check_raises "label order irrelevant"
+    (Invalid_argument "Metrics: duplicate registration of \"y_total\"")
+    (fun () ->
+      Metrics.counter_fn m ~labels:[ ("a", "1"); ("b", "2") ] "y_total"
+        (fun () -> 8));
+  match Metrics.snapshot m with
+  | [ { Metrics.s_labels = [ ("a", "1"); ("b", "2") ]; _ } ] -> ()
+  | _ -> Alcotest.fail "labels not sorted by key in snapshot"
+
+let test_invalid_name_raises () =
+  let m = Metrics.create () in
+  Alcotest.check_raises "space in name"
+    (Invalid_argument "Metrics: invalid metric name \"bad name\"") (fun () ->
+      Metrics.gauge_fn m "bad name" (fun () -> 0.0))
+
+let test_hist_get_or_create () =
+  let m = Metrics.create () in
+  let h1 = Metrics.hist m "latency_us" in
+  let h2 = Metrics.hist m "latency_us" in
+  Stats.Hist.add h1 10.0;
+  Alcotest.(check int) "same histogram instance" 1 (Stats.Hist.count h2)
+
+let test_prometheus_format () =
+  let m = Metrics.create () in
+  Metrics.counter_fn m ~help:"packets received" ~labels:[ ("core", "3") ]
+    "rx_total" (fun () -> 12);
+  Metrics.gauge_fn m "depth" (fun () -> 2.5);
+  let h = Metrics.hist m "lat_us" in
+  List.iter (Stats.Hist.add h) [ 1.0; 2.0; 3.0 ];
+  let text = Metrics.to_prometheus m in
+  List.iter
+    (fun needle ->
+      if not (contains text needle) then
+        Alcotest.failf "prometheus output missing %S in:\n%s" needle text)
+    [
+      "# TYPE rx_total counter";
+      "# HELP rx_total packets received";
+      "rx_total{core=\"3\"} 12";
+      "# TYPE depth gauge";
+      "depth 2.5";
+      "lat_us{quantile=\"0.5\"}";
+      "lat_us_count 3";
+    ]
+
+let test_snapshot_sorted_deterministic () =
+  (* Insertion order must not leak into exports. *)
+  let build order =
+    let m = Metrics.create () in
+    List.iter (fun (name, v) -> Metrics.counter_fn m name (fun () -> v)) order;
+    Metrics.to_json_string m
+  in
+  let a = build [ ("zz_total", 1); ("aa_total", 2); ("mm_total", 3) ] in
+  let b = build [ ("mm_total", 3); ("zz_total", 1); ("aa_total", 2) ] in
+  Alcotest.(check string) "insertion order invisible" a b
+
+let test_json_rendering () =
+  let j =
+    Json.Obj
+      [
+        ("int_like", Json.Float 3.0);
+        ("frac", Json.Float 0.25);
+        ("nan", Json.Float nan);
+        ("inf", Json.Float infinity);
+        ("s", Json.Str "a\"b\n");
+        ("l", Json.List [ Json.Int 1; Json.Bool true; Json.Null ]);
+      ]
+  in
+  Alcotest.(check string) "compact rendering"
+    "{\"int_like\":3.0,\"frac\":0.25,\"nan\":null,\"inf\":null,\
+     \"s\":\"a\\\"b\\n\",\"l\":[1,true,null]}"
+    (Json.to_string j)
+
+let test_trace_bounded_drop () =
+  let tr = Trace.create ~capacity:4 () in
+  for i = 1 to 10 do
+    Trace.record tr ~ts:i ~kind:Trace.Rx_data ~core:0 ~flow:i
+  done;
+  Alcotest.(check int) "recorded counts all offers" 10 (Trace.recorded tr);
+  Alcotest.(check int) "dropped the overflow" 6 (Trace.dropped tr);
+  let events = Trace.drain tr in
+  Alcotest.(check (list int)) "oldest events kept, record order" [ 1; 2; 3; 4 ]
+    (List.map (fun e -> e.Trace.flow) events);
+  Alcotest.(check int) "drain consumes" 0 (List.length (Trace.drain tr))
+
+let test_trace_disabled_noop () =
+  let tr = Trace.disabled () in
+  Trace.record tr ~ts:1 ~kind:Trace.Conn_setup ~core:0 ~flow:1;
+  Alcotest.(check bool) "disabled" false (Trace.enabled tr);
+  Alcotest.(check int) "nothing recorded" 0 (Trace.recorded tr);
+  Alcotest.(check int) "nothing buffered" 0 (List.length (Trace.drain tr))
+
+let test_trace_counts_by_kind () =
+  let tr = Trace.create ~capacity:16 () in
+  List.iter
+    (fun k -> Trace.record tr ~ts:0 ~kind:k ~core:0 ~flow:0)
+    [ Trace.Rx_data; Trace.Tx_data; Trace.Rx_data; Trace.Conn_setup ];
+  let counts = Trace.counts_by_kind (Trace.drain tr) in
+  Alcotest.(check (list (pair string int)))
+    "kinds in declaration order, zeros omitted"
+    [ ("rx_data", 2); ("tx_data", 1); ("conn_setup", 1) ]
+    (List.map (fun (k, n) -> (Trace.kind_name k, n)) counts)
+
+let suite =
+  [
+    Alcotest.test_case "counter closure reads through" `Quick
+      test_counter_fn_reads_through;
+    Alcotest.test_case "duplicate registration raises" `Quick
+      test_duplicate_raises;
+    Alcotest.test_case "label order normalized" `Quick
+      test_label_order_normalized;
+    Alcotest.test_case "invalid name raises" `Quick test_invalid_name_raises;
+    Alcotest.test_case "hist get-or-create" `Quick test_hist_get_or_create;
+    Alcotest.test_case "prometheus exposition format" `Quick
+      test_prometheus_format;
+    Alcotest.test_case "snapshot order deterministic" `Quick
+      test_snapshot_sorted_deterministic;
+    Alcotest.test_case "json rendering" `Quick test_json_rendering;
+    Alcotest.test_case "trace ring bounded + drop count" `Quick
+      test_trace_bounded_drop;
+    Alcotest.test_case "disabled trace is a no-op" `Quick
+      test_trace_disabled_noop;
+    Alcotest.test_case "trace counts by kind" `Quick test_trace_counts_by_kind;
+  ]
