@@ -1,11 +1,33 @@
-(* Command-line driver: run any of the paper's experiments by id. *)
+(* Command-line driver: run the paper's experiments by id, plus diagnostic
+   subcommands over the span/introspection layer —
+
+     tas_run [IDS..]       run experiments (default: all)
+     tas_run list          list experiment ids
+     tas_run flows         JSON flow-state snapshot (ss-style, Table 3)
+     tas_run trace         write a Chrome trace (chrome://tracing, Perfetto)
+     tas_run top           periodic text dashboard from the metrics registry *)
+
+module Registry = Tas_experiments.Registry
+module Run_opts = Tas_experiments.Run_opts
+module Diagnostics = Tas_experiments.Diagnostics
+module Time_ns = Tas_engine.Time_ns
+module Stats = Tas_engine.Stats
+module Metrics = Tas_telemetry.Metrics
+module Span = Tas_telemetry.Span
+module Json = Tas_telemetry.Json
+module Tas = Tas_core.Tas
+
+let apply_opts bench_dir trace_capacity =
+  Option.iter Run_opts.set_bench_dir bench_dir;
+  Option.iter Run_opts.set_trace_capacity trace_capacity
+
+(* --- run (default) ------------------------------------------------------ *)
 
 let list_cmd () =
   List.iter
     (fun e ->
-      Printf.printf "%-4s %s\n" e.Tas_experiments.Registry.id
-        e.Tas_experiments.Registry.title)
-    Tas_experiments.Registry.all;
+      Printf.printf "%-4s %s\n" e.Registry.id e.Registry.title)
+    Registry.all;
   0
 
 let run_cmd quick ids =
@@ -13,14 +35,14 @@ let run_cmd quick ids =
   let rc =
     match ids with
     | [] ->
-      Tas_experiments.Registry.run_all ~quick fmt;
+      Registry.run_all ~quick fmt;
       0
     | ids ->
       List.fold_left
         (fun rc id ->
-          match Tas_experiments.Registry.find id with
+          match Registry.find id with
           | Some e ->
-            ignore (Tas_experiments.Registry.run_entry ~quick e fmt);
+            ignore (Registry.run_entry ~quick e fmt);
             rc
           | None ->
             Printf.eprintf "unknown experiment id: %s (try 'tas_run list')\n" id;
@@ -30,25 +52,250 @@ let run_cmd quick ids =
   Format.pp_print_flush fmt ();
   rc
 
+(* --- flows -------------------------------------------------------------- *)
+
+let flows_cmd duration_ms =
+  let d = Diagnostics.build () in
+  Diagnostics.run d ~duration_ns:(Time_ns.ms duration_ms);
+  (* Emit nothing but the JSON document: consumers pipe this straight into
+     json.tool / jq. *)
+  print_string
+    (Json.to_string ~pretty:true
+       (Json.Obj
+          [
+            ("server", Tas.flows d.Diagnostics.server);
+            ("client", Tas.flows d.Diagnostics.client);
+          ]));
+  print_newline ();
+  0
+
+(* --- trace -------------------------------------------------------------- *)
+
+let trace_cmd out sample_every duration_ms bench_dir =
+  apply_opts bench_dir None;
+  let d = Diagnostics.build ~sample_every () in
+  Diagnostics.run d ~duration_ns:(Time_ns.ms duration_ms);
+  let events = Span.drain d.Diagnostics.span in
+  let b = Span.breakdown events in
+  let path =
+    match out with
+    | Some p -> p
+    | None -> Filename.concat (Run_opts.bench_dir ()) "tas_trace.json"
+  in
+  let oc = open_out path in
+  output_string oc (Span.to_chrome_string ~pretty:true events);
+  output_char oc '\n';
+  close_out oc;
+  let e2e = b.Span.end_to_end in
+  Printf.printf "traced %dms of RPC echo (1 origin in %d sampled)\n"
+    duration_ms sample_every;
+  Printf.printf "spans: %d (%d complete app-to-app), hop events: %d, dropped: %d\n"
+    b.Span.spans b.Span.complete
+    (Span.recorded d.Diagnostics.span)
+    (Span.dropped d.Diagnostics.span);
+  if Stats.Hist.count e2e > 0 then
+    Printf.printf "end-to-end: mean %.1fus  p50 %.1fus  p99 %.1fus\n"
+      (Stats.Hist.mean e2e /. 1e3)
+      (Stats.Hist.percentile e2e 50. /. 1e3)
+      (Stats.Hist.percentile e2e 99. /. 1e3);
+  Printf.printf "# artifact: %s (open in chrome://tracing or ui.perfetto.dev)\n"
+    path;
+  0
+
+(* --- top ---------------------------------------------------------------- *)
+
+(* Read one metric from a registry snapshot by name (+ label subset). *)
+let sample_value samples name labels =
+  List.fold_left
+    (fun acc s ->
+      if
+        s.Metrics.s_name = name
+        && List.for_all (fun kv -> List.mem kv s.Metrics.s_labels) labels
+      then
+        acc
+        +.
+        match s.Metrics.s_value with
+        | Metrics.Counter c -> float_of_int c
+        | Metrics.Gauge g -> g
+        | Metrics.Hist _ -> 0.
+      else acc)
+    0. samples
+
+let core_samples samples =
+  List.filter_map
+    (fun s ->
+      if s.Metrics.s_name = "core_busy_ns" then
+        match
+          ( List.assoc_opt "core" s.Metrics.s_labels,
+            List.assoc_opt "role" s.Metrics.s_labels,
+            s.Metrics.s_value )
+        with
+        | Some core, Some role, Metrics.Gauge busy -> Some (role, core, busy)
+        | _ -> None
+      else None)
+    samples
+
+let top_cmd interval_ms frames =
+  let d = Diagnostics.build () in
+  let interval_ns = Time_ns.ms interval_ms in
+  let frame = ref 0 in
+  let prev_busy : (string * string, float) Hashtbl.t = Hashtbl.create 32 in
+  let prev_rpcs = ref 0 and prev_pkts = ref 0. in
+  let host label tas =
+    let samples = Metrics.snapshot (Tas.metrics tas) in
+    let cores =
+      List.filter_map
+        (fun (role, core, busy) ->
+          let key = (label ^ role, core) in
+          let before = Option.value ~default:0. (Hashtbl.find_opt prev_busy key) in
+          Hashtbl.replace prev_busy key busy;
+          if !frame = 0 then None
+          else
+            let pct = 100. *. (busy -. before) /. float_of_int interval_ns in
+            Some (Printf.sprintf "%s%s %.0f%%" role core (max 0. pct)))
+        (core_samples samples)
+    in
+    let flows = sample_value samples "fp_flows" [] in
+    let qlen = sample_value samples "port_queue_pkts" [] in
+    Printf.printf "  %-6s flows %-3.0f txq %-4.0f cores [%s]\n" label flows qlen
+      (String.concat " " cores);
+    samples
+  in
+  Diagnostics.run_with_tick d ~duration_ns:(interval_ns * frames)
+    ~every_ns:interval_ns (fun () ->
+      let now_ms = float_of_int (Tas_engine.Sim.now d.Diagnostics.sim) /. 1e6 in
+      let rpcs =
+        Stats.Counter.value d.Diagnostics.stats.Tas_apps.Rpc_echo.completed
+      in
+      let krps =
+        float_of_int (rpcs - !prev_rpcs) /. (float_of_int interval_ms *. 1e-3)
+        /. 1e3
+      in
+      Printf.printf "t=%5.1fms  rpcs %-7d %s\n" now_ms rpcs
+        (if !frame = 0 then "" else Printf.sprintf "(%.1f krps)" krps);
+      prev_rpcs := rpcs;
+      let server_samples = host "server" d.Diagnostics.server in
+      ignore (host "client" d.Diagnostics.client);
+      let pkts = sample_value server_samples "nic_rx_packets" [] in
+      if !frame > 0 then
+        Printf.printf "  server nic rx %.1f kpps\n"
+          ((pkts -. !prev_pkts) /. (float_of_int interval_ms *. 1e-3) /. 1e3);
+      prev_pkts := pkts;
+      print_newline ();
+      incr frame);
+  0
+
+(* --- cmdliner wiring ---------------------------------------------------- *)
+
 open Cmdliner
 
-let ids =
-  let doc = "Experiment ids to run (e.g. f4 t1). Empty runs everything." in
-  Arg.(value & pos_all string [] & info [] ~docv:"ID" ~doc)
+let bench_dir_arg =
+  let doc =
+    "Directory for BENCH_*.json artifacts (overrides \\$TAS_BENCH_DIR)."
+  in
+  Arg.(value & opt (some string) None & info [ "bench-dir" ] ~docv:"DIR" ~doc)
+
+let trace_capacity_arg =
+  let doc = "Trace/span ring capacity (events) for telemetry experiments." in
+  Arg.(value & opt (some int) None & info [ "trace-capacity" ] ~docv:"N" ~doc)
 
 let quick =
   let doc = "Reduced sweeps and durations (CI-friendly)." in
   Arg.(value & flag & info [ "quick"; "q" ] ~doc)
 
+let ids_arg =
+  let doc = "Experiment ids to run (e.g. f4 t1). Empty runs everything." in
+  Arg.(value & pos_all string [] & info [] ~docv:"ID" ~doc)
+
+let run_main list quick bench_dir trace_capacity ids =
+  apply_opts bench_dir trace_capacity;
+  if list then list_cmd () else run_cmd quick ids
+
 let list_flag =
   let doc = "List available experiment ids." in
   Arg.(value & flag & info [ "list"; "l" ] ~doc)
 
-let main list quick ids = if list then list_cmd () else run_cmd quick ids
+(* Default term: no positionals (cmdliner groups reserve the first
+   positional for command dispatch) — `tas_run` runs every experiment;
+   `tas_run run f4 tm` runs a selection. *)
+let run_term =
+  Term.(
+    const run_main $ list_flag $ quick $ bench_dir_arg $ trace_capacity_arg
+    $ const [])
+
+let run_cmd_v =
+  let doc = "run selected experiments by id" in
+  Cmd.v (Cmd.info "run" ~doc)
+    Term.(
+      const run_main $ list_flag $ quick $ bench_dir_arg $ trace_capacity_arg
+      $ ids_arg)
+
+let list_cmd_v =
+  let doc = "list available experiment ids" in
+  Cmd.v (Cmd.info "list" ~doc) Term.(const (fun () -> list_cmd ()) $ const ())
+
+let duration_arg default =
+  let doc = "Simulated duration of the diagnostic run (milliseconds)." in
+  Arg.(value & opt int default & info [ "duration-ms" ] ~docv:"MS" ~doc)
+
+let flows_cmd_v =
+  let doc = "dump per-flow TCP state (paper Table 3) as JSON" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Runs a short span-instrumented RPC-echo workload with TAS on both \
+         hosts, then prints each host's flow table (sequence/ack state, \
+         buffer occupancy, rate bucket, recovery state, out-of-order \
+         interval) and connection-lifecycle log as a single JSON document \
+         on stdout — the simulator's 'ss -ti'.";
+    ]
+  in
+  Cmd.v
+    (Cmd.info "flows" ~doc ~man)
+    Term.(const flows_cmd $ duration_arg 8)
+
+let trace_cmd_v =
+  let doc = "write a Chrome trace of per-packet latency spans" in
+  let out =
+    let doc = "Output path (default: <bench-dir>/tas_trace.json)." in
+    Arg.(value & opt (some string) None & info [ "out"; "o" ] ~docv:"FILE" ~doc)
+  in
+  let sample_every =
+    let doc = "Sample one packet origin in every N." in
+    Arg.(value & opt int 16 & info [ "sample-every" ] ~docv:"N" ~doc)
+  in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Runs the span-instrumented diagnostic workload and exports the \
+         drained spans in Chrome trace-event JSON: one track per span, one \
+         slice per hop-to-hop segment (libTAS send, fast-path TX, NIC, \
+         link queues, switch, fast-path RX, context queue, delivery). \
+         Open the file in chrome://tracing or ui.perfetto.dev.";
+    ]
+  in
+  Cmd.v
+    (Cmd.info "trace" ~doc ~man)
+    Term.(const trace_cmd $ out $ sample_every $ duration_arg 10 $ bench_dir_arg)
+
+let top_cmd_v =
+  let doc = "periodic text dashboard (cores, flows, queues, rates)" in
+  let interval =
+    let doc = "Refresh interval in simulated milliseconds." in
+    Arg.(value & opt int 2 & info [ "interval-ms" ] ~docv:"MS" ~doc)
+  in
+  let frames =
+    let doc = "Number of dashboard frames to print." in
+    Arg.(value & opt int 5 & info [ "frames" ] ~docv:"N" ~doc)
+  in
+  Cmd.v (Cmd.info "top" ~doc) Term.(const top_cmd $ interval $ frames)
 
 let cmd =
   let doc = "reproduce the TAS (EuroSys'19) evaluation" in
   let info = Cmd.info "tas_run" ~doc in
-  Cmd.v info Term.(const main $ list_flag $ quick $ ids)
+  Cmd.group ~default:run_term info
+    [ run_cmd_v; list_cmd_v; flows_cmd_v; trace_cmd_v; top_cmd_v ]
 
 let () = exit (Cmd.eval' cmd)

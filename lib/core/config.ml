@@ -26,6 +26,9 @@ type t = {
   sp_flow_control_cycles : int;
   trace_enabled : bool;
   trace_capacity : int;
+  span_enabled : bool;
+  span_sample_every : int;
+  span_capacity : int;
 }
 
 let default =
@@ -59,6 +62,9 @@ let default =
     sp_flow_control_cycles = 80;
     trace_enabled = false;
     trace_capacity = 8192;
+    span_enabled = false;
+    span_sample_every = 16;
+    span_capacity = 65536;
   }
 
 let rate_mode t =

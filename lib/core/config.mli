@@ -36,6 +36,11 @@ type t = {
       (** record structured telemetry trace events; when [false] (default)
           the trace ring costs one boolean test per would-be event *)
   trace_capacity : int;  (** bounded trace ring size (events) *)
+  span_enabled : bool;
+      (** per-packet latency span tracing; when [false] (default) every span
+          hook costs a single integer comparison *)
+  span_sample_every : int;  (** sample one packet in N at each origin *)
+  span_capacity : int;  (** bounded span-event ring size *)
 }
 
 val default : t

@@ -10,6 +10,7 @@ module Ring = Tas_buffers.Ring_buffer
 module Ooo = Tas_buffers.Ooo_interval
 module Metrics = Tas_telemetry.Metrics
 module Trace = Tas_telemetry.Trace
+module Span = Tas_telemetry.Span
 
 type stats = {
   mutable rx_data_packets : int;
@@ -34,11 +35,12 @@ type t = {
   mutable exception_handler : Packet.t -> unit;
   stats : stats;
   trace : Trace.t;
+  span : Span.t;
   mutable busy_snapshot : int array;
   mutable last_rx_time : int array;  (* per-core, for idle blocking *)
 }
 
-let create ?trace sim ~nic ~cores ~config =
+let create ?trace ?span sim ~nic ~cores ~config =
   if Array.length cores = 0 then invalid_arg "Fast_path.create: no cores";
   {
     sim;
@@ -62,6 +64,7 @@ let create ?trace sim ~nic ~cores ~config =
         exceptions_forwarded = 0;
       };
     trace = (match trace with Some tr -> tr | None -> Trace.disabled ());
+    span = (match span with Some sp -> sp | None -> Span.disabled ());
     busy_snapshot = Array.make (Array.length cores) 0;
     last_rx_time = Array.make (Array.length cores) 0;
   }
@@ -71,6 +74,7 @@ let stats t = t.stats
 let config t = t.config
 let nic t = t.nic
 let trace t = t.trace
+let span t = t.span
 let set_exception_handler t f = t.exception_handler <- f
 let active_cores t = t.active
 
@@ -218,6 +222,13 @@ let rec maybe_send t flow core =
         let pkt =
           build_packet t flow ~flags:Tcp_header.data_flags ~seq ~payload
         in
+        if flow.Flow_state.tx_span >= 0 then begin
+          let id = flow.Flow_state.tx_span in
+          flow.Flow_state.tx_span <- -1;
+          pkt.Packet.span <- id;
+          Span.record t.span ~ts:(Sim.now t.sim) ~id ~hop:Span.Fp_tx
+            ~core:(Core.id core) ~flow:flow.Flow_state.opaque
+        end;
         Core.run core ~cat:Core.Tx ~cycles:(tx_cycles t) (fun () ->
             Nic.transmit t.nic pkt);
         maybe_send t flow core
@@ -368,6 +379,15 @@ let process_data t flow pkt core =
     end;
     Ring.advance_head flow.Flow_state.rx_buf advance;
     flow.Flow_state.ack <- Seq32.add flow.Flow_state.ack advance;
+    if pkt.Packet.span >= 0 then begin
+      Span.record t.span ~ts:(Sim.now t.sim) ~id:pkt.Packet.span
+        ~hop:Span.Ctx_notify ~core:(Core.id core)
+        ~flow:flow.Flow_state.opaque;
+      (* Carry the span across the coalesced context queue to the app's
+         read; first sampled packet wins until delivery clears it. *)
+      if flow.Flow_state.rx_span < 0 then
+        flow.Flow_state.rx_span <- pkt.Packet.span
+    end;
     (match find_context t flow.Flow_state.context with
     | Some ctx -> Context.post_readable ctx flow
     | None -> () (* application exited; flow teardown in progress *));
@@ -390,6 +410,9 @@ let process_data t flow pkt core =
     send_ack t flow ~ece:ce
 
 let process t pkt core =
+  if pkt.Packet.span >= 0 then
+    Span.record t.span ~ts:(Sim.now t.sim) ~id:pkt.Packet.span
+      ~hop:Span.Fp_rx ~core:(Core.id core) ~flow:(-1);
   let tcp = pkt.Packet.tcp in
   let flags = tcp.Tcp_header.flags in
   if flags.Tcp_header.syn || flags.Tcp_header.rst || flags.Tcp_header.fin then begin

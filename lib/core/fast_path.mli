@@ -25,13 +25,17 @@ type stats = {
 
 val create :
   ?trace:Tas_telemetry.Trace.t ->
+  ?span:Tas_telemetry.Span.t ->
   Tas_engine.Sim.t ->
   nic:Tas_netsim.Nic.t ->
   cores:Tas_cpu.Core.t array ->
   config:Config.t ->
   t
 (** [trace] is the structured trace-event ring; defaults to a disabled
-    ring (one boolean test per would-be event). *)
+    ring (one boolean test per would-be event). [span] is the per-packet
+    latency span collector, shared with the peer host and the network
+    elements between them; defaults to disabled (one integer comparison
+    per span hook). *)
 
 val attach : t -> unit
 (** Install the NIC receive handler: packets are charged and processed on
@@ -46,6 +50,7 @@ val stats : t -> stats
 val config : t -> Config.t
 val nic : t -> Tas_netsim.Nic.t
 val trace : t -> Tas_telemetry.Trace.t
+val span : t -> Tas_telemetry.Span.t
 
 val register : t -> Tas_telemetry.Metrics.t -> unit
 (** Register the fast path's counters ([fp_*]) plus active-core and

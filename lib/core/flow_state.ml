@@ -31,6 +31,8 @@ type t = {
   mutable fin_received : bool;
   mutable fin_sent : bool;
   mutable rx_closed : bool;
+  mutable tx_span : int;
+  mutable rx_span : int;
 }
 
 let create ~opaque ~context ~bucket ~rx_buf_size ~tx_buf_size ~local_port
@@ -65,6 +67,8 @@ let create ~opaque ~context ~bucket ~rx_buf_size ~tx_buf_size ~local_port
     fin_received = false;
     fin_sent = false;
     rx_closed = false;
+    tx_span = -1;
+    rx_span = -1;
   }
 
 let tuple t ~local_ip =
@@ -85,3 +89,48 @@ let tx_available t = Ring.used t.tx_buf - t.tx_sent
 
 (* Table 3: 102 bytes. *)
 let state_bytes = 102
+
+let to_json t =
+  let module J = Tas_telemetry.Json in
+  let bucket =
+    match Rate_bucket.mode t.bucket with
+    | Rate_bucket.Rate bps ->
+      J.Obj [ ("mode", J.Str "rate"); ("rate_bps", J.Float bps) ]
+    | Rate_bucket.Window w ->
+      J.Obj [ ("mode", J.Str "window"); ("cwnd_bytes", J.Int w) ]
+  in
+  let ooo =
+    match Tas_buffers.Ooo_interval.interval t.ooo with
+    | None -> J.Null
+    | Some (start, len) ->
+      J.Obj [ ("start", J.Int start); ("len", J.Int len) ]
+  in
+  J.Obj
+    [
+      ("opaque", J.Int t.opaque);
+      ("context", J.Int t.context);
+      ("peer", J.Str
+         (Printf.sprintf "%s:%d" (Tas_proto.Addr.ipv4_to_string t.peer_ip)
+            t.peer_port));
+      ("local_port", J.Int t.local_port);
+      ("seq", J.Int t.seq);
+      ("ack", J.Int t.ack);
+      ("snd_una", J.Int (snd_una t));
+      ("tx_sent", J.Int t.tx_sent);
+      ("tx_avail", J.Int (tx_available t));
+      ("tx_buf_used", J.Int (Ring.used t.tx_buf));
+      ("tx_buf_free", J.Int (Ring.free t.tx_buf));
+      ("rx_buf_used", J.Int (Ring.used t.rx_buf));
+      ("rx_buf_free", J.Int (Ring.free t.rx_buf));
+      ("window", J.Int t.window);
+      ("dupack_cnt", J.Int t.dupack_cnt);
+      ("in_recovery", J.Bool t.in_recovery);
+      ("bucket", bucket);
+      ("ooo", ooo);
+      ("cnt_ackb", J.Int t.cnt_ackb);
+      ("cnt_ecnb", J.Int t.cnt_ecnb);
+      ("cnt_frexmits", J.Int t.cnt_frexmits);
+      ("rtt_est_ns", J.Int t.rtt_est);
+      ("fin_received", J.Bool t.fin_received);
+      ("fin_sent", J.Bool t.fin_sent);
+    ]

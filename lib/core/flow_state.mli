@@ -39,6 +39,11 @@ type t = {
   mutable fin_received : bool;
   mutable fin_sent : bool;
   mutable rx_closed : bool;
+  mutable tx_span : int;
+      (** pending latency-span id carried from the app's send across the
+          coalesced context-queue boundary to the next data transmit;
+          [-1] when none *)
+  mutable rx_span : int;  (** likewise, fast-path delivery to app read *)
 }
 
 val create :
@@ -71,3 +76,8 @@ val tx_available : t -> int
 
 val state_bytes : int
 (** Size of the paper's per-flow record: 102 bytes. *)
+
+val to_json : t -> Tas_telemetry.Json.t
+(** Snapshot of the Table-3 record (sequence/ack state, buffer occupancy,
+    rate bucket, dup-ACK and recovery state, out-of-order interval, slow-path
+    collection counters, RTT estimate) as a deterministic JSON object. *)

@@ -13,3 +13,23 @@ let find t k = Tbl.find_opt t k
 let remove t k = Tbl.remove t k
 let count t = Tbl.length t
 let iter t f = Tbl.iter f t
+
+let dump t =
+  let module J = Tas_telemetry.Json in
+  let rows = ref [] in
+  Tbl.iter
+    (fun tuple fl ->
+      let j =
+        match Flow_state.to_json fl with
+        | J.Obj fields ->
+          J.Obj
+            (( "tuple",
+               J.Str
+                 (Format.asprintf "%a" Tas_proto.Addr.Four_tuple.pp tuple) )
+            :: fields)
+        | j -> j
+      in
+      rows := (fl.Flow_state.opaque, j) :: !rows)
+    t;
+  let rows = List.sort (fun (a, _) (b, _) -> compare a b) !rows in
+  J.List (List.map snd rows)

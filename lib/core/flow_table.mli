@@ -12,3 +12,8 @@ val find : t -> Tas_proto.Addr.Four_tuple.t -> Flow_state.t option
 val remove : t -> Tas_proto.Addr.Four_tuple.t -> unit
 val count : t -> int
 val iter : t -> (Tas_proto.Addr.Four_tuple.t -> Flow_state.t -> unit) -> unit
+
+val dump : t -> Tas_telemetry.Json.t
+(** All per-flow records as a JSON list (each {!Flow_state.to_json} plus its
+    4-tuple), sorted by opaque id so output is deterministic regardless of
+    hash-table iteration order. *)

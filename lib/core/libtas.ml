@@ -2,6 +2,7 @@ module Sim = Tas_engine.Sim
 module Core = Tas_cpu.Core
 module Ring = Tas_buffers.Ring_buffer
 module Metrics = Tas_telemetry.Metrics
+module Span = Tas_telemetry.Span
 
 type api = Sockets | Lowlevel
 
@@ -106,6 +107,13 @@ and dispatch t event =
         let n = Ring.pop flow.Flow_state.rx_buf ~dst:buf ~dst_off:0 ~len:available in
         assert (n = available);
         t.stats.rx_bytes <- t.stats.rx_bytes + n;
+        if flow.Flow_state.rx_span >= 0 then begin
+          Span.record (Fast_path.span t.fp) ~ts:(Sim.now t.sim)
+            ~id:flow.Flow_state.rx_span ~hop:Span.App_deliver
+            ~core:(Core.id t.contexts.(sock.ctx_index).core)
+            ~flow:flow.Flow_state.opaque;
+          flow.Flow_state.rx_span <- -1
+        end;
         sock.handlers.on_data sock buf
       end;
       if
@@ -250,7 +258,15 @@ let send sock data =
     else begin
       let n = Ring.push flow.Flow_state.tx_buf data ~off:0 ~len:(Bytes.length data) in
       sock.owner.stats.tx_bytes <- sock.owner.stats.tx_bytes + n;
-      if n > 0 then Fast_path.notify_tx sock.owner.fp flow;
+      if n > 0 then begin
+        let sp = Fast_path.span sock.owner.fp in
+        if Span.enabled sp && flow.Flow_state.tx_span < 0 then
+          flow.Flow_state.tx_span <-
+            Span.start sp ~ts:(Sim.now sock.owner.sim) ~hop:Span.App_send
+              ~core:(Core.id sock.owner.contexts.(sock.ctx_index).core)
+              ~flow:flow.Flow_state.opaque;
+        Fast_path.notify_tx sock.owner.fp flow
+      end;
       if n < Bytes.length data then flow.Flow_state.tx_interest <- true;
       n
     end

@@ -63,6 +63,14 @@ type flow_entry = {
   mutable removed : bool;
 }
 
+type lifecycle_event = {
+  lc_ts : Tas_engine.Time_ns.t;
+  lc_event : string;
+  lc_tuple : Addr.Four_tuple.t;
+}
+
+let lifecycle_limit = 1024
+
 type t = {
   sim : Sim.t;
   fp : Fast_path.t;
@@ -71,12 +79,45 @@ type t = {
   listeners : (int, Addr.Four_tuple.t -> (int * int * conn_callbacks) option) Hashtbl.t;
   pending : pending Tuple_tbl.t;
   entries : flow_entry Tuple_tbl.t;
+  lifecycle : lifecycle_event Queue.t;
+  mutable lifecycle_dropped : int;
   mutable next_iss : int;
   mutable conn_setups : int;
   mutable conn_teardowns : int;
   mutable timeout_retransmits : int;
   mutable scale_observer : Tas_engine.Time_ns.t -> int -> unit;
 }
+
+(* Connection lifecycle log: a bounded FIFO of (timestamp, event, tuple).
+   Oldest entries are discarded once full — recent history matters most for
+   post-hoc diagnosis, and the slow path must stay allocation-bounded. *)
+let lifecycle_ev t event tuple =
+  if Queue.length t.lifecycle >= lifecycle_limit then begin
+    ignore (Queue.pop t.lifecycle);
+    t.lifecycle_dropped <- t.lifecycle_dropped + 1
+  end;
+  Queue.add { lc_ts = Sim.now t.sim; lc_event = event; lc_tuple = tuple }
+    t.lifecycle
+
+let lifecycle_json t =
+  let module J = Tas_telemetry.Json in
+  let evs =
+    Queue.fold
+      (fun acc e ->
+        J.Obj
+          [
+            ("ts_ns", J.Int e.lc_ts);
+            ("event", J.Str e.lc_event);
+            ("tuple", J.Str (Format.asprintf "%a" Addr.Four_tuple.pp e.lc_tuple));
+          ]
+        :: acc)
+      [] t.lifecycle
+  in
+  J.Obj
+    [
+      ("dropped", J.Int t.lifecycle_dropped);
+      ("events", J.List (List.rev evs));
+    ]
 
 let flow_count t = Tuple_tbl.length t.entries
 let conn_setups t = t.conn_setups
@@ -166,6 +207,7 @@ let rec arm_pending_timer t p =
            if Tuple_tbl.mem t.pending p.p_tuple then begin
              if p.p_retries >= 5 then begin
                Tuple_tbl.remove t.pending p.p_tuple;
+               lifecycle_ev t "handshake_failed" p.p_tuple;
                p.p_cb.failed ()
              end
              else begin
@@ -235,6 +277,7 @@ let establish t p =
   Fast_path.install_flow t.fp ~tuple:p.p_tuple flow;
   t.conn_setups <- t.conn_setups + 1;
   trace_ev t Trace.Conn_setup ~flow:flow.Flow_state.opaque;
+  lifecycle_ev t "established" p.p_tuple;
   Log.debug (fun m ->
       m "established %a" Addr.Four_tuple.pp p.p_tuple);
   p.p_cb.established flow;
@@ -250,6 +293,7 @@ let remove_entry t entry =
     Tuple_tbl.remove t.entries entry.f_tuple;
     t.conn_teardowns <- t.conn_teardowns + 1;
     trace_ev t Trace.Conn_teardown ~flow:entry.flow.Flow_state.opaque;
+    lifecycle_ev t "closed" entry.f_tuple;
     Log.debug (fun m -> m "removed %a" Addr.Four_tuple.pp entry.f_tuple);
     entry.f_cb.closed entry.flow
   end
@@ -326,6 +370,7 @@ let handle_syn t pkt tuple =
             }
           in
           Tuple_tbl.add t.pending tuple p;
+          lifecycle_ev t "syn_received" tuple;
           send_synack t p;
           arm_pending_timer t p
       end
@@ -372,6 +417,7 @@ let handle_handshake_ack t pkt tuple =
       when entry.flow.Flow_state.fin_sent
            && tcp.Tcp_header.ack = Seq32.add (fin_seq entry) 1 ->
       entry.fin_acked <- true;
+      lifecycle_ev t "fin_acked" entry.f_tuple;
       if not entry.flow.Flow_state.fin_received then
         (* Half-closed: wait for the peer's FIN. *)
         ()
@@ -396,6 +442,7 @@ let handle_fin t pkt tuple =
            ~ack_no:flow.Flow_state.ack
            ~window:(min 65535 t.config.Config.rx_buf_size)
            ~with_mss:false ~ts_ecr:flow.Flow_state.ts_recent);
+      lifecycle_ev t "peer_fin" entry.f_tuple;
       entry.f_cb.peer_closed flow;
       maybe_finish_teardown t entry
     end
@@ -409,6 +456,7 @@ let handle_fin t pkt tuple =
            ~with_mss:false ~ts_ecr:flow.Flow_state.ts_recent)
 
 let handle_rst t tuple =
+  lifecycle_ev t "rst" tuple;
   (match Tuple_tbl.find_opt t.pending tuple with
   | Some p ->
     cancel_pending_timer t p;
@@ -572,6 +620,8 @@ let create sim ~fast_path ~core ~config =
       listeners = Hashtbl.create 16;
       pending = Tuple_tbl.create 64;
       entries = Tuple_tbl.create 1024;
+      lifecycle = Queue.create ();
+      lifecycle_dropped = 0;
       next_iss = 7;
       conn_setups = 0;
       conn_teardowns = 0;
@@ -637,6 +687,7 @@ let connect t ~opaque ~context_id ~dst_ip ~dst_port cb =
         }
       in
       Tuple_tbl.add t.pending tuple p;
+      lifecycle_ev t "syn_sent" tuple;
       send_syn t p;
       arm_pending_timer t p)
 
@@ -648,6 +699,7 @@ let close t flow =
       | Some entry ->
         if not entry.close_requested then begin
           entry.close_requested <- true;
+          lifecycle_ev t "close_requested" entry.f_tuple;
           try_emit_fin t entry
         end)
 

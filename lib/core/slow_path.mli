@@ -60,6 +60,13 @@ val conn_setups : t -> int
 val conn_teardowns : t -> int
 val timeout_retransmits : t -> int
 
+val lifecycle_json : t -> Tas_telemetry.Json.t
+(** The connection-lifecycle event log as JSON: a bounded FIFO (most recent
+    1024 events) of timestamped [syn_sent] / [syn_received] / [established]
+    / [close_requested] / [fin_acked] / [peer_fin] / [closed] /
+    [handshake_failed] / [rst] transitions with their 4-tuples, plus a count
+    of events discarded once the buffer filled. *)
+
 val register : t -> Tas_telemetry.Metrics.t -> unit
 (** Register the slow path's counters ([sp_*]) plus flow/handshake gauges
     into a metrics registry (read-through closures; the existing mutable

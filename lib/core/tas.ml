@@ -1,6 +1,8 @@
 module Core = Tas_cpu.Core
 module Metrics = Tas_telemetry.Metrics
 module Trace = Tas_telemetry.Trace
+module Span = Tas_telemetry.Span
+module Json = Tas_telemetry.Json
 
 type t = {
   sim : Tas_engine.Sim.t;
@@ -11,6 +13,7 @@ type t = {
   sp_core : Core.t;
   metrics : Metrics.t;
   tracer : Trace.t;
+  spans : Span.t;
   mutable next_app : int;
 }
 
@@ -30,7 +33,7 @@ let register_core_breakdown m ~role core =
         (fun () -> float_of_int (Core.busy_ns_of core cat)))
     Core.categories
 
-let create sim ~nic ~config ?(freq_ghz = 2.1) () =
+let create sim ~nic ~config ?span ?(freq_ghz = 2.1) () =
   let fp_cores =
     Array.init config.Config.max_fast_path_cores (fun i ->
         Core.create sim ~freq_ghz ~id:i ())
@@ -41,7 +44,19 @@ let create sim ~nic ~config ?(freq_ghz = 2.1) () =
       Trace.create ~enabled:true ~capacity:config.Config.trace_capacity ()
     else Trace.disabled ()
   in
-  let fp = Fast_path.create ~trace:tracer sim ~nic ~cores:fp_cores ~config in
+  let spans =
+    match span with
+    | Some sp -> sp
+    | None ->
+      if config.Config.span_enabled then
+        Span.create ~enabled:true
+          ~sample_every:config.Config.span_sample_every
+          ~capacity:config.Config.span_capacity ()
+      else Span.disabled ()
+  in
+  let fp =
+    Fast_path.create ~trace:tracer ~span:spans sim ~nic ~cores:fp_cores ~config
+  in
   Fast_path.attach fp;
   (* Start with a single active core when scaling dynamically; at the
      configured maximum otherwise. *)
@@ -54,7 +69,8 @@ let create sim ~nic ~config ?(freq_ghz = 2.1) () =
   Tas_netsim.Nic.register nic metrics ();
   Array.iter (register_core_breakdown metrics ~role:"fp") fp_cores;
   register_core_breakdown metrics ~role:"sp" sp_core;
-  { sim; config; fp; sp; fp_cores; sp_core; metrics; tracer; next_app = 0 }
+  { sim; config; fp; sp; fp_cores; sp_core; metrics; tracer; spans;
+    next_app = 0 }
 
 let fast_path t = t.fp
 let slow_path t = t.sp
@@ -63,6 +79,7 @@ let fp_cores t = t.fp_cores
 let sp_core t = t.sp_core
 let metrics t = t.metrics
 let trace t = t.tracer
+let span t = t.spans
 
 let app t ~app_cores ~api =
   let lt = Libtas.create t.sim ~fast_path:t.fp ~slow_path:t.sp ~app_cores ~api () in
@@ -129,6 +146,54 @@ let snapshot t =
     fp_busy_ms = float_of_int (fp_busy_ns t) /. 1e6;
     sp_busy_ms = float_of_int (Core.busy_ns t.sp_core) /. 1e6;
   }
+
+(* --- Flow introspection -------------------------------------------------- *)
+
+let flows t =
+  Json.Obj
+    [
+      ("now_ns", Json.Int (Tas_engine.Sim.now t.sim));
+      ("count", Json.Int (Flow_table.count (Fast_path.flows t.fp)));
+      ("flows", Flow_table.dump (Fast_path.flows t.fp));
+      ("lifecycle", Slow_path.lifecycle_json t.sp);
+    ]
+
+let pp_flows fmt t =
+  let rows = ref [] in
+  Flow_table.iter (Fast_path.flows t.fp) (fun tuple fl -> rows := (tuple, fl) :: !rows);
+  let rows =
+    List.sort
+      (fun (_, a) (_, b) -> compare a.Flow_state.opaque b.Flow_state.opaque)
+      !rows
+  in
+  Format.fprintf fmt "@[<v>%d flows at t=%dns@," (List.length rows)
+    (Tas_engine.Sim.now t.sim);
+  List.iter
+    (fun (tuple, fl) ->
+      let module Ring = Tas_buffers.Ring_buffer in
+      let state =
+        if fl.Flow_state.fin_sent || fl.Flow_state.fin_received then "CLOSING"
+        else if fl.Flow_state.in_recovery then "RECOVERY"
+        else "ESTAB"
+      in
+      let rate =
+        match Rate_bucket.mode fl.Flow_state.bucket with
+        | Rate_bucket.Rate bps -> Printf.sprintf "rate %.1fMbps" (bps /. 1e6)
+        | Rate_bucket.Window w -> Printf.sprintf "cwnd %dB" w
+      in
+      Format.fprintf fmt
+        "%-8s %a  txq %d/%d inflight %d rxq %d  wnd %d  %s  rtt %dus \
+         dupacks %d frexmits %d@,"
+        state Tas_proto.Addr.Four_tuple.pp tuple
+        (Ring.used fl.Flow_state.tx_buf)
+        (Ring.capacity fl.Flow_state.tx_buf)
+        fl.Flow_state.tx_sent
+        (Ring.used fl.Flow_state.rx_buf)
+        fl.Flow_state.window rate
+        (fl.Flow_state.rtt_est / 1000)
+        fl.Flow_state.dupack_cnt fl.Flow_state.cnt_frexmits)
+    rows;
+  Format.fprintf fmt "@]"
 
 let pp_snapshot fmt s =
   Format.fprintf fmt

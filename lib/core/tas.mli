@@ -7,12 +7,18 @@ val create :
   Tas_engine.Sim.t ->
   nic:Tas_netsim.Nic.t ->
   config:Config.t ->
+  ?span:Tas_telemetry.Span.t ->
   ?freq_ghz:float ->
   unit ->
   t
 (** Creates [config.max_fast_path_cores] fast-path cores (threads exist for
     the maximum; inactive ones block, §3.4) and one slow-path core, attaches
-    the fast path to the NIC, and starts the slow path. *)
+    the fast path to the NIC, and starts the slow path.
+
+    [span] supplies a latency-span collector shared with the peer host and
+    the network path (two-host tracing needs one collector for the whole
+    topology); when omitted, one is built from [config.span_enabled] /
+    [span_sample_every] / [span_capacity] — disabled by default. *)
 
 val fast_path : t -> Fast_path.t
 val slow_path : t -> Slow_path.t
@@ -29,6 +35,18 @@ val trace : t -> Tas_telemetry.Trace.t
 (** The instance's trace ring (shared by fast and slow path). Disabled — a
     single boolean test per would-be event — unless
     [config.trace_enabled]. *)
+
+val span : t -> Tas_telemetry.Span.t
+(** The instance's latency-span collector (see {!create}). *)
+
+val flows : t -> Tas_telemetry.Json.t
+(** Point-in-time flow introspection: the simulated time, every per-flow
+    Table-3 record ({!Flow_table.dump}) and the slow path's
+    connection-lifecycle event log, as one JSON object — what [ss -ti]
+    would show for this host. *)
+
+val pp_flows : Format.formatter -> t -> unit
+(** Human-readable one-line-per-flow rendering of the same snapshot. *)
 
 val cycle_breakdown : t -> (Tas_cpu.Core.category * int) list
 (** Busy nanoseconds per module category, summed over the fast-path cores

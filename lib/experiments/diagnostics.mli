@@ -1,0 +1,38 @@
+(** The diagnostics scenario behind [tas_run flows] / [trace] / [top] and
+    the "sp" experiment: an RPC-echo workload with TAS on both the client
+    and the server host of a star topology, and one span collector wired
+    into every hop (libTAS, fast path, NICs, link ports, switch), so
+    sampled packets produce causal spans covering the full
+    app-to-app path. *)
+
+type t = {
+  sim : Tas_engine.Sim.t;
+  span : Tas_telemetry.Span.t;
+  net : Tas_netsim.Topology.star;
+  server : Tas_core.Tas.t;
+  client : Tas_core.Tas.t;
+  stats : Tas_apps.Rpc_echo.stats;
+}
+
+val build :
+  ?sample_every:int ->
+  ?capacity:int ->
+  ?n_conns:int ->
+  ?msg_size:int ->
+  ?pipeline:int ->
+  unit ->
+  t
+(** Defaults: sample 1 packet in 16 per origin, 65536-event ring, 8
+    connections of 64-byte pipelined (depth 4) echo RPCs. Deterministic:
+    same parameters, same event stream. *)
+
+val run : t -> duration_ns:Tas_engine.Time_ns.t -> unit
+
+val run_with_tick :
+  t ->
+  duration_ns:Tas_engine.Time_ns.t ->
+  every_ns:Tas_engine.Time_ns.t ->
+  (unit -> unit) ->
+  unit
+(** Like {!run} but invokes the callback every [every_ns] of simulated time
+    (the refresh driver for [tas_run top]). *)

@@ -1,0 +1,94 @@
+(* Span tracing showcase ("sp"): run the diagnostics scenario (TAS on both
+   hosts of a star, one shared span collector) and decompose sampled
+   packets' end-to-end latency into per-hop segments. The breakdown, the
+   sampling accounting, and the raw drained events land in BENCH_sp.json;
+   `tas_run trace` uses the same scenario to emit Chrome trace JSON. *)
+
+module Time_ns = Tas_engine.Time_ns
+module Stats = Tas_engine.Stats
+module Span = Tas_telemetry.Span
+module J = Tas_telemetry.Json
+
+let hist_json h =
+  J.Obj
+    [
+      ("count", J.Int (Stats.Hist.count h));
+      ("mean_ns", J.Float (Stats.Hist.mean h));
+      ("p50_ns", J.Float (Stats.Hist.percentile h 50.));
+      ("p99_ns", J.Float (Stats.Hist.percentile h 99.));
+      ("max_ns", J.Float (Stats.Hist.max_v h));
+    ]
+
+let run ?(quick = false) fmt =
+  Report.section fmt "Span tracing: per-hop latency decomposition";
+  Report.note fmt
+    "RPC echo with TAS on both hosts; every 16th packet origin starts a \
+     causal span recorded at each hop (libTAS, fast path, NIC, link \
+     queues, switch). Per-hop histograms decompose end-to-end latency";
+  let d = Diagnostics.build ~sample_every:16 ~n_conns:(if quick then 4 else 8) () in
+  Diagnostics.run d ~duration_ns:(if quick then Time_ns.ms 5 else Time_ns.ms 15);
+  let events = Span.drain d.Diagnostics.span in
+  let b = Span.breakdown events in
+  Report.table fmt
+    ~header:[ "segment"; "count"; "mean [us]"; "p50 [us]"; "p99 [us]" ]
+    ~rows:
+      (List.map
+         (fun s ->
+           let h = s.Span.seg_hist in
+           [
+             Span.hop_name s.Span.seg_from ^ "->" ^ Span.hop_name s.Span.seg_to;
+             string_of_int (Stats.Hist.count h);
+             Report.f2 (Stats.Hist.mean h /. 1e3);
+             Report.f2 (Stats.Hist.percentile h 50. /. 1e3);
+             Report.f2 (Stats.Hist.percentile h 99. /. 1e3);
+           ])
+         b.Span.segments);
+  let e2e = b.Span.end_to_end in
+  Report.kv fmt "spans" (string_of_int b.Span.spans);
+  Report.kv fmt "complete spans (app-to-app)" (string_of_int b.Span.complete);
+  Report.kv fmt "end-to-end mean [us]"
+    (Report.f2 (Stats.Hist.mean e2e /. 1e3));
+  Report.kv fmt "end-to-end p99 [us]"
+    (Report.f2 (Stats.Hist.percentile e2e 99. /. 1e3));
+  (* Decomposition check: per-span segment durations sum exactly to that
+     span's end-to-end latency, so the totals must agree (histogram means
+     are exact sums/counts, so this is exact in practice). *)
+  let seg_total =
+    List.fold_left
+      (fun acc s ->
+        acc
+        +. (Stats.Hist.mean s.Span.seg_hist
+            *. float_of_int (Stats.Hist.count s.Span.seg_hist)))
+      0.0 b.Span.segments
+  in
+  let e2e_total = Stats.Hist.mean e2e *. float_of_int (Stats.Hist.count e2e) in
+  Report.kv fmt "hop-sum / end-to-end total"
+    (if e2e_total = 0.0 then "-" else Report.f2 (seg_total /. e2e_total));
+  Report.kv fmt "origins offered" (string_of_int (Span.offered d.Diagnostics.span));
+  Report.kv fmt "spans started" (string_of_int (Span.started d.Diagnostics.span));
+  Report.kv fmt "events dropped (ring full)"
+    (string_of_int (Span.dropped d.Diagnostics.span));
+  Report.attach "span"
+    (J.Obj
+       [
+         ("offered", J.Int (Span.offered d.Diagnostics.span));
+         ("started", J.Int (Span.started d.Diagnostics.span));
+         ("recorded", J.Int (Span.recorded d.Diagnostics.span));
+         ("dropped", J.Int (Span.dropped d.Diagnostics.span));
+         ("spans", J.Int b.Span.spans);
+         ("complete", J.Int b.Span.complete);
+         ("end_to_end", hist_json e2e);
+         ( "segments",
+           J.List
+             (List.map
+                (fun s ->
+                  J.Obj
+                    [
+                      ("from", J.Str (Span.hop_name s.Span.seg_from));
+                      ("to", J.Str (Span.hop_name s.Span.seg_to));
+                      ("hist", hist_json s.Span.seg_hist);
+                    ])
+                b.Span.segments) );
+       ]);
+  Report.attach "rpcs"
+    (J.Int (Stats.Counter.value d.Diagnostics.stats.Tas_apps.Rpc_echo.completed))

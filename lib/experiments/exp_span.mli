@@ -1,0 +1,4 @@
+(** The "sp" experiment: span-traced RPC echo with per-hop latency
+    decomposition (see {!Diagnostics}). *)
+
+val run : ?quick:bool -> Format.formatter -> unit

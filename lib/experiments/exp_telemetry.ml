@@ -29,7 +29,11 @@ let run ?(quick = false) fmt =
     Scenario.build_server sim ~nic:net.Topology.server.Topology.nic
       ~kind:Scenario.Tas_so ~total_cores:4 ~app_cycles
       ~tas_patch:(fun c ->
-        { c with Config.trace_enabled = true; trace_capacity = 65536 })
+        {
+          c with
+          Config.trace_enabled = true;
+          trace_capacity = Run_opts.trace_capacity ~default:65536;
+        })
       ()
   in
   Rpc_echo.server server.Scenario.transport ~port:7 ~msg_size ~app_cycles;

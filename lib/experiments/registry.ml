@@ -50,16 +50,15 @@ let all =
       run = Exp_ablation.x4_nic_offload };
     { id = "tm"; title = "Telemetry: metrics registry + cycle breakdown + trace";
       run = Exp_telemetry.run };
+    { id = "sp"; title = "Span tracing: per-hop latency decomposition";
+      run = Exp_span.run };
   ]
 
 let find id = List.find_opt (fun e -> String.lowercase_ascii id = e.id) all
 
 module J = Tas_telemetry.Json
 
-let bench_dir () =
-  match Sys.getenv_opt "TAS_BENCH_DIR" with
-  | Some d when d <> "" -> d
-  | _ -> "."
+let bench_dir = Run_opts.bench_dir
 
 let write_artifact e ~quick ~elapsed body =
   let j =
@@ -78,7 +77,8 @@ let write_artifact e ~quick ~elapsed body =
   let oc = open_out path in
   output_string oc (J.to_string ~pretty:true j);
   output_char oc '\n';
-  close_out oc
+  close_out oc;
+  path
 
 let run_entry ?quick e fmt =
   Report.Artifact.start ();
@@ -86,7 +86,9 @@ let run_entry ?quick e fmt =
   e.run ?quick fmt;
   let elapsed = Unix.gettimeofday () -. t0 in
   let body = Report.Artifact.finish () in
-  (try write_artifact e ~quick:(quick = Some true) ~elapsed body
+  (try
+     let path = write_artifact e ~quick:(quick = Some true) ~elapsed body in
+     Format.fprintf fmt "  # artifact: %s@." path
    with Sys_error msg ->
      Format.fprintf fmt "  # BENCH_%s.json not written: %s@." e.id msg);
   elapsed

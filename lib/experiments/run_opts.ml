@@ -1,0 +1,14 @@
+let bench_dir_override = ref None
+let set_bench_dir d = bench_dir_override := Some d
+
+let bench_dir () =
+  match !bench_dir_override with
+  | Some d -> d
+  | None -> (
+    match Sys.getenv_opt "TAS_BENCH_DIR" with
+    | Some d when d <> "" -> d
+    | _ -> ".")
+
+let trace_capacity_override = ref None
+let set_trace_capacity n = trace_capacity_override := Some n
+let trace_capacity ~default = Option.value !trace_capacity_override ~default

@@ -1,0 +1,17 @@
+(** Process-wide run options shared between the CLI and the experiment
+    modules.
+
+    The registry writes [BENCH_<id>.json] artifacts and experiments size
+    their trace rings; both consult this module so [tas_run]'s [--bench-dir]
+    and [--trace-capacity] flags can override the defaults without
+    threading parameters through every experiment entry point. *)
+
+val set_bench_dir : string -> unit
+
+val bench_dir : unit -> string
+(** CLI override if set, else [$TAS_BENCH_DIR], else ["."]. *)
+
+val set_trace_capacity : int -> unit
+
+val trace_capacity : default:int -> int
+(** CLI override if set, else [default]. *)

@@ -57,7 +57,7 @@ let core_split kind ~total ~app_cycles =
     end
 
 let build_server sim ~nic ~kind ~total_cores ?(app_cycles = 680)
-    ?(buf_size = 16384) ?(tas_patch = fun c -> c) ?split () =
+    ?(buf_size = 16384) ?(tas_patch = fun c -> c) ?split ?span () =
   let app_n, stack_n =
     match split with
     | Some s -> s
@@ -78,7 +78,7 @@ let build_server sim ~nic ~kind ~total_cores ?(app_cycles = 680)
           tx_buf_size = buf_size;
         }
     in
-    let tas = Tas.create sim ~nic ~config () in
+    let tas = Tas.create sim ~nic ~config ?span () in
     let api = if kind = Tas_ll then Libtas.Lowlevel else Libtas.Sockets in
     let lt = Tas.app tas ~app_cores ~api in
     let n = Array.length app_cores in

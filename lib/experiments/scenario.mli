@@ -31,11 +31,13 @@ val build_server :
   ?buf_size:int ->
   ?tas_patch:(Tas_core.Config.t -> Tas_core.Config.t) ->
   ?split:int * int ->
+  ?span:Tas_telemetry.Span.t ->
   unit ->
   server
 (** [buf_size] sets both per-connection buffer sizes (default 16 KB; shrink
     for 100 K-connection runs). [app_cycles] (default 680) informs the core
-    split. *)
+    split. [span] attaches a latency-span collector to TAS-kind servers
+    (ignored for baseline stacks). *)
 
 val client_transport :
   Tas_engine.Sim.t -> Tas_netsim.Topology.endpoint -> ?buf_size:int -> unit ->

@@ -1,8 +1,10 @@
 module Packet = Tas_proto.Packet
+module Span = Tas_telemetry.Span
 
 let rss_table_size = 128
 
 type t = {
+  sim : Tas_engine.Sim.t;
   ip : Tas_proto.Addr.ipv4;
   mac : Tas_proto.Addr.mac;
   num_queues : int;
@@ -14,6 +16,8 @@ type t = {
   mutable tx_packets : int;
   mutable rx_bytes : int;
   mutable tx_bytes : int;
+  mutable span : Span.t;
+  mutable span_origin : bool;
 }
 
 let rewrite_table t n =
@@ -21,10 +25,11 @@ let rewrite_table t n =
     t.rss_table.(i) <- i mod n
   done
 
-let create _sim ~ip ~mac ~num_queues ~tx_port () =
+let create sim ~ip ~mac ~num_queues ~tx_port () =
   if num_queues <= 0 then invalid_arg "Nic.create: need at least one queue";
   let t =
     {
+      sim;
       ip;
       mac;
       num_queues;
@@ -36,6 +41,8 @@ let create _sim ~ip ~mac ~num_queues ~tx_port () =
       tx_packets = 0;
       rx_bytes = 0;
       tx_bytes = 0;
+      span = Span.disabled ();
+      span_origin = false;
     }
   in
   rewrite_table t num_queues;
@@ -46,15 +53,31 @@ let mac t = t.mac
 let num_queues t = t.num_queues
 let set_rx_handler t f = t.rx_handler <- f
 
+let set_span t ?(origin = false) span =
+  t.span <- span;
+  t.span_origin <- origin
+
 let input t pkt =
   t.rx_packets <- t.rx_packets + 1;
   t.rx_bytes <- t.rx_bytes + Packet.wire_size pkt;
+  if Span.enabled t.span then begin
+    let ts = Tas_engine.Sim.now t.sim in
+    if pkt.Packet.span >= 0 then
+      Span.record t.span ~ts ~id:pkt.Packet.span ~hop:Span.Nic_rx ~core:(-1)
+        ~flow:(-1)
+    else if t.span_origin then
+      pkt.Packet.span <-
+        Span.start t.span ~ts ~hop:Span.Nic_rx ~core:(-1) ~flow:(-1)
+  end;
   let queue = t.rss_table.(Packet.flow_hash pkt mod rss_table_size) in
   t.rx_handler ~queue pkt
 
 let transmit t pkt =
   t.tx_packets <- t.tx_packets + 1;
   t.tx_bytes <- t.tx_bytes + Packet.wire_size pkt;
+  if pkt.Packet.span >= 0 then
+    Span.record t.span ~ts:(Tas_engine.Sim.now t.sim) ~id:pkt.Packet.span
+      ~hop:Span.Nic_tx ~core:(-1) ~flow:(-1);
   Port.enqueue t.tx_port pkt
 
 let set_active_queues t n =

@@ -25,6 +25,12 @@ val set_rx_handler : t -> (queue:int -> Tas_proto.Packet.t -> unit) -> unit
 (** Install the host-side receive callback; invoked once per packet with the
     RSS-selected queue index. *)
 
+val set_span : t -> ?origin:bool -> Tas_telemetry.Span.t -> unit
+(** Attach a span collector: {!input} records a [Nic_rx] hop for annotated
+    packets and — with [origin] (default false) — starts new spans for
+    unannotated arrivals (the NIC-RX sampling origin); {!transmit} records
+    [Nic_tx] for annotated packets. Defaults to a disabled collector. *)
+
 val input : t -> Tas_proto.Packet.t -> unit
 (** Packet arriving from the network. *)
 

@@ -55,6 +55,14 @@ let write_file path records =
     ~finally:(fun () -> close_out oc)
     (fun () -> output_bytes oc (to_bytes records))
 
+let tap_records ?tuple tap =
+  match tuple with
+  | None -> Tap.records tap
+  | Some tu -> Tap.matching_tuple tap tu
+
+let of_tap ?tuple tap = to_bytes (tap_records ?tuple tap)
+let write_tap path ?tuple tap = write_file path (tap_records ?tuple tap)
+
 type parsed = { ts_ns : int; frame : bytes }
 
 let parse buf =

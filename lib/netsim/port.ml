@@ -1,8 +1,10 @@
 module Sim = Tas_engine.Sim
 module Packet = Tas_proto.Packet
 module Ipv4_header = Tas_proto.Ipv4_header
+module Span = Tas_telemetry.Span
 
 type t = {
+  mutable span : Span.t;
   sim : Sim.t;
   rate_bps : float;
   delay : int;
@@ -21,6 +23,7 @@ type t = {
 
 let create sim ~rate_bps ~delay ?(capacity_pkts = 1024) ?ecn_threshold () =
   {
+    span = Span.disabled ();
     sim;
     rate_bps;
     delay;
@@ -38,6 +41,12 @@ let create sim ~rate_bps ~delay ?(capacity_pkts = 1024) ?ecn_threshold () =
   }
 
 let set_deliver t f = t.deliver <- f
+let set_span t span = t.span <- span
+
+let span_hop t pkt hop =
+  if pkt.Packet.span >= 0 then
+    Span.record t.span ~ts:(Sim.now t.sim) ~id:pkt.Packet.span ~hop ~core:(-1)
+      ~flow:(-1)
 
 let tx_time_ns t pkt =
   let bits = float_of_int (Packet.wire_size pkt * 8) in
@@ -55,6 +64,7 @@ let rec start_transmission t =
            t.queued_bytes <- t.queued_bytes - Packet.wire_size pkt;
            t.tx_packets <- t.tx_packets + 1;
            t.tx_bytes <- t.tx_bytes + Packet.wire_size pkt;
+           span_hop t pkt Span.Port_out;
            (* Propagation delay, then hand to the far end. *)
            ignore (Sim.schedule t.sim t.delay (fun () -> t.deliver pkt));
            start_transmission t))
@@ -75,6 +85,7 @@ let enqueue t pkt =
         { pkt with Packet.ip = Ipv4_header.with_ce pkt.Packet.ip }
       | _ -> pkt
     in
+    span_hop t pkt Span.Port_q;
     Queue.add pkt t.queue;
     t.queued_bytes <- t.queued_bytes + Packet.wire_size pkt;
     if not t.transmitting then start_transmission t

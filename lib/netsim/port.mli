@@ -23,6 +23,11 @@ val set_deliver : t -> (Tas_proto.Packet.t -> unit) -> unit
 (** Install the far-end delivery callback. Must be set before traffic flows
     (two-phase construction breaks the port/NIC wiring cycle). *)
 
+val set_span : t -> Tas_telemetry.Span.t -> unit
+(** Attach a span collector: span-annotated packets record [Port_q] at
+    enqueue and [Port_out] when serialization completes, so the delta is
+    the packet's queueing + serialization delay on this link. *)
+
 val enqueue : t -> Tas_proto.Packet.t -> unit
 (** Queue a packet for transmission; drops (tail-drop) when full and marks
     CE above the ECN threshold. *)

@@ -1,5 +1,6 @@
 module Sim = Tas_engine.Sim
 module Packet = Tas_proto.Packet
+module Span = Tas_telemetry.Span
 
 type route = Single of int | Ecmp of int array
 
@@ -10,6 +11,7 @@ type t = {
   mutable port_count : int;
   routes : (Tas_proto.Addr.ipv4, route) Hashtbl.t;
   mutable no_route : int;
+  mutable span : Span.t;
 }
 
 let create sim ?(forwarding_delay = 500) () =
@@ -20,7 +22,10 @@ let create sim ?(forwarding_delay = 500) () =
     port_count = 0;
     routes = Hashtbl.create 64;
     no_route = 0;
+    span = Span.disabled ();
   }
+
+let set_span t span = t.span <- span
 
 let add_port t port =
   if t.port_count = Array.length t.ports then begin
@@ -57,6 +62,9 @@ let input t pkt =
     (match t.ports.(port_id) with
     | None -> t.no_route <- t.no_route + 1
     | Some out ->
+      if pkt.Packet.span >= 0 then
+        Span.record t.span ~ts:(Sim.now t.sim) ~id:pkt.Packet.span
+          ~hop:Span.Switch_fwd ~core:(-1) ~flow:(-1);
       if t.forwarding_delay = 0 then Port.enqueue out pkt
       else
         ignore

@@ -17,6 +17,10 @@ val add_port : t -> Port.t -> int
 
 val port : t -> int -> Port.t
 
+val set_span : t -> Tas_telemetry.Span.t -> unit
+(** Attach a span collector: span-annotated packets record a [Switch_fwd]
+    hop when a route is found, before the forwarding-pipeline delay. *)
+
 val add_route : t -> Tas_proto.Addr.ipv4 -> int -> unit
 (** Route a destination host to an output port. Overwrites existing. *)
 

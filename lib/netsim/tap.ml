@@ -20,6 +20,15 @@ let count t = Queue.length t.queue
 let clear t = Queue.clear t.queue
 let matching t pred = List.filter (fun r -> pred r.pkt) (records t)
 
+(* A packet belongs to a connection regardless of direction: match the
+   4-tuple as seen by the receiver, or its flip. *)
+let packet_matches_tuple tuple pkt =
+  let module Ft = Tas_proto.Addr.Four_tuple in
+  let at_rx = Packet.four_tuple_at_receiver pkt in
+  Ft.equal at_rx tuple || Ft.equal at_rx (Ft.flip tuple)
+
+let matching_tuple t tuple = matching t (packet_matches_tuple tuple)
+
 let pp_record fmt { at; pkt } =
   let tcp = pkt.Packet.tcp in
   let f = tcp.Tcp.flags in
@@ -41,5 +50,10 @@ let pp_record fmt { at; pkt } =
     tcp.Tcp.dst_port flags tcp.Tcp.seq tcp.Tcp.ack tcp.Tcp.window
     (Bytes.length pkt.Packet.payload)
 
-let dump fmt t =
-  List.iter (fun r -> Format.fprintf fmt "%a@." pp_record r) (records t)
+let dump ?tuple fmt t =
+  let rs =
+    match tuple with
+    | None -> records t
+    | Some tu -> matching_tuple t tu
+  in
+  List.iter (fun r -> Format.fprintf fmt "%a@." pp_record r) rs

@@ -27,7 +27,13 @@ val clear : t -> unit
 val matching :
   t -> (Tas_proto.Packet.t -> bool) -> record list
 
+val matching_tuple : t -> Tas_proto.Addr.Four_tuple.t -> record list
+(** Records belonging to one connection, in either direction (the tuple or
+    its {!Tas_proto.Addr.Four_tuple.flip}). *)
+
 val pp_record : Format.formatter -> record -> unit
 (** One tcpdump-style line: time, addresses, flags, seq/ack, length. *)
 
-val dump : Format.formatter -> t -> unit
+val dump : ?tuple:Tas_proto.Addr.Four_tuple.t -> Format.formatter -> t -> unit
+(** Print the capture; [tuple] restricts output to one connection
+    (both directions), like a tcpdump host/port filter. *)

@@ -3,6 +3,7 @@ type t = {
   ip : Ipv4_header.t;
   tcp : Tcp_header.t;
   payload : bytes;
+  mutable span : int;
 }
 
 let make ~src_mac ~dst_mac ~src_ip ~dst_ip ?(ecn = Ipv4_header.Ect0) ~tcp
@@ -25,6 +26,7 @@ let make ~src_mac ~dst_mac ~src_ip ~dst_ip ?(ecn = Ipv4_header.Ect0) ~tcp
       };
     tcp;
     payload;
+    span = -1;
   }
 
 let wire_size t = Eth_header.size + t.ip.Ipv4_header.total_length
@@ -81,7 +83,7 @@ let of_wire buf =
   if payload_len < 0 || tcp_off + tcp_size + payload_len > Bytes.length buf
   then invalid_arg "Packet.of_wire: inconsistent lengths";
   let payload = Bytes.sub buf (tcp_off + tcp_size) payload_len in
-  { eth; ip; tcp; payload }
+  { eth; ip; tcp; payload; span = -1 }
 
 let tcp_checksum_ok buf =
   let ip = Ipv4_header.read buf ~off:Eth_header.size in

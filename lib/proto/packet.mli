@@ -11,6 +11,10 @@ type t = {
   ip : Ipv4_header.t;
   tcp : Tcp_header.t;
   payload : bytes;
+  mutable span : int;
+      (** span-trace id annotation, -1 when unsampled. Simulator metadata
+          (the analogue of a driver mbuf field), not part of the wire
+          format: [to_wire] ignores it and [of_wire] yields -1. *)
 }
 
 val make :

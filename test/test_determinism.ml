@@ -106,6 +106,63 @@ let test_different_seed_diverges_under_loss () =
   let b = observe ~loss_rate:0.05 ~seed:2 () in
   Alcotest.(check bool) "exports differ" true (a.json <> b.json)
 
+(* --- span streams -------------------------------------------------------- *)
+
+module Span = Tas_telemetry.Span
+module Diagnostics = Tas_experiments.Diagnostics
+
+let span_event =
+  Alcotest.testable
+    (fun fmt e ->
+      Format.fprintf fmt "%d:#%d:%s:core%d:flow%d" e.Span.ts e.Span.id
+        (Span.hop_name e.Span.hop) e.Span.core e.Span.flow)
+    ( = )
+
+let observe_spans () =
+  let d = Diagnostics.build ~sample_every:8 ~n_conns:4 () in
+  Diagnostics.run d ~duration_ns:(Time_ns.ms 3);
+  (Span.drain d.Diagnostics.span, d)
+
+(* Counter-based sampling + virtual-time scheduling: two identically
+   parameterized runs must produce byte-identical span event streams. *)
+let test_same_seed_identical_spans () =
+  let a, da = observe_spans () in
+  let b, _ = observe_spans () in
+  Alcotest.(check (list span_event)) "span streams identical" a b;
+  Alcotest.(check bool) "spans actually produced" true
+    (Span.started da.Diagnostics.span > 10);
+  Alcotest.(check string) "chrome export byte-identical"
+    (Span.to_chrome_string a) (Span.to_chrome_string b)
+
+(* At least one sampled packet must be observed at every crossing point of
+   the app-to-app path, and complete spans must exist. *)
+let test_span_full_hop_coverage () =
+  let events, d = observe_spans () in
+  let seen hop = List.exists (fun e -> e.Span.hop = hop) events in
+  List.iter
+    (fun hop ->
+      if not (seen hop) then
+        Alcotest.failf "no span event at hop %s" (Span.hop_name hop))
+    Span.all_hops;
+  let b = Span.breakdown events in
+  Alcotest.(check bool) "complete app-to-app spans" true (b.Span.complete > 0);
+  Alcotest.(check int) "no ring drops in a short run" 0
+    (Span.dropped d.Diagnostics.span);
+  (* Per-span segment durations sum exactly to end-to-end latency, so the
+     histogram totals must match (mean * count on both sides). *)
+  let total h =
+    Tas_engine.Stats.Hist.mean h
+    *. float_of_int (Tas_engine.Stats.Hist.count h)
+  in
+  let seg_sum =
+    List.fold_left
+      (fun acc s -> acc +. total s.Span.seg_hist)
+      0.0 b.Span.segments
+  in
+  let e2e_total = total b.Span.end_to_end in
+  Alcotest.(check bool) "hop durations decompose end-to-end latency" true
+    (e2e_total > 0.0 && abs_float (seg_sum -. e2e_total) /. e2e_total < 1e-9)
+
 let suite =
   [
     Alcotest.test_case "same seed => identical telemetry" `Quick
@@ -114,4 +171,8 @@ let suite =
       test_same_seed_identical_with_loss;
     Alcotest.test_case "different seed + loss => diverges" `Quick
       test_different_seed_diverges_under_loss;
+    Alcotest.test_case "same seed => identical span streams" `Quick
+      test_same_seed_identical_spans;
+    Alcotest.test_case "spans cover every hop of the path" `Quick
+      test_span_full_hop_coverage;
   ]

@@ -4,6 +4,7 @@
 
 module Metrics = Tas_telemetry.Metrics
 module Trace = Tas_telemetry.Trace
+module Span = Tas_telemetry.Span
 module Json = Tas_telemetry.Json
 module Stats = Tas_engine.Stats
 
@@ -139,6 +140,121 @@ let test_trace_counts_by_kind () =
     [ ("rx_data", 2); ("tx_data", 1); ("conn_setup", 1) ]
     (List.map (fun (k, n) -> (Trace.kind_name k, n)) counts)
 
+(* --- spans --------------------------------------------------------------- *)
+
+(* Record one full-path span and check the analysis reconstructs hop order
+   and that segment durations sum to the end-to-end latency. *)
+let test_span_roundtrip_hop_order () =
+  let sp = Span.create ~enabled:true ~capacity:64 () in
+  let id = Span.start sp ~ts:100 ~hop:Span.App_send ~core:0 ~flow:7 in
+  Alcotest.(check bool) "sampled" true (id >= 0);
+  (* Remaining hops of the path, deliberately with distinct deltas. *)
+  let rest = List.tl Span.all_hops in
+  List.iteri
+    (fun i hop ->
+      Span.record sp ~ts:(100 + ((i + 1) * 10)) ~id ~hop ~core:1 ~flow:7)
+    rest;
+  let events = Span.drain sp in
+  Alcotest.(check int) "all events buffered" (List.length Span.all_hops)
+    (List.length events);
+  (match Span.group events with
+  | [ (gid, evs) ] ->
+    Alcotest.(check int) "grouped under the span id" id gid;
+    Alcotest.(check (list string)) "hops in record (path) order"
+      (List.map Span.hop_name Span.all_hops)
+      (List.map (fun e -> Span.hop_name e.Span.hop) evs)
+  | gs -> Alcotest.failf "expected one span group, got %d" (List.length gs));
+  let b = Span.breakdown events in
+  Alcotest.(check int) "one span" 1 b.Span.spans;
+  Alcotest.(check int) "complete app-to-app" 1 b.Span.complete;
+  let seg_sum =
+    List.fold_left
+      (fun acc s -> acc +. Stats.Hist.mean s.Span.seg_hist)
+      0.0 b.Span.segments
+  in
+  Alcotest.(check (float 1e-6)) "segments sum to end-to-end"
+    (Stats.Hist.mean b.Span.end_to_end)
+    seg_sum
+
+(* Counter-based sampling: every 4th origin attempt starts a span, with
+   fresh ids, independent of timestamps — rerunning the same sequence
+   yields the identical decision stream. *)
+let test_span_sampling_deterministic () =
+  let run () =
+    let sp = Span.create ~enabled:true ~sample_every:4 ~capacity:64 () in
+    let ids =
+      List.init 12 (fun i ->
+          Span.start sp ~ts:(1000 * i) ~hop:Span.App_send ~core:0 ~flow:i)
+    in
+    (ids, Span.offered sp, Span.started sp)
+  in
+  let ids, offered, started = run () in
+  Alcotest.(check int) "offered counts every attempt" 12 offered;
+  Alcotest.(check int) "one in four sampled" 3 started;
+  Alcotest.(check int) "unsampled attempts return -1" 9
+    (List.length (List.filter (fun id -> id = -1) ids));
+  let ids', _, _ = run () in
+  Alcotest.(check (list int)) "same-seed rerun: identical decisions" ids ids'
+
+let test_span_dropped_accounting () =
+  let sp = Span.create ~enabled:true ~capacity:4 () in
+  let id = Span.start sp ~ts:0 ~hop:Span.App_send ~core:0 ~flow:0 in
+  for i = 1 to 9 do
+    Span.record sp ~ts:i ~id ~hop:Span.Fp_rx ~core:0 ~flow:0
+  done;
+  Alcotest.(check int) "recorded counts all offers" 10 (Span.recorded sp);
+  Alcotest.(check int) "overflow dropped, not grown" 6 (Span.dropped sp);
+  Alcotest.(check int) "ring holds capacity" 4 (List.length (Span.drain sp));
+  Alcotest.(check int) "drain consumes" 0 (Span.length sp)
+
+let test_span_disabled_noop () =
+  let sp = Span.disabled () in
+  let id = Span.start sp ~ts:0 ~hop:Span.App_send ~core:0 ~flow:0 in
+  Alcotest.(check int) "disabled origin: unsampled" (-1) id;
+  Span.record sp ~ts:1 ~id:5 ~hop:Span.Fp_rx ~core:0 ~flow:0;
+  Alcotest.(check bool) "disabled" false (Span.enabled sp);
+  Alcotest.(check int) "no origins counted" 0 (Span.offered sp);
+  Alcotest.(check int) "no events" 0 (List.length (Span.drain sp))
+
+(* Chrome trace-event export: a JSON object with a traceEvents list of
+   complete ("X") slices carrying name/ts/dur/pid/tid, parseable by our
+   own renderer (and hence by chrome://tracing). *)
+let test_span_chrome_json () =
+  let sp = Span.create ~enabled:true ~capacity:64 () in
+  let id = Span.start sp ~ts:100 ~hop:Span.App_send ~core:0 ~flow:3 in
+  Span.record sp ~ts:400 ~id ~hop:Span.Fp_tx ~core:1 ~flow:3;
+  Span.record sp ~ts:900 ~id ~hop:Span.Nic_tx ~core:(-1) ~flow:3;
+  let events = Span.drain sp in
+  (match Span.to_chrome_json events with
+  | Json.Obj fields ->
+    (match List.assoc_opt "traceEvents" fields with
+    | Some (Json.List slices) ->
+      Alcotest.(check int) "one slice per adjacent hop pair" 2
+        (List.length slices);
+      List.iter
+        (fun slice ->
+          match slice with
+          | Json.Obj f ->
+            List.iter
+              (fun key ->
+                if not (List.mem_assoc key f) then
+                  Alcotest.failf "slice missing %S" key)
+              [ "name"; "ph"; "ts"; "dur"; "pid"; "tid" ];
+            Alcotest.(check bool) "complete-slice phase" true
+              (List.assoc "ph" f = Json.Str "X")
+          | _ -> Alcotest.fail "slice is not an object")
+        slices
+    | _ -> Alcotest.fail "no traceEvents list")
+  | _ -> Alcotest.fail "chrome export is not an object");
+  (* The rendered string must survive a render->parse sanity check: our
+     renderer never emits NaN/Inf and escapes strings, so the output is
+     plain ASCII JSON; spot-check framing. *)
+  let s = Span.to_chrome_string events in
+  Alcotest.(check bool) "object framing" true
+    (String.length s > 2 && s.[0] = '{' && s.[String.length s - 1] = '}');
+  Alcotest.(check bool) "mentions segment name" true
+    (contains s "app_send->fp_tx")
+
 let suite =
   [
     Alcotest.test_case "counter closure reads through" `Quick
@@ -159,4 +275,14 @@ let suite =
     Alcotest.test_case "disabled trace is a no-op" `Quick
       test_trace_disabled_noop;
     Alcotest.test_case "trace counts by kind" `Quick test_trace_counts_by_kind;
+    Alcotest.test_case "span round-trip keeps hop order" `Quick
+      test_span_roundtrip_hop_order;
+    Alcotest.test_case "span sampling deterministic" `Quick
+      test_span_sampling_deterministic;
+    Alcotest.test_case "span ring drop accounting" `Quick
+      test_span_dropped_accounting;
+    Alcotest.test_case "disabled span is a no-op" `Quick
+      test_span_disabled_noop;
+    Alcotest.test_case "chrome trace export well-formed" `Quick
+      test_span_chrome_json;
   ]
