@@ -133,6 +133,9 @@ let create_server transport ~port ~app_cycles ?serial () =
         Transport.on_data =
           (fun conn data ->
             List.iter (respond conn) (feed_requests parser data));
+        (* memcached-style: when the client stops sending, close our side
+           too so the connection tears down instead of idling half-open. *)
+        Transport.on_peer_closed = (fun conn -> Transport.close conn);
       });
   t
 

@@ -21,6 +21,11 @@ val create_server :
 (** [app_cycles] is per-request application work charged on the
     connection's core; [serial] adds a (core, cycles) critical section. *)
 
+val encode_request : op:int -> key:string -> value:string -> bytes
+(** Wire encoding of one request (op 0 = GET, 1 = SET) — exposed for load
+    drivers that manage connection lifecycles themselves (the chaos
+    experiment). *)
+
 val gets : t -> int
 val sets : t -> int
 val misses : t -> int

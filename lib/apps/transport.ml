@@ -209,7 +209,10 @@ let of_libtas lt ~ctx_of_conn =
       Libtas.on_sendable = (fun _ -> h.on_sendable c);
       Libtas.on_peer_closed = (fun _ -> h.on_peer_closed c);
       Libtas.on_closed = (fun _ -> h.on_closed c);
-      Libtas.on_connect_failed = (fun _ -> h.on_closed c);
+      Libtas.on_connect_failed = (fun _ _err -> h.on_closed c);
+      (* A reset is surfaced to transport users as the on_closed that
+         follows when the flow is removed. *)
+      Libtas.on_reset = (fun _ -> ());
     }
   in
   {
@@ -237,7 +240,8 @@ let of_libtas lt ~ctx_of_conn =
               (fun _ -> via (fun c -> !href.on_peer_closed c));
             Libtas.on_closed = (fun _ -> via (fun c -> !href.on_closed c));
             Libtas.on_connect_failed =
-              (fun _ -> via (fun c -> !href.on_closed c));
+              (fun _ _err -> via (fun c -> !href.on_closed c));
+            Libtas.on_reset = (fun _ -> ());
           }
         in
         let sock = Libtas.connect lt ~ctx ~dst_ip ~dst_port handlers in

@@ -10,6 +10,11 @@ type t = {
   control_interval_min_ns : int;
   control_interval_fixed_ns : int option;
   timeout_intervals : int;
+  handshake_retries : int;
+  handshake_rto_ns : int;
+  fin_retries : int;
+  fin_rto_ns : int;
+  dead_flow_timeout_ns : int option;
   rx_ooo_enabled : bool;
   context_queue_capacity : int;
   dynamic_scaling : bool;
@@ -44,6 +49,11 @@ let default =
     control_interval_min_ns = 50_000;
     control_interval_fixed_ns = None;
     timeout_intervals = 2;
+    handshake_retries = 5;
+    handshake_rto_ns = 20_000_000;
+    fin_retries = 8;
+    fin_rto_ns = 20_000_000;
+    dead_flow_timeout_ns = None;
     rx_ooo_enabled = true;
     context_queue_capacity = 4096;
     dynamic_scaling = false;

@@ -15,6 +15,20 @@ type t = {
   timeout_intervals : int;
       (** control intervals without snd_una progress before the slow path
           triggers a retransmission (default 2, §3.2) *)
+  handshake_retries : int;
+      (** SYN / SYN-ACK retransmissions before the connection attempt is
+          failed with [Timeout] (default 5) *)
+  handshake_rto_ns : int;  (** handshake retransmission timeout (20 ms) *)
+  fin_retries : int;
+      (** FIN retransmissions before the flow is forcibly torn down
+          (default 8); unbounded FIN retry would leak flow state when the
+          peer vanishes mid-close *)
+  fin_rto_ns : int;  (** FIN retransmission timeout (20 ms) *)
+  dead_flow_timeout_ns : int option;
+      (** reap established flows that have in-flight or queued data but make
+          no sequence progress for this long (the peer is gone and not even
+          RST-ing). [None] (default) disables reaping; idle-but-healthy
+          flows are never reaped *)
   rx_ooo_enabled : bool;
       (** receiver out-of-order interval tracking; [false] = the "simple
           go-back-N recovery" ablation of Fig. 7 *)

@@ -21,6 +21,7 @@ type stats = {
   mutable payload_drops : int;
   mutable fast_retransmits : int;
   mutable exceptions_forwarded : int;
+  mutable malformed_drops : int;
 }
 
 type t = {
@@ -62,6 +63,7 @@ let create ?trace ?span sim ~nic ~cores ~config =
         payload_drops = 0;
         fast_retransmits = 0;
         exceptions_forwarded = 0;
+        malformed_drops = 0;
       };
     trace = (match trace with Some tr -> tr | None -> Trace.disabled ());
     span = (match span with Some sp -> sp | None -> Span.disabled ());
@@ -99,6 +101,8 @@ let register t m =
       s.fast_retransmits);
   c "fp_exceptions_forwarded" "packets punted to the slow path" (fun () ->
       s.exceptions_forwarded);
+  c "fp_malformed_drops" "length-inconsistent packets dropped on receive"
+    (fun () -> s.malformed_drops);
   Metrics.gauge_fn m ~help:"fast-path cores currently active" "fp_active_cores"
     (fun () -> float_of_int t.active);
   Metrics.gauge_fn m ~help:"flows installed in the fast-path flow table"
@@ -409,7 +413,16 @@ let process_data t flow pkt core =
       ~flow:flow.Flow_state.opaque;
     send_ack t flow ~ece:ce
 
-let process t pkt core =
+let rec process t pkt core =
+  if not (Packet.well_formed pkt) then begin
+    (* Header-corrupted frame (IP length inconsistent with the actual
+       headers + payload): drop before touching any flow state. *)
+    t.stats.malformed_drops <- t.stats.malformed_drops + 1;
+    trace_ev t Trace.Malformed_drop ~core:(Core.id core) ~flow:(-1)
+  end
+  else process_valid t pkt core
+
+and process_valid t pkt core =
   if pkt.Packet.span >= 0 then
     Span.record t.span ~ts:(Sim.now t.sim) ~id:pkt.Packet.span
       ~hop:Span.Fp_rx ~core:(Core.id core) ~flow:(-1);

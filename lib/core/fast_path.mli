@@ -21,6 +21,9 @@ type stats = {
   mutable payload_drops : int;  (** receive payload buffer full *)
   mutable fast_retransmits : int;
   mutable exceptions_forwarded : int;
+  mutable malformed_drops : int;
+      (** packets whose IP total length disagrees with their actual
+          header/payload sizes, dropped before any flow-state access *)
 }
 
 val create :

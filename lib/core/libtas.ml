@@ -48,7 +48,8 @@ and handlers = {
   on_sendable : socket -> unit;
   on_peer_closed : socket -> unit;
   on_closed : socket -> unit;
-  on_connect_failed : socket -> unit;
+  on_connect_failed : socket -> Slow_path.conn_error -> unit;
+  on_reset : socket -> unit;
 }
 
 let null_handlers =
@@ -58,7 +59,8 @@ let null_handlers =
     on_sendable = ignore;
     on_peer_closed = ignore;
     on_closed = ignore;
-    on_connect_failed = ignore;
+    on_connect_failed = (fun _ _ -> ());
+    on_reset = ignore;
   }
 
 let sock_id s = s.id
@@ -200,9 +202,15 @@ let conn_callbacks t sock =
         on_app_core sock sock.owner.api_cycles (fun () ->
             if not sock.closed then sock.handlers.on_connected sock));
     failed =
-      (fun () ->
+      (fun err ->
         on_app_core sock sock.owner.api_cycles (fun () ->
-            sock.handlers.on_connect_failed sock));
+            sock.handlers.on_connect_failed sock err));
+    reset =
+      (fun _flow ->
+        (* Abort notification; [closed] follows as the slow path removes the
+           entry. *)
+        on_app_core sock sock.owner.api_cycles (fun () ->
+            if not sock.closed then sock.handlers.on_reset sock));
     peer_closed =
       (fun flow ->
         (* Order EOF behind any undelivered payload via the context queue;

@@ -20,7 +20,12 @@ type handlers = {
       (** Space freed after a short [send]; armed by a partial send. *)
   on_peer_closed : socket -> unit;  (** EOF after all data was delivered. *)
   on_closed : socket -> unit;  (** Connection fully gone. *)
-  on_connect_failed : socket -> unit;
+  on_connect_failed : socket -> Slow_path.conn_error -> unit;
+      (** Connection attempt failed: handshake timeout, RST refusal, or a
+          reset racing establishment (the errno of a failed [connect]). *)
+  on_reset : socket -> unit;
+      (** Established connection aborted (peer RST or dead-flow reaping) —
+          the ECONNRESET notification. [on_closed] still follows. *)
 }
 
 val null_handlers : handlers

@@ -17,9 +17,17 @@ let log_src = Logs.Src.create "tas.slow_path" ~doc:"TAS slow path"
 
 module Log = (val Logs.src_log log_src : Logs.LOG)
 
+type conn_error = Timeout | Refused | Reset
+
+let conn_error_name = function
+  | Timeout -> "timeout"
+  | Refused -> "refused"
+  | Reset -> "reset"
+
 type conn_callbacks = {
   established : Flow_state.t -> unit;
-  failed : unit -> unit;
+  failed : conn_error -> unit;
+  reset : Flow_state.t -> unit;
   peer_closed : Flow_state.t -> unit;
   closed : Flow_state.t -> unit;
 }
@@ -60,6 +68,10 @@ type flow_entry = {
   mutable close_requested : bool;
   mutable fin_acked : bool;
   mutable fin_timer : Sim.event option;
+  mutable fin_retries : int;
+  mutable reap_una : Seq32.t;  (* snd_una at the last observed progress *)
+  mutable reap_ack : Seq32.t;  (* rcv ack at the last observed progress *)
+  mutable progress_since : int;  (* timestamp of the last observed progress *)
   mutable removed : bool;
 }
 
@@ -85,6 +97,9 @@ type t = {
   mutable conn_setups : int;
   mutable conn_teardowns : int;
   mutable timeout_retransmits : int;
+  mutable rsts_sent : int;
+  mutable fin_retry_exhausted : int;
+  mutable flows_reaped : int;
   mutable scale_observer : Tas_engine.Time_ns.t -> int -> unit;
 }
 
@@ -123,6 +138,9 @@ let flow_count t = Tuple_tbl.length t.entries
 let conn_setups t = t.conn_setups
 let conn_teardowns t = t.conn_teardowns
 let timeout_retransmits t = t.timeout_retransmits
+let rsts_sent t = t.rsts_sent
+let fin_retry_exhausted t = t.fin_retry_exhausted
+let flows_reaped t = t.flows_reaped
 let set_scale_observer t f = t.scale_observer <- f
 
 (* The slow path shares the fast path's trace ring: one totally-ordered
@@ -138,6 +156,11 @@ let register t m =
   c "sp_conn_teardowns" "connections removed" (fun () -> t.conn_teardowns);
   c "sp_timeout_retransmits" "slow-path timeout retransmissions" (fun () ->
       t.timeout_retransmits);
+  c "sp_rsts_sent" "RST segments generated" (fun () -> t.rsts_sent);
+  c "sp_fin_retry_exhausted" "flows torn down after the FIN retry cap"
+    (fun () -> t.fin_retry_exhausted);
+  c "sp_flows_reaped" "dead flows reaped for lack of sequence progress"
+    (fun () -> t.flows_reaped);
   Metrics.gauge_fn m ~help:"established flows tracked by the slow path"
     "sp_flows" (fun () -> float_of_int (Tuple_tbl.length t.entries));
   Metrics.gauge_fn m ~help:"handshakes in progress" "sp_pending_handshakes"
@@ -175,6 +198,18 @@ let build t ~tuple ~(flags : Tcp_header.flags) ~seq ~ack_no ~window ~with_mss
 
 let syn_flags = { Tcp_header.no_flags with Tcp_header.syn = true }
 let synack_flags = { Tcp_header.no_flags with Tcp_header.syn = true; ack = true }
+let rst_flags = { Tcp_header.no_flags with Tcp_header.rst = true; ack = true }
+
+(* Segments for tuples with no local state (no listener, no pending
+   handshake, no flow) are answered with an RST so the peer aborts promptly
+   instead of retransmitting into the void. *)
+let send_rst t ~tuple ~seq ~ack_no =
+  t.rsts_sent <- t.rsts_sent + 1;
+  lifecycle_ev t "rst_sent" tuple;
+  trace_ev t Trace.Rst_tx ~flow:(-1);
+  Fast_path.send_raw t.fp
+    (build t ~tuple ~flags:rst_flags ~seq ~ack_no ~window:0 ~with_mss:false
+       ~ts_ecr:0)
 
 let send_syn t p =
   Fast_path.send_raw t.fp
@@ -202,13 +237,13 @@ let rec arm_pending_timer t p =
   cancel_pending_timer t p;
   p.p_timer <-
     Some
-      (Sim.schedule t.sim 20_000_000 (fun () ->
+      (Sim.schedule t.sim t.config.Config.handshake_rto_ns (fun () ->
            p.p_timer <- None;
            if Tuple_tbl.mem t.pending p.p_tuple then begin
-             if p.p_retries >= 5 then begin
+             if p.p_retries >= t.config.Config.handshake_retries then begin
                Tuple_tbl.remove t.pending p.p_tuple;
                lifecycle_ev t "handshake_failed" p.p_tuple;
-               p.p_cb.failed ()
+               p.p_cb.failed Timeout
              end
              else begin
                p.p_retries <- p.p_retries + 1;
@@ -270,6 +305,10 @@ let establish t p =
       close_requested = false;
       fin_acked = false;
       fin_timer = None;
+      fin_retries = 0;
+      reap_una = Flow_state.snd_una flow;
+      reap_ack = flow.Flow_state.ack;
+      progress_since = Sim.now t.sim;
       removed = false;
     }
   in
@@ -319,11 +358,23 @@ and arm_fin_timer t entry =
   | None -> ());
   entry.fin_timer <-
     Some
-      (Sim.schedule t.sim 20_000_000 (fun () ->
+      (Sim.schedule t.sim t.config.Config.fin_rto_ns (fun () ->
            entry.fin_timer <- None;
            if (not entry.removed) && not entry.fin_acked then begin
-             entry.flow.Flow_state.fin_sent <- false;
-             try_emit_fin t entry
+             if entry.fin_retries >= t.config.Config.fin_retries then begin
+               (* The peer stopped acknowledging mid-close: force teardown
+                  rather than retransmitting the FIN forever. *)
+               t.fin_retry_exhausted <- t.fin_retry_exhausted + 1;
+               lifecycle_ev t "fin_retry_exhausted" entry.f_tuple;
+               Log.debug (fun m ->
+                   m "fin retry exhausted %a" Addr.Four_tuple.pp entry.f_tuple);
+               remove_entry t entry
+             end
+             else begin
+               entry.fin_retries <- entry.fin_retries + 1;
+               entry.flow.Flow_state.fin_sent <- false;
+               try_emit_fin t entry
+             end
            end))
 
 let maybe_finish_teardown t entry =
@@ -341,11 +392,16 @@ let handle_syn t pkt tuple =
     if p.p_state = Syn_received then send_synack t p
   | None ->
     if not (Tuple_tbl.mem t.entries tuple) then begin
+      (* No listener (or the listener refused): RST so the connecting peer
+         fails fast instead of retrying the SYN to exhaustion. *)
+      let refuse () =
+        send_rst t ~tuple ~seq:0 ~ack_no:(Seq32.add tcp.Tcp_header.seq 1)
+      in
       match Hashtbl.find_opt t.listeners tuple.Addr.Four_tuple.local_port with
-      | None -> () (* No listener: drop silently. *)
+      | None -> refuse ()
       | Some accept_fn -> begin
         match accept_fn tuple with
-        | None -> ()
+        | None -> refuse ()
         | Some (opaque, context_id, cb) ->
           let p =
             {
@@ -422,13 +478,25 @@ let handle_handshake_ack t pkt tuple =
         (* Half-closed: wait for the peer's FIN. *)
         ()
       else maybe_finish_teardown t entry
-    | _ -> ()
+    | Some _ -> ()
+    | None ->
+      (* Neither a handshake in progress nor an installed flow: the tuple is
+         unknown here (e.g. state already reclaimed). RST so the peer stops
+         retransmitting. *)
+      if not (Tuple_tbl.mem t.pending tuple) then
+        send_rst t ~tuple ~seq:tcp.Tcp_header.ack
+          ~ack_no:
+            (Seq32.add tcp.Tcp_header.seq (Bytes.length pkt.Packet.payload))
   end
 
 let handle_fin t pkt tuple =
   let tcp = pkt.Packet.tcp in
   match Tuple_tbl.find_opt t.entries tuple with
-  | None -> ()
+  | None ->
+    if not (Tuple_tbl.mem t.pending tuple) then
+      send_rst t ~tuple ~seq:tcp.Tcp_header.ack
+        ~ack_no:
+          (Seq32.add tcp.Tcp_header.seq (Bytes.length pkt.Packet.payload + 1))
   | Some entry ->
     let flow = entry.flow in
     let fin_pos = Seq32.add tcp.Tcp_header.seq (Bytes.length pkt.Packet.payload) in
@@ -455,23 +523,35 @@ let handle_fin t pkt tuple =
            ~window:(min 65535 t.config.Config.rx_buf_size)
            ~with_mss:false ~ts_ecr:flow.Flow_state.ts_recent)
 
-let handle_rst t tuple =
+let handle_rst t pkt tuple =
+  let tcp = pkt.Packet.tcp in
   lifecycle_ev t "rst" tuple;
   (match Tuple_tbl.find_opt t.pending tuple with
   | Some p ->
     cancel_pending_timer t p;
     Tuple_tbl.remove t.pending tuple;
-    p.p_cb.failed ()
+    (* An RST during SYN_SENT is a refusal (nobody listening); during
+       SYN_RECEIVED the peer aborted its own half-open attempt. *)
+    p.p_cb.failed (match p.p_state with Syn_sent -> Refused | Syn_received -> Reset)
   | None -> ());
   match Tuple_tbl.find_opt t.entries tuple with
-  | Some entry -> remove_entry t entry
+  | Some entry ->
+    (* Light in-window validation: an RST whose sequence is nowhere near
+       what we expect next is a stray (or spoofed) segment and is ignored,
+       the standard mitigation against blind-reset injection. *)
+    let flow = entry.flow in
+    let diff = Seq32.diff tcp.Tcp_header.seq flow.Flow_state.ack in
+    if diff >= -1 && diff <= t.config.Config.rx_buf_size then begin
+      entry.f_cb.reset flow;
+      remove_entry t entry
+    end
   | None -> ()
 
 let process_exception t pkt =
   let tcp = pkt.Packet.tcp in
   let flags = tcp.Tcp_header.flags in
   let tuple = Packet.four_tuple_at_receiver pkt in
-  if flags.Tcp_header.rst then handle_rst t tuple
+  if flags.Tcp_header.rst then handle_rst t pkt tuple
   else if flags.Tcp_header.syn && flags.Tcp_header.ack then
     handle_synack t pkt tuple
   else if flags.Tcp_header.syn then handle_syn t pkt tuple
@@ -515,6 +595,43 @@ let stall_threshold_ns t entry =
     | _ -> 0
   in
   max base (max rtt_guard pacing_guard)
+
+(* Dead-flow reaping: a flow with work outstanding (in-flight data, queued
+   payload, or a close in progress) whose sequence state makes no progress
+   for [dead_flow_timeout_ns] has lost its peer without so much as an RST.
+   Reap it: reset the peer (in case it comes back), notify the owner, free
+   the state. Quiescent-but-healthy flows refresh the timer and are never
+   reaped. *)
+let reap_check t entry now =
+  match t.config.Config.dead_flow_timeout_ns with
+  | None -> ()
+  | Some dt ->
+    let flow = entry.flow in
+    let quiescent =
+      flow.Flow_state.tx_sent = 0
+      && Ring.used flow.Flow_state.tx_buf = 0
+      && (not entry.close_requested)
+      && (not flow.Flow_state.fin_sent)
+      && not flow.Flow_state.fin_received
+    in
+    let una = Flow_state.snd_una flow in
+    let progressed =
+      una <> entry.reap_una || flow.Flow_state.ack <> entry.reap_ack
+    in
+    if quiescent || progressed then begin
+      entry.reap_una <- una;
+      entry.reap_ack <- flow.Flow_state.ack;
+      entry.progress_since <- now
+    end
+    else if now - entry.progress_since >= dt then begin
+      t.flows_reaped <- t.flows_reaped + 1;
+      lifecycle_ev t "flow_reaped" entry.f_tuple;
+      Log.debug (fun m -> m "reaped %a" Addr.Four_tuple.pp entry.f_tuple);
+      send_rst t ~tuple:entry.f_tuple ~seq:flow.Flow_state.seq
+        ~ack_no:flow.Flow_state.ack;
+      entry.f_cb.reset flow;
+      remove_entry t entry
+    end
 
 let run_control_iteration t entry =
   let flow = entry.flow in
@@ -563,7 +680,8 @@ let run_control_iteration t entry =
   then Fast_path.notify_tx t.fp flow;
   (* Teardown progress. *)
   if entry.close_requested && not flow.Flow_state.fin_sent then
-    try_emit_fin t entry
+    try_emit_fin t entry;
+  if not entry.removed then reap_check t entry now
 
 let control_tick t =
   let now = Sim.now t.sim in
@@ -626,6 +744,9 @@ let create sim ~fast_path ~core ~config =
       conn_setups = 0;
       conn_teardowns = 0;
       timeout_retransmits = 0;
+      rsts_sent = 0;
+      fin_retry_exhausted = 0;
+      flows_reaped = 0;
       scale_observer = (fun _ _ -> ());
     }
   in

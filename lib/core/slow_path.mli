@@ -14,11 +14,21 @@ val log_src : Logs.src
 (** Connection-control event log (debug level): establishment, teardown,
     timeout retransmissions. The fast path never logs. *)
 
+type conn_error =
+  | Timeout  (** handshake retries exhausted with no answer *)
+  | Refused  (** peer answered the SYN with an RST (nobody listening) *)
+  | Reset  (** peer aborted the half-open handshake *)
+
+val conn_error_name : conn_error -> string
+
 (** Callbacks a connection owner (libTAS) registers for slow-path events.
     All fire in slow-path context; libTAS re-schedules onto app cores. *)
 type conn_callbacks = {
   established : Flow_state.t -> unit;
-  failed : unit -> unit;
+  failed : conn_error -> unit;  (** connection attempt did not establish *)
+  reset : Flow_state.t -> unit;
+      (** established flow aborted by a peer RST or by dead-flow reaping;
+          [closed] still fires as the state is removed *)
   peer_closed : Flow_state.t -> unit;  (** FIN received from the peer *)
   closed : Flow_state.t -> unit;  (** flow fully removed *)
 }
@@ -60,12 +70,23 @@ val conn_setups : t -> int
 val conn_teardowns : t -> int
 val timeout_retransmits : t -> int
 
+val rsts_sent : t -> int
+(** RSTs generated: segments for unknown tuples, refused SYNs, reaped
+    flows. *)
+
+val fin_retry_exhausted : t -> int
+(** Flows forcibly torn down after [Config.fin_retries] unanswered FINs. *)
+
+val flows_reaped : t -> int
+(** Flows reaped by the dead-flow timeout ([Config.dead_flow_timeout_ns]). *)
+
 val lifecycle_json : t -> Tas_telemetry.Json.t
 (** The connection-lifecycle event log as JSON: a bounded FIFO (most recent
     1024 events) of timestamped [syn_sent] / [syn_received] / [established]
     / [close_requested] / [fin_acked] / [peer_fin] / [closed] /
-    [handshake_failed] / [rst] transitions with their 4-tuples, plus a count
-    of events discarded once the buffer filled. *)
+    [handshake_failed] / [rst] / [rst_sent] / [fin_retry_exhausted] /
+    [flow_reaped] transitions with their 4-tuples, plus a count of events
+    discarded once the buffer filled. *)
 
 val register : t -> Tas_telemetry.Metrics.t -> unit
 (** Register the slow path's counters ([sp_*]) plus flow/handshake gauges

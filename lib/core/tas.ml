@@ -58,6 +58,9 @@ let create sim ~nic ~config ?span ?(freq_ghz = 2.1) () =
     Fast_path.create ~trace:tracer ~span:spans sim ~nic ~cores:fp_cores ~config
   in
   Fast_path.attach fp;
+  (* Checksum-validation drops on this host's NIC share the instance's
+     trace ring. *)
+  Tas_netsim.Nic.set_trace nic tracer;
   (* Start with a single active core when scaling dynamically; at the
      configured maximum otherwise. *)
   if config.Config.dynamic_scaling then Fast_path.set_active_cores fp 1
@@ -120,6 +123,8 @@ type snapshot = {
   payload_drops : int;
   fast_retransmits : int;
   exceptions_forwarded : int;
+  malformed_drops : int;
+  rsts_sent : int;
   fp_busy_ms : float;
   sp_busy_ms : float;
 }
@@ -143,6 +148,8 @@ let snapshot t =
     payload_drops = s.Fast_path.payload_drops;
     fast_retransmits = s.Fast_path.fast_retransmits;
     exceptions_forwarded = s.Fast_path.exceptions_forwarded;
+    malformed_drops = s.Fast_path.malformed_drops;
+    rsts_sent = Slow_path.rsts_sent t.sp;
     fp_busy_ms = float_of_int (fp_busy_ns t) /. 1e6;
     sp_busy_ms = float_of_int (Core.busy_ns t.sp_core) /. 1e6;
   }
@@ -200,8 +207,9 @@ let pp_snapshot fmt s =
     "@[<v>flows: %d (setups %d, teardowns %d)@,fast path: %d active cores, \
      %.1f ms busy@,rx: %d data + %d ack packets; tx: %d data + %d acks@,\
      recovery: %d ooo stored, %d payload drops, %d fast rexmits, %d \
-     timeouts@,slow path: %d exceptions, %.1f ms busy@]"
+     timeouts@,hardening: %d malformed drops, %d rsts sent@,\
+     slow path: %d exceptions, %.1f ms busy@]"
     s.flows s.conn_setups s.conn_teardowns s.active_fp_cores s.fp_busy_ms
     s.rx_data_packets s.rx_ack_packets s.tx_data_packets s.acks_sent
     s.ooo_stored s.payload_drops s.fast_retransmits s.timeout_retransmits
-    s.exceptions_forwarded s.sp_busy_ms
+    s.malformed_drops s.rsts_sent s.exceptions_forwarded s.sp_busy_ms

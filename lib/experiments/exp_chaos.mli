@@ -1,0 +1,11 @@
+(** Chaos experiment ([ch]): drives a closed-loop KV workload between two
+    TAS hosts through a set of seeded fault schedules (bursty loss,
+    corruption, duplication + reordering, link flaps, and everything at
+    once) and asserts hardening invariants — fault-stage packet
+    conservation, corruption drops reconciling exactly against NIC/fast-path
+    validation counters, every connection completing or failing cleanly, no
+    leaked flow-table entries, and bit-identical counters across two
+    same-seed runs. Violations are reported (and counted in the artifact),
+    never raised. *)
+
+val run : ?quick:bool -> Format.formatter -> unit

@@ -1,10 +1,15 @@
 (** Fig. 7: throughput penalty under induced packet loss (0.1%–5%), 100 bulk
     flows over one 10G link: Linux (full out-of-order buffering + SACK-like
     recovery) vs. TAS (single out-of-order interval) vs. TAS with simple
-    go-back-N receive ("TAS simple recovery"). *)
+    go-back-N receive ("TAS simple recovery"). Runs the sweep twice: uniform
+    random loss and bursty Gilbert–Elliott loss at the same stationary
+    rates. *)
 
 val run : ?quick:bool -> Format.formatter -> unit
 
 type variant = Linux_full | Tas_ooo | Tas_simple
 
-val goodput_gbps : variant -> loss_rate:float -> float
+(** Loss shape applied (symmetrically) to both link directions. *)
+type shape = No_loss | Uniform of float | Bursty of float
+
+val goodput_gbps : variant -> shape:shape -> float

@@ -48,6 +48,8 @@ let all =
       run = Exp_ablation.x3_api_cost };
     { id = "x4"; title = "Ablation: NIC-offload projection of the fast path";
       run = Exp_ablation.x4_nic_offload };
+    { id = "ch"; title = "Chaos: KV workload under seeded fault schedules";
+      run = Exp_chaos.run };
     { id = "tm"; title = "Telemetry: metrics registry + cycle breakdown + trace";
       run = Exp_telemetry.run };
     { id = "sp"; title = "Span tracing: per-hop latency decomposition";

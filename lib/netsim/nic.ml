@@ -16,8 +16,10 @@ type t = {
   mutable tx_packets : int;
   mutable rx_bytes : int;
   mutable tx_bytes : int;
+  mutable rx_csum_drops : int;
   mutable span : Span.t;
   mutable span_origin : bool;
+  mutable trace : Tas_telemetry.Trace.t;
 }
 
 let rewrite_table t n =
@@ -41,8 +43,10 @@ let create sim ~ip ~mac ~num_queues ~tx_port () =
       tx_packets = 0;
       rx_bytes = 0;
       tx_bytes = 0;
+      rx_csum_drops = 0;
       span = Span.disabled ();
       span_origin = false;
+      trace = Tas_telemetry.Trace.disabled ();
     }
   in
   rewrite_table t num_queues;
@@ -57,7 +61,9 @@ let set_span t ?(origin = false) span =
   t.span <- span;
   t.span_origin <- origin
 
-let input t pkt =
+let set_trace t trace = t.trace <- trace
+
+let input_valid t pkt =
   t.rx_packets <- t.rx_packets + 1;
   t.rx_bytes <- t.rx_bytes + Packet.wire_size pkt;
   if Span.enabled t.span then begin
@@ -71,6 +77,16 @@ let input t pkt =
   end;
   let queue = t.rss_table.(Packet.flow_hash pkt mod rss_table_size) in
   t.rx_handler ~queue pkt
+
+(* Hardware checksum-offload validation: frames whose simulated "checksum
+   would not verify" flag is set never reach the host stack. *)
+let input t pkt =
+  if pkt.Packet.corrupt then begin
+    t.rx_csum_drops <- t.rx_csum_drops + 1;
+    Tas_telemetry.Trace.record t.trace ~ts:(Tas_engine.Sim.now t.sim)
+      ~kind:Tas_telemetry.Trace.Csum_drop ~core:(-1) ~flow:(-1)
+  end
+  else input_valid t pkt
 
 let transmit t pkt =
   t.tx_packets <- t.tx_packets + 1;
@@ -92,6 +108,7 @@ let rx_packets t = t.rx_packets
 let tx_packets t = t.tx_packets
 let rx_bytes t = t.rx_bytes
 let tx_bytes t = t.tx_bytes
+let rx_csum_drops t = t.rx_csum_drops
 
 let register t m ?(labels = []) () =
   let module Metrics = Tas_telemetry.Metrics in
@@ -100,6 +117,8 @@ let register t m ?(labels = []) () =
   c "nic_tx_packets" "packets transmitted by the host" (fun () -> t.tx_packets);
   c "nic_rx_bytes" "wire bytes received" (fun () -> t.rx_bytes);
   c "nic_tx_bytes" "wire bytes transmitted" (fun () -> t.tx_bytes);
+  c "nic_rx_csum_drops" "frames dropped by receive checksum validation"
+    (fun () -> t.rx_csum_drops);
   Metrics.gauge_fn m ~labels ~help:"RSS queues currently in the redirection table"
     "nic_active_queues" (fun () -> float_of_int t.active);
   Port.register t.tx_port m ~labels ()

@@ -31,8 +31,14 @@ val set_span : t -> ?origin:bool -> Tas_telemetry.Span.t -> unit
     unannotated arrivals (the NIC-RX sampling origin); {!transmit} records
     [Nic_tx] for annotated packets. Defaults to a disabled collector. *)
 
+val set_trace : t -> Tas_telemetry.Trace.t -> unit
+(** Attach a trace ring; checksum-validation drops record [Csum_drop]
+    events. Defaults to a disabled ring. *)
+
 val input : t -> Tas_proto.Packet.t -> unit
-(** Packet arriving from the network. *)
+(** Packet arriving from the network. Frames flagged as corrupt are dropped
+    by the simulated hardware checksum-offload validation (counted in
+    {!rx_csum_drops}) before touching RSS or the host receive handler. *)
 
 val transmit : t -> Tas_proto.Packet.t -> unit
 (** Packet leaving the host. *)
@@ -52,6 +58,10 @@ val rx_packets : t -> int
 val tx_packets : t -> int
 val rx_bytes : t -> int
 val tx_bytes : t -> int
+
+val rx_csum_drops : t -> int
+(** Frames discarded by receive checksum validation (fault-injected
+    payload corruption). *)
 
 val register :
   t -> Tas_telemetry.Metrics.t -> ?labels:Tas_telemetry.Metrics.labels -> unit -> unit

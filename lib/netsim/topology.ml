@@ -22,7 +22,12 @@ type endpoint = {
   downlink : Port.t;
 }
 
-type point_to_point = { a : endpoint; b : endpoint }
+type point_to_point = {
+  a : endpoint;
+  b : endpoint;
+  fault_ab : Fault.t option;
+  fault_ba : Fault.t option;
+}
 
 let make_port sim spec =
   Port.create sim ~rate_bps:spec.rate_bps ~delay:spec.delay
@@ -36,22 +41,39 @@ let make_endpoint sim ~host_id ~queues ~uplink ~downlink =
   Port.set_deliver downlink (fun pkt -> Nic.input nic pkt);
   { nic; host_id; uplink; downlink }
 
-let point_to_point sim ?(spec = link_10g ()) ?(loss_rate = 0.0) ?rng
-    ?(queues_per_nic = 4) () =
+let point_to_point sim ?(spec = link_10g ()) ?(loss_rate = 0.0) ?fault_ab
+    ?fault_ba ?rng ?trace ?(queues_per_nic = 4) () =
   let a_to_b = make_port sim spec in
   let b_to_a = make_port sim spec in
   let a = make_endpoint sim ~host_id:0 ~queues:queues_per_nic ~uplink:a_to_b ~downlink:b_to_a in
   let b = make_endpoint sim ~host_id:1 ~queues:queues_per_nic ~uplink:b_to_a ~downlink:a_to_b in
-  if loss_rate > 0.0 then begin
-    let rng =
-      match rng with
-      | Some r -> r
-      | None -> invalid_arg "Topology.point_to_point: loss_rate needs an rng"
-    in
-    Port.set_deliver a_to_b (Loss.wrap rng ~rate:loss_rate (fun p -> Nic.input b.nic p));
-    Port.set_deliver b_to_a (Loss.wrap rng ~rate:loss_rate (fun p -> Nic.input a.nic p))
-  end;
-  { a; b }
+  (* A per-direction fault spec wins over the symmetric [loss_rate]
+     shorthand; either way faults are injected by a counted Fault stage. *)
+  let spec_for explicit =
+    match explicit with
+    | Some s -> Some s
+    | None -> if loss_rate > 0.0 then Some (Fault.uniform_loss loss_rate) else None
+  in
+  let install fault_spec deliver port =
+    match fault_spec with
+    | None -> None
+    | Some fs ->
+        let rng =
+          match rng with
+          | Some r -> r
+          | None -> invalid_arg "Topology.point_to_point: faults need an rng"
+        in
+        let stage = Fault.create ?trace sim (Tas_engine.Rng.split rng) fs in
+        Port.set_deliver port (Fault.wrap stage deliver);
+        Some stage
+  in
+  let fault_ab =
+    install (spec_for fault_ab) (fun p -> Nic.input b.nic p) a_to_b
+  in
+  let fault_ba =
+    install (spec_for fault_ba) (fun p -> Nic.input a.nic p) b_to_a
+  in
+  { a; b; fault_ab; fault_ba }
 
 type star = {
   switch : Switch.t;

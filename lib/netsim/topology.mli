@@ -29,18 +29,31 @@ type endpoint = {
   downlink : Port.t;  (** network → host port *)
 }
 
-type point_to_point = { a : endpoint; b : endpoint }
+type point_to_point = {
+  a : endpoint;
+  b : endpoint;
+  fault_ab : Fault.t option;  (** fault stage on the a→b direction *)
+  fault_ba : Fault.t option;  (** fault stage on the b→a direction *)
+}
 
 val point_to_point :
   Tas_engine.Sim.t ->
   ?spec:link_spec ->
   ?loss_rate:float ->
+  ?fault_ab:Fault.spec ->
+  ?fault_ba:Fault.spec ->
   ?rng:Tas_engine.Rng.t ->
+  ?trace:Tas_telemetry.Trace.t ->
   ?queues_per_nic:int ->
   unit ->
   point_to_point
-(** Two directly-wired hosts (ids 0 and 1). [loss_rate] drops packets
-    independently in both directions ([rng] required when positive). *)
+(** Two directly-wired hosts (ids 0 and 1). [loss_rate] is shorthand for a
+    symmetric uniform-loss {!Fault.spec} in both directions; [fault_ab] /
+    [fault_ba] install arbitrary per-direction fault stages (and override
+    [loss_rate] for their direction). Any fault requires [rng]; each
+    direction draws from an independent split so the two streams do not
+    perturb each other. [trace] is handed to the fault stages for
+    fault-injection events. *)
 
 type star = {
   switch : Switch.t;

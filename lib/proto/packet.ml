@@ -4,6 +4,7 @@ type t = {
   tcp : Tcp_header.t;
   payload : bytes;
   mutable span : int;
+  mutable corrupt : bool;
 }
 
 let make ~src_mac ~dst_mac ~src_ip ~dst_ip ?(ecn = Ipv4_header.Ect0) ~tcp
@@ -27,10 +28,16 @@ let make ~src_mac ~dst_mac ~src_ip ~dst_ip ?(ecn = Ipv4_header.Ect0) ~tcp
     tcp;
     payload;
     span = -1;
+    corrupt = false;
   }
 
 let wire_size t = Eth_header.size + t.ip.Ipv4_header.total_length
 let payload_len t = Bytes.length t.payload
+
+let well_formed t =
+  t.ip.Ipv4_header.total_length
+  = Ipv4_header.size + Tcp_header.size t.tcp + Bytes.length t.payload
+  && t.ip.Ipv4_header.protocol = Ipv4_header.protocol_tcp
 
 let four_tuple_at_receiver t =
   {
@@ -83,7 +90,7 @@ let of_wire buf =
   if payload_len < 0 || tcp_off + tcp_size + payload_len > Bytes.length buf
   then invalid_arg "Packet.of_wire: inconsistent lengths";
   let payload = Bytes.sub buf (tcp_off + tcp_size) payload_len in
-  { eth; ip; tcp; payload; span = -1 }
+  { eth; ip; tcp; payload; span = -1; corrupt = false }
 
 let tcp_checksum_ok buf =
   let ip = Ipv4_header.read buf ~off:Eth_header.size in

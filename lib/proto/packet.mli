@@ -15,6 +15,12 @@ type t = {
       (** span-trace id annotation, -1 when unsampled. Simulator metadata
           (the analogue of a driver mbuf field), not part of the wire
           format: [to_wire] ignores it and [of_wire] yields -1. *)
+  mutable corrupt : bool;
+      (** payload/checksum damage marker set by fault injection. The
+          structured packet form carries no computed checksum, so the flag
+          stands in for "the TCP checksum would not verify": NIC receive
+          validation drops flagged packets, modelling hardware checksum
+          offload. [make]/[of_wire] yield [false]. *)
 }
 
 val make :
@@ -34,6 +40,12 @@ val wire_size : t -> int
 (** Bytes on the wire including Ethernet header (no FCS/preamble). *)
 
 val payload_len : t -> int
+
+val well_formed : t -> bool
+(** Structural consistency: the IP total length matches the actual header
+    and payload sizes and the protocol is TCP. Header-corrupting faults
+    break exactly this invariant; the fast path validates it and drops
+    malformed packets before touching flow state. *)
 
 val flow_hash : t -> int
 (** Deterministic hash of the 4-tuple, symmetric per direction as computed by

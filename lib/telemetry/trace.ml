@@ -13,6 +13,13 @@ type kind =
   | Conn_teardown
   | Exception_fwd
   | Core_scale
+  | Fault_drop
+  | Fault_dup
+  | Fault_corrupt
+  | Fault_hold
+  | Malformed_drop
+  | Csum_drop
+  | Rst_tx
 
 let kind_name = function
   | Rx_data -> "rx_data"
@@ -27,11 +34,20 @@ let kind_name = function
   | Conn_teardown -> "conn_teardown"
   | Exception_fwd -> "exception_fwd"
   | Core_scale -> "core_scale"
+  | Fault_drop -> "fault_drop"
+  | Fault_dup -> "fault_dup"
+  | Fault_corrupt -> "fault_corrupt"
+  | Fault_hold -> "fault_hold"
+  | Malformed_drop -> "malformed_drop"
+  | Csum_drop -> "csum_drop"
+  | Rst_tx -> "rst_tx"
 
 let all_kinds =
   [
     Rx_data; Rx_ack; Tx_data; Ack_tx; Ooo_store; Payload_drop; Fast_rexmit;
     Timeout_rexmit; Conn_setup; Conn_teardown; Exception_fwd; Core_scale;
+    Fault_drop; Fault_dup; Fault_corrupt; Fault_hold; Malformed_drop;
+    Csum_drop; Rst_tx;
   ]
 
 type event = {

@@ -23,6 +23,13 @@ type kind =
   | Conn_teardown   (** slow path removed a connection *)
   | Exception_fwd   (** fast path forwarded a packet to the slow path *)
   | Core_scale      (** workload-proportionality changed the core count *)
+  | Fault_drop      (** fault stage dropped a packet (loss/blackout) *)
+  | Fault_dup       (** fault stage delivered a duplicate copy *)
+  | Fault_corrupt   (** fault stage damaged a payload or header *)
+  | Fault_hold      (** fault stage held a packet back for reordering *)
+  | Malformed_drop  (** fast path dropped a length-inconsistent packet *)
+  | Csum_drop       (** NIC dropped a checksum-failing frame *)
+  | Rst_tx          (** slow path generated an RST *)
 
 val kind_name : kind -> string
 val all_kinds : kind list

@@ -9,7 +9,7 @@ module Topology = Tas_netsim.Topology
 module Port = Tas_netsim.Port
 module Nic = Tas_netsim.Nic
 module Tap = Tas_netsim.Tap
-module Reorder = Tas_netsim.Reorder
+module Fault = Tas_netsim.Fault
 module Config = Tas_core.Config
 module Tas = Tas_core.Tas
 module Libtas = Tas_core.Libtas
@@ -62,9 +62,16 @@ let test_reordering_into_tas () =
   let peer = E.create sim net.Topology.b.Topology.nic E.default_config in
   E.attach peer;
   let rng = Rng.create 31 in
+  let stage =
+    Fault.create sim rng
+      { Fault.passthrough with
+        Fault.reorder =
+          Some
+            { Fault.reorder_rate = 0.1; reorder_window = 4;
+              max_hold_ns = 60_000 } }
+  in
   Port.set_deliver net.Topology.b.Topology.uplink
-    (Reorder.wrap sim rng ~rate:0.1 ~delay_ns:60_000 (fun pkt ->
-         Nic.input net.Topology.a.Topology.nic pkt));
+    (Fault.wrap stage (fun pkt -> Nic.input net.Topology.a.Topology.nic pkt));
   let n = 200_000 in
   let received, payload = bulk_through_tas sim net tas lt peer ~n in
   Sim.run ~until:(Time_ns.sec 5) sim;

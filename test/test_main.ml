@@ -11,6 +11,7 @@ let () =
       ("apps", Test_apps.suite);
       ("tas_behavior", Test_tas_behavior.suite);
       ("fault_injection", Test_fault_injection.suite);
+      ("faults", Test_faults.suite);
       ("stream_properties", Test_stream_properties.suite);
       ("harness", Test_harness.suite);
       ("pcap_edge", Test_pcap_edge.suite);

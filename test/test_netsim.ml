@@ -12,7 +12,7 @@ module Port = Tas_netsim.Port
 module Switch = Tas_netsim.Switch
 module Nic = Tas_netsim.Nic
 module Topology = Tas_netsim.Topology
-module Loss = Tas_netsim.Loss
+module Fault = Tas_netsim.Fault
 
 let mk_packet ?(src = 1) ?(dst = 2) ?(sport = 1000) ?(dport = 80)
     ?(payload_len = 1000) ?(ecn = Ipv4.Ect0) () =
@@ -165,10 +165,10 @@ let test_nic_rss_steering () =
 
 let test_loss_rate () =
   let sim = Sim.create () in
-  ignore sim;
   let rng = Rng.create 5 in
   let delivered = ref 0 in
-  let deliver = Loss.wrap rng ~rate:0.3 (fun _ -> incr delivered) in
+  let stage = Fault.create sim rng (Fault.uniform_loss 0.3) in
+  let deliver = Fault.wrap stage (fun _ -> incr delivered) in
   let n = 20_000 in
   for _ = 1 to n do
     deliver (mk_packet ())
@@ -177,7 +177,13 @@ let test_loss_rate () =
   Alcotest.(check bool)
     (Printf.sprintf "loss rate ~0.3 (got %.3f)" rate)
     true
-    (abs_float (rate -. 0.3) < 0.02)
+    (abs_float (rate -. 0.3) < 0.02);
+  let c = Fault.counters stage in
+  Alcotest.(check int) "offered counted" n c.Fault.offered;
+  Alcotest.(check int) "drops + delivered = offered" n
+    (c.Fault.uniform_drops + !delivered);
+  Alcotest.(check int) "forwarded matches deliveries" !delivered
+    c.Fault.forwarded
 
 let test_fat_tree_connectivity () =
   (* Every host can reach every other host across the fat tree. *)

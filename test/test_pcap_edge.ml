@@ -99,7 +99,7 @@ let test_connect_to_dead_port_fails () =
        ~dst_ip:(Nic.ip net.Topology.b.Topology.nic) ~dst_port:4444
        {
          Libtas.null_handlers with
-         Libtas.on_connect_failed = (fun _ -> failed := true);
+         Libtas.on_connect_failed = (fun _ _ -> failed := true);
        });
   Sim.run ~until:(Time_ns.sec 2) sim;
   Alcotest.(check bool) "connect eventually fails" true !failed

@@ -9,8 +9,7 @@ module Core = Tas_cpu.Core
 module Topology = Tas_netsim.Topology
 module Port = Tas_netsim.Port
 module Nic = Tas_netsim.Nic
-module Reorder = Tas_netsim.Reorder
-module Loss = Tas_netsim.Loss
+module Fault = Tas_netsim.Fault
 module Config = Tas_core.Config
 module Tas = Tas_core.Tas
 module Libtas = Tas_core.Libtas
@@ -30,15 +29,20 @@ let apply_faults sim rng fault deliver =
     incr count;
     if fault.dup_every > 0 && !count mod fault.dup_every = 0 then deliver pkt
   in
-  let with_reorder =
-    if fault.reorder_rate > 0.0 then
-      Reorder.wrap sim rng ~rate:fault.reorder_rate
-        ~delay_ns:(fault.reorder_delay_us * 1000)
-        with_dup
-    else with_dup
+  let spec =
+    {
+      Fault.passthrough with
+      Fault.uniform_loss = fault.loss;
+      reorder =
+        (if fault.reorder_rate > 0.0 then
+           Some
+             { Fault.reorder_rate = fault.reorder_rate;
+               reorder_window = 4;
+               max_hold_ns = fault.reorder_delay_us * 1000 }
+         else None);
+    }
   in
-  if fault.loss > 0.0 then Loss.wrap rng ~rate:fault.loss with_reorder
-  else with_reorder
+  Fault.wrap (Fault.create sim rng spec) with_dup
 
 (* Send [n] bytes from an engine client into a server of the given kind
    through a faulty link; return delivered bytes. *)
