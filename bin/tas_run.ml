@@ -1,13 +1,15 @@
 (* Command-line driver: run the paper's experiments by id, plus diagnostic
    subcommands over the span/introspection layer —
 
-     tas_run [IDS..]       run experiments (default: all)
+     tas_run [IDS..]       run experiments (default: all; --jobs N parallel)
      tas_run list          list experiment ids
+     tas_run perf          hot-path perf suite + regression gate (--check)
      tas_run flows         JSON flow-state snapshot (ss-style, Table 3)
      tas_run trace         write a Chrome trace (chrome://tracing, Perfetto)
      tas_run top           periodic text dashboard from the metrics registry *)
 
 module Registry = Tas_experiments.Registry
+module Perf_bench = Tas_experiments.Perf_bench
 module Run_opts = Tas_experiments.Run_opts
 module Diagnostics = Tas_experiments.Diagnostics
 module Time_ns = Tas_engine.Time_ns
@@ -30,24 +32,27 @@ let list_cmd () =
     Registry.all;
   0
 
-let run_cmd quick ids =
+let run_cmd quick jobs ids =
   let fmt = Format.std_formatter in
   let rc =
     match ids with
     | [] ->
-      Registry.run_all ~quick fmt;
+      Registry.run_all ~quick ~jobs fmt;
       0
     | ids ->
-      List.fold_left
-        (fun rc id ->
-          match Registry.find id with
-          | Some e ->
-            ignore (Registry.run_entry ~quick e fmt);
-            rc
-          | None ->
-            Printf.eprintf "unknown experiment id: %s (try 'tas_run list')\n" id;
-            1)
-        0 ids
+      let rc, entries =
+        List.fold_left
+          (fun (rc, acc) id ->
+            match Registry.find id with
+            | Some e -> (rc, e :: acc)
+            | None ->
+              Printf.eprintf "unknown experiment id: %s (try 'tas_run list')\n"
+                id;
+              (1, acc))
+          (0, []) ids
+      in
+      Registry.run_selection ~quick ~jobs (List.rev entries) fmt;
+      rc
   in
   Format.pp_print_flush fmt ();
   rc
@@ -207,9 +212,17 @@ let ids_arg =
   let doc = "Experiment ids to run (e.g. f4 t1). Empty runs everything." in
   Arg.(value & pos_all string [] & info [] ~docv:"ID" ~doc)
 
-let run_main list quick bench_dir trace_capacity ids =
+let jobs_arg =
+  let doc =
+    "Run the selected experiments on $(docv) domains in parallel. Output \
+     and artifacts are merged in submission order, so everything except \
+     per-artifact timing is identical to a serial run."
+  in
+  Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~docv:"N" ~doc)
+
+let run_main list quick jobs bench_dir trace_capacity ids =
   apply_opts bench_dir trace_capacity;
-  if list then list_cmd () else run_cmd quick ids
+  if list then list_cmd () else run_cmd quick jobs ids
 
 let list_flag =
   let doc = "List available experiment ids." in
@@ -220,15 +233,62 @@ let list_flag =
    `tas_run run f4 tm` runs a selection. *)
 let run_term =
   Term.(
-    const run_main $ list_flag $ quick $ bench_dir_arg $ trace_capacity_arg
-    $ const [])
+    const run_main $ list_flag $ quick $ jobs_arg $ bench_dir_arg
+    $ trace_capacity_arg $ const [])
 
 let run_cmd_v =
   let doc = "run selected experiments by id" in
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
-      const run_main $ list_flag $ quick $ bench_dir_arg $ trace_capacity_arg
-      $ ids_arg)
+      const run_main $ list_flag $ quick $ jobs_arg $ bench_dir_arg
+      $ trace_capacity_arg $ ids_arg)
+
+let perf_cmd_v =
+  let doc = "run the hot-path perf suite (and optionally the regression gate)" in
+  let check =
+    let doc =
+      "Gate against the committed baseline and exit non-zero on regression."
+    in
+    Arg.(value & flag & info [ "check" ] ~doc)
+  in
+  let baseline =
+    let doc =
+      "Baseline artifact to gate against (default with $(b,--check): \
+       bench/baseline_perf.json)."
+    in
+    Arg.(
+      value & opt (some string) None & info [ "baseline" ] ~docv:"FILE" ~doc)
+  in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Measures the packet hot path on the host wall clock: bulk \
+         TAS<->TAS packet operations and minor words per packet, pipelined \
+         RPC rate, wire-format round trips, and simulator event churn. \
+         Each run also re-measures with buffer pooling disabled (the \
+         pre-optimization behaviour) and writes both sets to \
+         BENCH_perf.json. With $(b,--check), compares against a saved \
+         baseline: wall-clock throughput gets a generous tolerance band \
+         (machine dependent), allocations per operation a tight one \
+         (machine independent); exits 1 on regression.";
+    ]
+  in
+  let perf_main quick check baseline bench_dir =
+    apply_opts bench_dir None;
+    let baseline =
+      match baseline with
+      | Some p -> Some p
+      | None -> if check then Some "bench/baseline_perf.json" else None
+    in
+    let fmt = Format.std_formatter in
+    let ok = Perf_bench.run ~quick ?baseline fmt in
+    Format.pp_print_flush fmt ();
+    if ok then 0 else 1
+  in
+  Cmd.v
+    (Cmd.info "perf" ~doc ~man)
+    Term.(const perf_main $ quick $ check $ baseline $ bench_dir_arg)
 
 let list_cmd_v =
   let doc = "list available experiment ids" in
@@ -296,6 +356,6 @@ let cmd =
   let doc = "reproduce the TAS (EuroSys'19) evaluation" in
   let info = Cmd.info "tas_run" ~doc in
   Cmd.group ~default:run_term info
-    [ run_cmd_v; list_cmd_v; flows_cmd_v; trace_cmd_v; top_cmd_v ]
+    [ run_cmd_v; list_cmd_v; perf_cmd_v; flows_cmd_v; trace_cmd_v; top_cmd_v ]
 
 let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,47 @@
+(** Exact-length payload buffer pool for the packet hot path.
+
+    Free lists are keyed by exact buffer length, so a recycled buffer is
+    only handed out for a request of precisely its size and
+    [Bytes.length payload] stays an exact segment length. Recycled buffers
+    hold stale bytes — takers must overwrite the full buffer. Reuse is
+    invisible to simulation results.
+
+    {!local} is the per-domain instance shared by all hosts of a simulation
+    running on that domain (parallel experiment jobs on other domains get
+    their own). *)
+
+type t
+
+type stats = {
+  takes : int;  (** allocation requests *)
+  hits : int;  (** requests served from a free list *)
+  gives : int;  (** buffers offered back *)
+  drops : int;  (** gives refused because the size class was full *)
+}
+
+val create : ?max_per_class:int -> unit -> t
+(** Fresh pool. Each size class keeps at most [max_per_class] (default 256)
+    free buffers; surplus gives fall through to the GC. *)
+
+val min_len : int
+(** Buffers shorter than this (256 B) bypass the pool in both directions: a
+    fresh allocation is cheaper than the hashtable round trip. *)
+
+val take : t -> int -> bytes
+(** [take t len] is a buffer of exactly [len] bytes, recycled when one is
+    free and freshly allocated otherwise. Contents are unspecified for
+    recycled buffers. [take t 0] is [Bytes.empty]. *)
+
+val give : t -> bytes -> unit
+(** Return a buffer to the pool. The caller must not touch it afterwards. *)
+
+val stats : t -> stats
+val reset_stats : t -> unit
+
+val local : unit -> t
+(** The calling domain's pool instance. *)
+
+val set_reuse : bool -> unit
+(** Global A/B switch (default [true]). With reuse off, {!take} always
+    allocates fresh and {!give} drops — the pre-pool allocation behaviour,
+    for perf comparison. Toggle only while no simulation is running. *)

@@ -8,6 +8,7 @@ module Tcp_header = Tas_proto.Tcp_header
 module Ipv4_header = Tas_proto.Ipv4_header
 module Ring = Tas_buffers.Ring_buffer
 module Ooo = Tas_buffers.Ooo_interval
+module Buf_pool = Tas_buffers.Buf_pool
 module Metrics = Tas_telemetry.Metrics
 module Trace = Tas_telemetry.Trace
 module Span = Tas_telemetry.Span
@@ -213,7 +214,10 @@ let rec maybe_send t flow core =
             ~in_flight:flow.Flow_state.tx_sent ~want
       in
       if granted > 0 then begin
-        let payload = Bytes.create granted in
+        (* Pool-recycled payload staging: [Ring.read_at ~len:granted] below
+           overwrites the full (exact-length) buffer, so stale contents of a
+           recycled buffer are never observable. *)
+        let payload = Buf_pool.take (Buf_pool.local ()) granted in
         Ring.read_at flow.Flow_state.tx_buf
           ~pos:(Ring.tail flow.Flow_state.tx_buf + flow.Flow_state.tx_sent)
           ~dst:payload ~dst_off:0 ~len:granted;
@@ -226,6 +230,9 @@ let rec maybe_send t flow core =
         let pkt =
           build_packet t flow ~flags:Tcp_header.data_flags ~seq ~payload
         in
+        (* Small payloads bypassed the pool; marking them would only make
+           the final release allocate a pointless [Some]. *)
+        if granted >= Buf_pool.min_len then Packet.mark_pooled pkt;
         if flow.Flow_state.tx_span >= 0 then begin
           let id = flow.Flow_state.tx_span in
           flow.Flow_state.tx_span <- -1;
@@ -248,10 +255,9 @@ and arm_pacing_timer t flow core ~want =
     | Some delay when delay = max_int -> () (* rate is zero; slow path will update *)
     | Some delay ->
       flow.Flow_state.tx_timer_armed <- true;
-      ignore
-        (Sim.schedule t.sim (max delay 1) (fun () ->
-             flow.Flow_state.tx_timer_armed <- false;
-             maybe_send t flow core))
+      Sim.post t.sim (max delay 1) (fun () ->
+          flow.Flow_state.tx_timer_armed <- false;
+          maybe_send t flow core)
   end
 
 let notify_tx t flow =
@@ -413,14 +419,24 @@ let process_data t flow pkt core =
       ~flow:flow.Flow_state.opaque;
     send_ack t flow ~ece:ce
 
+(* Last consumer of an RX packet recycles its pooled payload. Safe only
+   because every delivery path out of [process] — ring writes, exception
+   handling, reinjection — either copies the bytes out or takes its own
+   reference before this runs. *)
+let release_pkt pkt =
+  match Packet.release pkt with
+  | Some buf -> Buf_pool.give (Buf_pool.local ()) buf
+  | None -> ()
+
 let rec process t pkt core =
-  if not (Packet.well_formed pkt) then begin
-    (* Header-corrupted frame (IP length inconsistent with the actual
-       headers + payload): drop before touching any flow state. *)
-    t.stats.malformed_drops <- t.stats.malformed_drops + 1;
-    trace_ev t Trace.Malformed_drop ~core:(Core.id core) ~flow:(-1)
-  end
-  else process_valid t pkt core
+  (if not (Packet.well_formed pkt) then begin
+     (* Header-corrupted frame (IP length inconsistent with the actual
+        headers + payload): drop before touching any flow state. *)
+     t.stats.malformed_drops <- t.stats.malformed_drops + 1;
+     trace_ev t Trace.Malformed_drop ~core:(Core.id core) ~flow:(-1)
+   end
+   else process_valid t pkt core);
+  release_pkt pkt
 
 and process_valid t pkt core =
   if pkt.Packet.span >= 0 then
@@ -493,6 +509,9 @@ let reinject t pkt =
       if Bytes.length pkt.Packet.payload = 0 then Core.Ack_rx
       else Core.Driver_rx
     in
+    (* The reinjected packet goes through [process] (and its release) a
+       second time; hold a reference across the scheduling gap. *)
+    Packet.retain pkt;
     Core.run core ~cat ~cycles:(rx_cost t pkt) (fun () -> process t pkt core)
 
 let idle_core_total t ~window_ns =

@@ -98,6 +98,12 @@ val trigger_retransmit : t -> Flow_state.t -> unit
 (** Slow-path command after a retransmission timeout: rewind the flow as if
     the unacknowledged segments had never been sent, then transmit. *)
 
+val release_pkt : Tas_proto.Packet.t -> unit
+(** Drop one reference to [pkt], recycling its pooled payload buffer into
+    the domain-local buffer pool when this was the last reference. Callers
+    that keep a packet alive across a scheduling gap pair this with
+    {!Tas_proto.Packet.retain}. *)
+
 val reinject : t -> Tas_proto.Packet.t -> unit
 (** Re-run fast-path processing for a packet that raced connection setup:
     the slow path calls this after installing a flow when the triggering

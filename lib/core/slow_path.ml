@@ -751,8 +751,14 @@ let create sim ~fast_path ~core ~config =
     }
   in
   Fast_path.set_exception_handler t.fp (fun pkt ->
+      (* The handler returns before the deferred work runs; hold a reference
+         so the fast path's own release cannot recycle the payload under the
+         pending slow-path processing. *)
+      Packet.retain pkt;
       Core.run t.core ~cat:Core.Conn ~cycles:config.Config.sp_conn_cycles
-        (fun () -> process_exception t pkt));
+        (fun () ->
+          process_exception t pkt;
+          Fast_path.release_pkt pkt));
   let tick_interval =
     match config.Config.control_interval_fixed_ns with
     | Some fixed -> max fixed 10_000

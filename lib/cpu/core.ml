@@ -56,7 +56,9 @@ let start_no_earlier_than t ~cat ready cycles f =
   t.busy_ns <- t.busy_ns + dur;
   let i = cat_index cat in
   t.busy_by.(i) <- t.busy_by.(i) + dur;
-  ignore (Sim.schedule_at t.sim t.busy_until f)
+  (* Handle-free: core dispatch is one event per packet-processing step and
+     is never cancelled, so the queue entry can be recycled. *)
+  Sim.post_at t.sim t.busy_until f
 
 let run t ?(cat = Other) ~cycles f =
   start_no_earlier_than t ~cat (Sim.now t.sim) cycles f

@@ -27,6 +27,22 @@ val schedule_at : t -> Time_ns.t -> (unit -> unit) -> event
     must not be in the past.
     @raise Invalid_argument if [time < now sim]. *)
 
+val post : t -> Time_ns.t -> (unit -> unit) -> unit
+(** [post sim dt f] is {!schedule} without a cancellation handle, for the
+    fire-and-forget event storm of the hot path (port serialization,
+    propagation, core dispatch, pacing): callers that never cancel document
+    that fact and skip binding a handle.
+    @raise Invalid_argument if [dt < 0]. *)
+
+val post_at : t -> Time_ns.t -> (unit -> unit) -> unit
+(** [post_at sim time f] is {!schedule_at} without a cancellation handle;
+    see {!post}.
+    @raise Invalid_argument if [time < now sim]. *)
+
+val events_fired : t -> int
+(** Total events executed since [create] (the perf bench's events/sec
+    numerator). *)
+
 val cancel : t -> event -> unit
 (** [cancel sim ev] prevents [ev] from firing. Cancelling an event that has
     already fired or been cancelled is a no-op. *)

@@ -1,0 +1,374 @@
+module Sim = Tas_engine.Sim
+module Time_ns = Tas_engine.Time_ns
+module Stats = Tas_engine.Stats
+module Core = Tas_cpu.Core
+module Topology = Tas_netsim.Topology
+module Config = Tas_core.Config
+module Tas = Tas_core.Tas
+module Libtas = Tas_core.Libtas
+module Transport = Tas_apps.Transport
+module Rpc_echo = Tas_apps.Rpc_echo
+module Buf_pool = Tas_buffers.Buf_pool
+module Packet = Tas_proto.Packet
+module Tcp_header = Tas_proto.Tcp_header
+module Addr = Tas_proto.Addr
+module J = Tas_telemetry.Json
+
+type kind = Throughput | Alloc
+
+type metric = { name : string; value : float; units : string; kind : kind }
+
+let kind_name = function Throughput -> "throughput" | Alloc -> "alloc"
+let m name value units kind = { name; value; units; kind }
+
+(* --- Harness pieces ----------------------------------------------------- *)
+
+let tas_host sim endpoint =
+  let config =
+    {
+      Config.default with
+      Config.max_fast_path_cores = 2;
+      rx_buf_size = 131072;
+      tx_buf_size = 131072;
+    }
+  in
+  let t = Tas.create sim ~nic:endpoint.Topology.nic ~config () in
+  let cores = Array.init 2 (fun i -> Core.create sim ~id:(500 + i) ()) in
+  let lt = Tas.app t ~app_cores:cores ~api:Libtas.Sockets in
+  (t, Transport.of_libtas lt ~ctx_of_conn:(fun i -> i mod 2))
+
+let pkt_ops tas =
+  let s = Tas.snapshot tas in
+  s.Tas.rx_data_packets + s.Tas.rx_ack_packets + s.Tas.tx_data_packets
+  + s.Tas.acks_sent
+
+(* Wall-clock + minor-word cost of advancing [sim] by [window] of simulated
+   time, normalized per unit returned by [ops]. *)
+let timed_window sim ~window ~ops =
+  let o0 = ops () in
+  let w0 = Gc.minor_words () in
+  let t0 = Unix.gettimeofday () in
+  Sim.run ~until:(Sim.now sim + window) sim;
+  let wall = Unix.gettimeofday () -. t0 in
+  let words = Gc.minor_words () -. w0 in
+  let n = max 1 (ops () - o0) in
+  (n, wall, words)
+
+let median xs =
+  let sorted = List.sort compare xs in
+  List.nth sorted (List.length sorted / 2)
+
+(* Three consecutive measurement windows, median throughput: wall-clock on a
+   shared machine is noisy, and the median discards the window that caught a
+   scheduler hiccup. Allocation counts are deterministic across windows. *)
+let median_windows sim ~window ~ops =
+  let samples =
+    List.init 3 (fun _ ->
+        let n, wall, words = timed_window sim ~window ~ops in
+        (float_of_int n /. wall, words /. float_of_int n))
+  in
+  (median (List.map fst samples), median (List.map snd samples))
+
+(* --- Benchmarks --------------------------------------------------------- *)
+
+(* Bulk TAS<->TAS transfer over a 10G link: the fast-path segmentation /
+   ACK-processing hot loop. Packet ops = rx data + rx acks + tx data + acks
+   sent, summed over both hosts. *)
+let bulk ~quick =
+  let sim = Sim.create () in
+  let spec = Topology.link_10g ~ecn_threshold:65 () in
+  let net = Topology.point_to_point sim ~spec ~queues_per_nic:8 () in
+  let tas_a, sender = tas_host sim net.Topology.a in
+  let tas_b, receiver = tas_host sim net.Topology.b in
+  Transport.listen receiver ~port:5001 (fun _ -> Transport.null_handlers);
+  let chunk = Bytes.create 16384 in
+  for _ = 1 to 16 do
+    let rec push conn =
+      let n = Transport.send conn chunk in
+      if n > 0 then push conn
+    in
+    Transport.connect sender
+      ~dst_ip:(Tas_netsim.Nic.ip net.Topology.b.Topology.nic) ~dst_port:5001
+      (fun _ ->
+        {
+          Transport.null_handlers with
+          Transport.on_connected = (fun conn -> push conn);
+          Transport.on_sendable = (fun conn -> push conn);
+        })
+  done;
+  Sim.run ~until:(Time_ns.ms 10) sim;
+  let rate, words_per =
+    median_windows sim
+      ~window:(Time_ns.ms (if quick then 4 else 15))
+      ~ops:(fun () -> pkt_ops tas_a + pkt_ops tas_b)
+  in
+  [
+    m "bulk_pkt_ops_per_sec" rate "ops/s" Throughput;
+    m "bulk_minor_words_per_pkt" words_per "words/op" Alloc;
+  ]
+
+(* Pipelined small RPCs TAS<->TAS: per-packet fast-path cost dominated by
+   small-segment handling and context notification. *)
+let rpc ~quick =
+  let sim = Sim.create () in
+  let spec = Topology.link_10g ~ecn_threshold:65 () in
+  let net = Topology.point_to_point sim ~spec ~queues_per_nic:8 () in
+  let _tas_a, clients = tas_host sim net.Topology.a in
+  let _tas_b, server = tas_host sim net.Topology.b in
+  Rpc_echo.server server ~port:7 ~msg_size:64 ~app_cycles:250;
+  let stats = Rpc_echo.make_stats () in
+  Rpc_echo.closed_loop_clients sim clients ~n:16
+    ~dst_ip:(Tas_netsim.Nic.ip net.Topology.b.Topology.nic) ~dst_port:7
+    ~msg_size:64 ~pipeline:8 ~stats ();
+  Sim.run ~until:(Time_ns.ms 10) sim;
+  let rate, _words_per =
+    median_windows sim
+      ~window:(Time_ns.ms (if quick then 4 else 15))
+      ~ops:(fun () -> Stats.Counter.value stats.Rpc_echo.completed)
+  in
+  [ m "rpc_ops_per_sec" rate "rpc/s" Throughput ]
+
+(* Wire-format serialize + parse round trip (checksum arithmetic included). *)
+let wire ~quick =
+  let payload = Bytes.make 512 'x' in
+  let tcp =
+    {
+      Tcp_header.src_port = 1234;
+      dst_port = 80;
+      seq = 7;
+      ack = 9;
+      flags = Tcp_header.data_flags;
+      window = 1024;
+      options =
+        { Tcp_header.mss = None; wscale = None; timestamp = Some (1, 2) };
+    }
+  in
+  let pkt =
+    Packet.make ~src_mac:(Addr.host_mac 0) ~dst_mac:(Addr.host_mac 1)
+      ~src_ip:0x0a000001 ~dst_ip:0x0a000002 ~tcp ~payload ()
+  in
+  for _ = 1 to 1000 do
+    ignore (Packet.of_wire (Packet.to_wire pkt))
+  done;
+  let iters = if quick then 20_000 else 60_000 in
+  let samples =
+    List.init 3 (fun _ ->
+        let w0 = Gc.minor_words () in
+        let t0 = Unix.gettimeofday () in
+        for _ = 1 to iters do
+          ignore (Packet.of_wire (Packet.to_wire pkt))
+        done;
+        let wall = Unix.gettimeofday () -. t0 in
+        let words = Gc.minor_words () -. w0 in
+        (float_of_int iters /. wall, words /. float_of_int iters))
+  in
+  [
+    m "wire_roundtrips_per_sec" (median (List.map fst samples)) "ops/s"
+      Throughput;
+    m "wire_minor_words_per_roundtrip"
+      (median (List.map snd samples))
+      "words/op" Alloc;
+  ]
+
+(* Event-queue churn: chains of fire-and-forget [post] events, the shape of
+   the simulator's per-packet event storm (serialization, propagation, core
+   dispatch, pacing). *)
+let events ~quick =
+  let n = if quick then 100_000 else 250_000 in
+  let one () =
+    let sim = Sim.create () in
+    let remaining = ref n in
+    let rec tick () =
+      if !remaining > 0 then begin
+        decr remaining;
+        Sim.post sim 10 tick
+      end
+    in
+    for i = 1 to 32 do
+      Sim.post sim i tick
+    done;
+    let w0 = Gc.minor_words () in
+    let t0 = Unix.gettimeofday () in
+    Sim.run sim;
+    let wall = Unix.gettimeofday () -. t0 in
+    let words = Gc.minor_words () -. w0 in
+    let fired = max 1 (Sim.events_fired sim) in
+    (float_of_int fired /. wall, words /. float_of_int fired)
+  in
+  let samples = List.init 3 (fun _ -> one ()) in
+  [
+    m "sim_events_per_sec" (median (List.map fst samples)) "events/s"
+      Throughput;
+    m "sim_minor_words_per_event"
+      (median (List.map snd samples))
+      "words/event" Alloc;
+  ]
+
+let measure ~quick =
+  (* Start each pass from a normalized heap: without this, whichever pass
+     runs second inherits the first pass's grown major heap and pending GC
+     work and measures a few percent slower across the board. *)
+  Gc.compact ();
+  List.concat [ bulk ~quick; rpc ~quick; wire ~quick; events ~quick ]
+
+(* The same suite with buffer pooling disabled: the pre-PR allocation
+   behaviour, measured on the same build and machine so the artifact
+   carries an honest before/after. *)
+let measure_pre ~quick =
+  Buf_pool.set_reuse false;
+  Fun.protect
+    ~finally:(fun () -> Buf_pool.set_reuse true)
+    (fun () -> measure ~quick)
+
+(* --- Artifact ----------------------------------------------------------- *)
+
+let metrics_json ms =
+  J.Obj
+    (List.map
+       (fun mt ->
+         ( mt.name,
+           J.Obj
+             [
+               ("value", J.Float mt.value);
+               ("units", J.Str mt.units);
+               ("kind", J.Str (kind_name mt.kind));
+             ] ))
+       ms)
+
+let artifact_json ~quick ~current ~pre ~wall =
+  J.Obj
+    [
+      ("experiment", J.Str "perf");
+      ("title", J.Str "Hot-path microbenchmarks (perf-regression gate)");
+      ("quick", J.Bool quick);
+      ("metrics", metrics_json current);
+      ("pre_pr", metrics_json pre);
+      ("timing", J.Obj [ ("run_wall_s", J.Float wall) ]);
+    ]
+
+let write_artifact j =
+  let path = Filename.concat (Run_opts.bench_dir ()) "BENCH_perf.json" in
+  let oc = open_out path in
+  output_string oc (J.to_string ~pretty:true j);
+  output_char oc '\n';
+  close_out oc;
+  path
+
+(* --- Regression gate ----------------------------------------------------- *)
+
+type verdict = {
+  metric : string;
+  baseline : float;
+  current : float;
+  ratio : float;
+  ok : bool;
+}
+
+(* Wall-clock throughput varies wildly across machines (laptop vs CI
+   runner), so its band only catches order-of-magnitude collapses.
+   Allocation counts per operation are machine-independent on a given
+   build, so their band is tight. *)
+let default_tol_throughput = 0.75
+let default_tol_alloc = 0.15
+
+let check ?(tol_throughput = default_tol_throughput)
+    ?(tol_alloc = default_tol_alloc) ~baseline current =
+  let base_metrics =
+    match J.member "metrics" baseline with Some (J.Obj kv) -> kv | _ -> []
+  in
+  List.filter_map
+    (fun mt ->
+      match List.assoc_opt mt.name base_metrics with
+      | None -> None (* metric absent from the baseline: not gated *)
+      | Some bj -> (
+        match Option.bind (J.member "value" bj) J.to_float_opt with
+        | None -> None
+        | Some b ->
+          let ratio = if b > 0.0 then mt.value /. b else 1.0 in
+          let ok =
+            match mt.kind with
+            | Throughput -> mt.value >= b *. (1.0 -. tol_throughput)
+            | Alloc -> mt.value <= (b *. (1.0 +. tol_alloc)) +. 1e-9
+          in
+          Some { metric = mt.name; baseline = b; current = mt.value; ratio; ok }))
+    current
+
+let load_baseline path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  J.of_string s
+
+(* --- Driver -------------------------------------------------------------- *)
+
+let fnum v =
+  if Float.abs v >= 1000.0 then Printf.sprintf "%.3e" v
+  else Printf.sprintf "%.2f" v
+
+let run ?(quick = false) ?baseline fmt =
+  Report.section fmt "Perf: hot-path microbenchmarks";
+  let t0 = Unix.gettimeofday () in
+  (* Discarded warmup pass: sizes the GC heap and warms code/data caches so
+     neither measured pass pays cold-start costs. *)
+  ignore (measure ~quick:true);
+  let pre = measure_pre ~quick in
+  let current = measure ~quick in
+  let wall = Unix.gettimeofday () -. t0 in
+  let pre_of name =
+    match List.find_opt (fun p -> p.name = name) pre with
+    | Some p -> p.value
+    | None -> nan
+  in
+  Report.table fmt
+    ~header:[ "metric"; "units"; "pre-PR"; "current"; "change" ]
+    ~rows:
+      (List.map
+         (fun mt ->
+           let p = pre_of mt.name in
+           let change =
+             if Float.is_nan p || p = 0.0 then "-"
+             else Printf.sprintf "%+.1f%%" (100.0 *. ((mt.value /. p) -. 1.0))
+           in
+           [ mt.name; mt.units; fnum p; fnum mt.value; change ])
+         current);
+  Format.fprintf fmt "  (%.1fs)@." wall;
+  (try
+     let path = write_artifact (artifact_json ~quick ~current ~pre ~wall) in
+     Format.fprintf fmt "  # artifact: %s@." path
+   with Sys_error msg ->
+     Format.fprintf fmt "  # BENCH_perf.json not written: %s@." msg);
+  match baseline with
+  | None -> true
+  | Some path ->
+    let verdicts =
+      try check ~baseline:(load_baseline path) current with
+      | Sys_error msg ->
+        Format.fprintf fmt "  # baseline unreadable (%s): gate skipped@." msg;
+        []
+      | J.Parse_error msg ->
+        Format.fprintf fmt "  # baseline unparsable (%s): gate skipped@." msg;
+        []
+    in
+    Report.section fmt "Perf gate";
+    if verdicts = [] then begin
+      Format.fprintf fmt "  no gated metrics (empty or missing baseline)@.";
+      true
+    end
+    else begin
+      Report.table fmt
+        ~header:[ "metric"; "baseline"; "current"; "ratio"; "status" ]
+        ~rows:
+          (List.map
+             (fun v ->
+               [
+                 v.metric; fnum v.baseline; fnum v.current;
+                 Printf.sprintf "%.2fx" v.ratio;
+                 (if v.ok then "ok" else "REGRESSION");
+               ])
+             verdicts);
+      let pass = List.for_all (fun v -> v.ok) verdicts in
+      Format.fprintf fmt "  perf gate: %s@."
+        (if pass then "PASS" else "FAIL");
+      pass
+    end

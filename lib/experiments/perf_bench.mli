@@ -1,0 +1,61 @@
+(** Hot-path microbenchmarks and the perf-regression gate.
+
+    Four benchmark families measure the simulator's packet hot path on the
+    host wall clock: bulk TAS<->TAS transfer (packet ops/sec and minor
+    words/packet), pipelined small RPCs (RPCs/sec), wire-format round trips
+    (ops/sec and minor words/op), and simulator event churn (events/sec and
+    minor words/event).
+
+    Each full run also re-measures with the buffer pool disabled
+    ({!Tas_buffers.Buf_pool.set_reuse}) — the pre-PR allocation behaviour
+    on the same build — and records both sets in [BENCH_perf.json] under
+    ["metrics"] and ["pre_pr"].
+
+    The gate compares a run against a committed baseline artifact
+    ([bench/baseline_perf.json], itself a saved [BENCH_perf.json]) with
+    per-kind tolerance bands: generous for wall-clock throughput (machine
+    dependent), tight for allocations per operation (machine independent). *)
+
+type kind = Throughput | Alloc
+
+type metric = { name : string; value : float; units : string; kind : kind }
+
+val measure : quick:bool -> metric list
+(** Run all benchmark families with the optimizations enabled. *)
+
+val measure_pre : quick:bool -> metric list
+(** The same suite with buffer-pool reuse disabled; always restores the
+    switch. *)
+
+type verdict = {
+  metric : string;
+  baseline : float;
+  current : float;
+  ratio : float;  (** current / baseline *)
+  ok : bool;
+}
+
+val default_tol_throughput : float
+(** 0.75: a throughput metric fails only below 25% of baseline. *)
+
+val default_tol_alloc : float
+(** 0.15: an allocation metric fails above 115% of baseline. *)
+
+val check :
+  ?tol_throughput:float ->
+  ?tol_alloc:float ->
+  baseline:Tas_telemetry.Json.t ->
+  metric list ->
+  verdict list
+(** Gate [current] metrics against a baseline artifact's ["metrics"]
+    object. Metrics absent from the baseline are not gated. *)
+
+val load_baseline : string -> Tas_telemetry.Json.t
+(** Read and parse a baseline artifact.
+    @raise Sys_error on unreadable files.
+    @raise Tas_telemetry.Json.Parse_error on malformed content. *)
+
+val run : ?quick:bool -> ?baseline:string -> Format.formatter -> bool
+(** Measure (current + pre-PR), print the comparison table, write
+    [BENCH_perf.json] into the bench dir, and — when [baseline] is given —
+    print gate verdicts. Returns [false] iff the gate found a regression. *)

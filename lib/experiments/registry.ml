@@ -62,15 +62,20 @@ module J = Tas_telemetry.Json
 
 let bench_dir = Run_opts.bench_dir
 
-let write_artifact e ~quick ~elapsed body =
+(* Everything before "timing" is covered by the determinism contract:
+   byte-identical across serial and parallel runs of the same build. The
+   trailing "timing" object isolates the only nondeterministic data
+   (wall-clock measurements), so consumers can diff artifacts by cutting
+   at the "timing" key. *)
+let write_artifact e ~quick ~timing body =
   let j =
     J.Obj
       [
         ("experiment", J.Str e.id);
         ("title", J.Str e.title);
         ("quick", J.Bool quick);
-        ("elapsed_s", J.Float elapsed);
         ("output", body);
+        ("timing", timing);
       ]
   in
   let path =
@@ -82,22 +87,74 @@ let write_artifact e ~quick ~elapsed body =
   close_out oc;
   path
 
-let run_entry ?quick e fmt =
+(* Run one experiment with its text output buffered and its artifact
+   captured. Self-contained (no shared mutable state beyond the
+   domain-local artifact), so it can run on any pool domain. *)
+let run_captured ?quick e =
+  let buf = Buffer.create 4096 in
+  let bfmt = Format.formatter_of_buffer buf in
   Report.Artifact.start ();
   let t0 = Unix.gettimeofday () in
-  e.run ?quick fmt;
+  e.run ?quick bfmt;
   let elapsed = Unix.gettimeofday () -. t0 in
+  Format.pp_print_flush bfmt ();
   let body = Report.Artifact.finish () in
+  (Buffer.contents buf, body, elapsed)
+
+let timing_json ~elapsed ~jobs ~run_wall ~serial_estimate =
+  let speedup = if run_wall > 0.0 then serial_estimate /. run_wall else 1.0 in
+  J.Obj
+    [
+      ("elapsed_s", J.Float elapsed);
+      ("jobs", J.Int jobs);
+      ("run_wall_s", J.Float run_wall);
+      ("serial_estimate_s", J.Float serial_estimate);
+      ("speedup", J.Float speedup);
+    ]
+
+let emit_result ?quick fmt e ~timing (text, body, _elapsed) =
+  Format.fprintf fmt "%s" text;
   (try
-     let path = write_artifact e ~quick:(quick = Some true) ~elapsed body in
+     let path = write_artifact e ~quick:(quick = Some true) ~timing body in
      Format.fprintf fmt "  # artifact: %s@." path
    with Sys_error msg ->
-     Format.fprintf fmt "  # BENCH_%s.json not written: %s@." e.id msg);
+     Format.fprintf fmt "  # BENCH_%s.json not written: %s@." e.id msg)
+
+let run_entry ?quick e fmt =
+  let ((_, _, elapsed) as r) = run_captured ?quick e in
+  let timing =
+    timing_json ~elapsed ~jobs:1 ~run_wall:elapsed ~serial_estimate:elapsed
+  in
+  emit_result ?quick fmt e ~timing r;
   elapsed
 
-let run_all ?quick fmt =
-  List.iter
-    (fun e ->
-      let elapsed = run_entry ?quick e fmt in
+let run_selection ?quick ?(jobs = 1) entries fmt =
+  let entries_arr = Array.of_list entries in
+  let t0 = Unix.gettimeofday () in
+  let results =
+    if jobs <= 1 then Array.map (fun e -> run_captured ?quick e) entries_arr
+    else
+      Tas_parallel.Domain_pool.with_pool ~jobs (fun pool ->
+          Tas_parallel.Domain_pool.map pool
+            ~f:(fun e -> run_captured ?quick e)
+            entries_arr)
+  in
+  let run_wall = Unix.gettimeofday () -. t0 in
+  let serial_estimate =
+    Array.fold_left (fun acc (_, _, e) -> acc +. e) 0.0 results
+  in
+  (* Deterministic merge: emit in submission order regardless of which
+     domain finished first. *)
+  Array.iteri
+    (fun i e ->
+      let ((_, _, elapsed) as r) = results.(i) in
+      let timing = timing_json ~elapsed ~jobs ~run_wall ~serial_estimate in
+      emit_result ?quick fmt e ~timing r;
       Format.fprintf fmt "  (%.1fs)@." elapsed)
-    all
+    entries_arr;
+  if Array.length entries_arr > 1 then
+    Format.fprintf fmt "Ran %d experiments in %.1fs (jobs=%d, serial estimate %.1fs, speedup %.2fx)@."
+      (Array.length entries_arr) run_wall jobs serial_estimate
+      (if run_wall > 0.0 then serial_estimate /. run_wall else 1.0)
+
+let run_all ?quick ?jobs fmt = run_selection ?quick ?jobs all fmt

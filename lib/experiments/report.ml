@@ -7,15 +7,23 @@ module J = Tas_telemetry.Json
 module Artifact = struct
   type t = { mutable rev : J.t list }
 
-  let current : t option ref = ref None
-  let start () = current := Some { rev = [] }
-  let add j = match !current with None -> () | Some a -> a.rev <- j :: a.rev
+  (* Domain-local: parallel experiment jobs (Registry with --jobs) each
+     capture an independent artifact on their own domain. *)
+  let key : t option ref Domain.DLS.key =
+    Domain.DLS.new_key (fun () -> ref None)
+
+  let current () = Domain.DLS.get key
+  let start () = current () := Some { rev = [] }
+
+  let add j =
+    match !(current ()) with None -> () | Some a -> a.rev <- j :: a.rev
 
   let finish () =
-    match !current with
+    let c = current () in
+    match !c with
     | None -> J.List []
     | Some a ->
-      current := None;
+      c := None;
       J.List (List.rev a.rev)
 
   let attach name j = add (J.Obj [ (name, j) ])

@@ -144,7 +144,10 @@ let corrupt_pkt t pkt =
         Ipv4_header.total_length =
           pkt.Packet.ip.Ipv4_header.total_length + 1 + Rng.int t.rng 64 }
     in
-    { pkt with Packet.ip }
+    (* A fresh single-referent packet; it does not own the (shared) payload
+       buffer, so its eventual release never recycles it under the held
+       original. *)
+    { pkt with Packet.ip; refs = 1; pooled = false }
   end
   else begin
     t.c.payload_corrupts <- t.c.payload_corrupts + 1;
@@ -159,7 +162,7 @@ let corrupt_pkt t pkt =
         b
       end
     in
-    { pkt with Packet.payload; corrupt = true }
+    { pkt with Packet.payload; corrupt = true; refs = 1; pooled = false }
   end
 
 let release t h =
@@ -222,6 +225,10 @@ let wrap t deliver pkt =
     else if t.spec.dup_rate > 0.0 && Rng.coin t.rng t.spec.dup_rate then begin
       t.c.dups <- t.c.dups + 1;
       trace_ev t Trace.Fault_dup;
+      (* Two deliveries of the same packet: the extra reference keeps the
+         first consumer's release from recycling the payload under the
+         second copy. *)
+      Packet.retain pkt;
       pass t deliver pkt;
       pass t deliver pkt
     end

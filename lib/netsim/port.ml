@@ -59,15 +59,16 @@ let rec start_transmission t =
     t.transmitting <- true;
     let tx = tx_time_ns t pkt in
     t.busy_ns <- t.busy_ns + tx;
-    ignore
-      (Sim.schedule t.sim tx (fun () ->
-           t.queued_bytes <- t.queued_bytes - Packet.wire_size pkt;
-           t.tx_packets <- t.tx_packets + 1;
-           t.tx_bytes <- t.tx_bytes + Packet.wire_size pkt;
-           span_hop t pkt Span.Port_out;
-           (* Propagation delay, then hand to the far end. *)
-           ignore (Sim.schedule t.sim t.delay (fun () -> t.deliver pkt));
-           start_transmission t))
+    (* Fire-and-forget events: [post] recycles the queue entries, so the
+       two per-packet events of every link hop cost no entry allocation. *)
+    Sim.post t.sim tx (fun () ->
+        t.queued_bytes <- t.queued_bytes - Packet.wire_size pkt;
+        t.tx_packets <- t.tx_packets + 1;
+        t.tx_bytes <- t.tx_bytes + Packet.wire_size pkt;
+        span_hop t pkt Span.Port_out;
+        (* Propagation delay, then hand to the far end. *)
+        Sim.post t.sim t.delay (fun () -> t.deliver pkt);
+        start_transmission t)
 
 let enqueue t pkt =
   let qlen = Queue.length t.queue + if t.transmitting then 1 else 0 in

@@ -67,8 +67,7 @@ let input t pkt =
           ~hop:Span.Switch_fwd ~core:(-1) ~flow:(-1);
       if t.forwarding_delay = 0 then Port.enqueue out pkt
       else
-        ignore
-          (Sim.schedule t.sim t.forwarding_delay (fun () -> Port.enqueue out pkt)))
+        Sim.post t.sim t.forwarding_delay (fun () -> Port.enqueue out pkt))
 
 let no_route_drops t = t.no_route
 

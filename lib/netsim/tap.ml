@@ -11,6 +11,9 @@ type t = {
 let create ?(limit = 10_000) () = { limit; queue = Queue.create () }
 
 let wrap t sim deliver pkt =
+  (* The ring holds the packet beyond its delivery; the reference keeps the
+     consumer's release from recycling the payload under the record. *)
+  Packet.retain pkt;
   Queue.add { at = Tas_engine.Sim.now sim; pkt } t.queue;
   if Queue.length t.queue > t.limit then ignore (Queue.take t.queue);
   deliver pkt

@@ -1,0 +1,40 @@
+(** Fixed-size domain pool with work-stealing and a deterministic merge.
+
+    A pool of [jobs] participants (the calling domain plus [jobs - 1] worker
+    domains) executes batches of independent jobs. Jobs are distributed
+    round-robin across per-participant {!Work_deque}s and rebalanced by
+    stealing; results are collected at each job's submission index, so the
+    merged output is in submission order — parallel runs produce the same
+    result sequence as serial runs, bit for bit.
+
+    Jobs must be independent (no job may depend on another job of the same
+    batch) and must not submit new batches to the same pool. *)
+
+type t
+
+val create : ?jobs:int -> unit -> t
+(** [create ~jobs ()] starts a pool of [jobs] total participants ([jobs - 1]
+    spawned domains). Default {!recommended_jobs}. [jobs = 1] runs every
+    batch inline on the calling domain with no worker domains.
+    @raise Invalid_argument if [jobs < 1]. *)
+
+val jobs : t -> int
+(** Total participants, including the calling domain. *)
+
+val recommended_jobs : unit -> int
+(** [Domain.recommended_domain_count ()], floored at 1. *)
+
+val map_result : t -> f:('a -> 'b) -> 'a array -> ('b, exn) result array
+(** [map_result t ~f inputs] runs [f] on every input, in parallel across the
+    pool, and returns per-input results in submission order. A raising job
+    yields [Error] at its index and never deadlocks or poisons the pool. *)
+
+val map : t -> f:('a -> 'b) -> 'a array -> 'b array
+(** Like {!map_result}, but re-raises the first (by submission order) job
+    exception after the whole batch has settled. *)
+
+val shutdown : t -> unit
+(** Join all worker domains. The pool must not be used afterwards. *)
+
+val with_pool : ?jobs:int -> (t -> 'b) -> 'b
+(** [with_pool f] is [f pool] with {!shutdown} guaranteed on exit. *)

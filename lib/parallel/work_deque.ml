@@ -1,0 +1,78 @@
+(* Chase–Lev work-stealing deque (Le et al., "Correct and Efficient
+   Work-Stealing for Weak Memory Models"), specialised to the domain pool's
+   batch discipline: all elements are pushed by the owner while no thief is
+   running (the pool distributes jobs before it wakes the workers), then the
+   owner pops from the bottom while thieves race CAS-on-top steals. Because
+   pushes never run concurrently with steals, the buffer cells are written
+   once per batch and only read during the concurrent phase; the [top]
+   compare-and-set remains the single arbiter of element ownership. *)
+
+type 'a t = {
+  top : int Atomic.t;
+  bottom : int Atomic.t;
+  mutable buf : 'a option array;  (* circular; length is a power of two *)
+  mutable mask : int;
+}
+
+let next_pow2 n =
+  let rec go p = if p >= n then p else go (p * 2) in
+  go 16
+
+let create ?(capacity = 256) () =
+  let cap = next_pow2 (max 1 capacity) in
+  {
+    top = Atomic.make 0;
+    bottom = Atomic.make 0;
+    buf = Array.make cap None;
+    mask = cap - 1;
+  }
+
+let size t = max 0 (Atomic.get t.bottom - Atomic.get t.top)
+
+let grow t b top =
+  let old = t.buf in
+  let cap = 2 * Array.length old in
+  let buf = Array.make cap None in
+  let mask = cap - 1 in
+  for i = top to b - 1 do
+    buf.(i land mask) <- old.(i land (Array.length old - 1))
+  done;
+  t.buf <- buf;
+  t.mask <- mask
+
+let push t v =
+  let b = Atomic.get t.bottom in
+  let top = Atomic.get t.top in
+  if b - top >= Array.length t.buf then grow t b top;
+  t.buf.(b land t.mask) <- Some v;
+  Atomic.set t.bottom (b + 1)
+
+let pop t =
+  let b = Atomic.get t.bottom - 1 in
+  Atomic.set t.bottom b;
+  let top = Atomic.get t.top in
+  if b < top then begin
+    (* Empty: restore the canonical bottom = top. *)
+    Atomic.set t.bottom top;
+    None
+  end
+  else if b > top then t.buf.(b land t.mask)
+  else begin
+    (* Last element: race the thieves for it. *)
+    let won = Atomic.compare_and_set t.top top (top + 1) in
+    Atomic.set t.bottom (top + 1);
+    if won then t.buf.(b land t.mask) else None
+  end
+
+let rec steal t =
+  let top = Atomic.get t.top in
+  let b = Atomic.get t.bottom in
+  if top >= b then None
+  else
+    let v = t.buf.(top land t.mask) in
+    if Atomic.compare_and_set t.top top (top + 1) then v
+    else begin
+      (* Lost the race; another thief or the owner took it. *)
+      Domain.cpu_relax ();
+      steal t
+    end

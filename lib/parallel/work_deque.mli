@@ -1,0 +1,28 @@
+(** Chase–Lev work-stealing deque.
+
+    The owner pushes and pops at the bottom (LIFO); any other domain steals
+    from the top (FIFO) with a compare-and-set on the top index, so each
+    element is handed to exactly one domain.
+
+    Restriction inherited from the domain pool's batch discipline: [push]
+    must not run concurrently with [steal] (the pool only pushes while its
+    workers are quiescent). [pop] and [steal] may race freely. *)
+
+type 'a t
+
+val create : ?capacity:int -> unit -> 'a t
+(** [create ()] is an empty deque. [capacity] (default 256, rounded up to a
+    power of two) is a hint; the buffer grows on owner pushes. *)
+
+val push : 'a t -> 'a -> unit
+(** Owner-only: add an element at the bottom. *)
+
+val pop : 'a t -> 'a option
+(** Owner-only: take the most recently pushed element, or [None] if empty. *)
+
+val steal : 'a t -> 'a option
+(** Any domain: take the oldest element, or [None] if empty. Each element is
+    returned by exactly one [pop] or [steal] across all domains. *)
+
+val size : 'a t -> int
+(** Snapshot of the number of elements (racy under concurrency). *)

@@ -5,6 +5,8 @@ type t = {
   payload : bytes;
   mutable span : int;
   mutable corrupt : bool;
+  mutable refs : int;
+  mutable pooled : bool;
 }
 
 let make ~src_mac ~dst_mac ~src_ip ~dst_ip ?(ecn = Ipv4_header.Ect0) ~tcp
@@ -29,6 +31,8 @@ let make ~src_mac ~dst_mac ~src_ip ~dst_ip ?(ecn = Ipv4_header.Ect0) ~tcp
     payload;
     span = -1;
     corrupt = false;
+    refs = 1;
+    pooled = false;
   }
 
 let wire_size t = Eth_header.size + t.ip.Ipv4_header.total_length
@@ -53,16 +57,16 @@ let set16 buf off v =
   Bytes.set buf off (Char.chr ((v lsr 8) land 0xff));
   Bytes.set buf (off + 1) (Char.chr (v land 0xff))
 
+(* Arithmetic sum of the six pseudo-header 16-bit words — equivalent to
+   serializing the 12-byte pseudo header and summing it, without the
+   scratch buffer (this runs twice per wire packet). *)
 let pseudo_header_sum ip tcp_len =
-  let buf = Bytes.create 12 in
-  set16 buf 0 ((ip.Ipv4_header.src lsr 16) land 0xffff);
-  set16 buf 2 (ip.Ipv4_header.src land 0xffff);
-  set16 buf 4 ((ip.Ipv4_header.dst lsr 16) land 0xffff);
-  set16 buf 6 (ip.Ipv4_header.dst land 0xffff);
-  Bytes.set buf 8 '\x00';
-  Bytes.set buf 9 (Char.chr ip.Ipv4_header.protocol);
-  set16 buf 10 tcp_len;
-  Checksum.ones_complement_sum buf ~off:0 ~len:12
+  ((ip.Ipv4_header.src lsr 16) land 0xffff)
+  + (ip.Ipv4_header.src land 0xffff)
+  + ((ip.Ipv4_header.dst lsr 16) land 0xffff)
+  + (ip.Ipv4_header.dst land 0xffff)
+  + ip.Ipv4_header.protocol
+  + tcp_len
 
 let to_wire t =
   let total = wire_size t in
@@ -90,7 +94,7 @@ let of_wire buf =
   if payload_len < 0 || tcp_off + tcp_size + payload_len > Bytes.length buf
   then invalid_arg "Packet.of_wire: inconsistent lengths";
   let payload = Bytes.sub buf (tcp_off + tcp_size) payload_len in
-  { eth; ip; tcp; payload; span = -1; corrupt = false }
+  { eth; ip; tcp; payload; span = -1; corrupt = false; refs = 1; pooled = false }
 
 let tcp_checksum_ok buf =
   let ip = Ipv4_header.read buf ~off:Eth_header.size in
@@ -99,6 +103,21 @@ let tcp_checksum_ok buf =
   let acc = pseudo_header_sum ip tcp_len in
   let acc = Checksum.ones_complement_sum ~acc buf ~off:tcp_off ~len:tcp_len in
   Checksum.finish acc = 0
+
+(* --- Payload-buffer ownership ------------------------------------------ *)
+
+let mark_pooled t = if Bytes.length t.payload > 0 then t.pooled <- true
+
+let retain t = t.refs <- t.refs + 1
+
+let release t =
+  t.refs <- t.refs - 1;
+  if t.refs = 0 && t.pooled then begin
+    (* Detach so a (buggy) second release can never recycle twice. *)
+    t.pooled <- false;
+    Some t.payload
+  end
+  else None
 
 let pp fmt t =
   Format.fprintf fmt "%a | %a | %d bytes payload" Ipv4_header.pp t.ip

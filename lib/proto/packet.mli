@@ -21,6 +21,15 @@ type t = {
           stands in for "the TCP checksum would not verify": NIC receive
           validation drops flagged packets, modelling hardware checksum
           offload. [make]/[of_wire] yield [false]. *)
+  mutable refs : int;
+      (** reference count for payload-buffer recycling; use {!retain} and
+          {!release}. Stages that extend a packet's lifetime past its
+          delivery (taps, fault duplication, slow-path reinjection) retain;
+          the consuming fast path releases. [make]/[of_wire] yield 1. *)
+  mutable pooled : bool;
+      (** whether [payload] came from a {e buffer pool} and should be
+          recycled when the last reference is released; set via
+          {!mark_pooled}. [make]/[of_wire] yield [false]. *)
 }
 
 val make :
@@ -62,5 +71,20 @@ val of_wire : bytes -> t
 
 val tcp_checksum_ok : bytes -> bool
 (** Validate the TCP checksum of a wire-format packet. *)
+
+val mark_pooled : t -> unit
+(** Mark the payload as pool-owned: the final {!release} will surface it for
+    recycling. No-op for empty payloads. *)
+
+val retain : t -> unit
+(** Extend the packet's lifetime by one reference. Call when stashing a
+    packet beyond the current delivery (tap rings, duplicate deliveries,
+    reinjection queues). *)
+
+val release : t -> bytes option
+(** Drop one reference. Returns the payload exactly once — when the count
+    hits zero and the payload is pool-owned — so the caller can return it to
+    its buffer pool. Packets that are never released are simply reclaimed by
+    the GC; the pool is an optimisation, not a requirement. *)
 
 val pp : Format.formatter -> t -> unit

@@ -80,3 +80,176 @@ let to_string ?(pretty = false) t =
   let b = Buffer.create 256 in
   emit b ~indent:pretty ~level:0 t;
   Buffer.contents b
+
+(* --- Parsing ------------------------------------------------------------ *)
+
+(* Recursive-descent parser for the documents this module emits (plus the
+   committed perf baselines the regression gate reads back). Numbers that
+   are integral and in range parse as [Int], everything else as [Float]. *)
+
+exception Parse_error of string
+
+let parse_error fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
+
+type cursor = { src : string; mutable pos : int }
+
+let peek c = if c.pos < String.length c.src then Some c.src.[c.pos] else None
+
+let advance c = c.pos <- c.pos + 1
+
+let skip_ws c =
+  while
+    match peek c with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+      advance c;
+      true
+    | _ -> false
+  do
+    ()
+  done
+
+let expect c ch =
+  match peek c with
+  | Some x when x = ch -> advance c
+  | Some x -> parse_error "expected '%c' at offset %d, found '%c'" ch c.pos x
+  | None -> parse_error "expected '%c' at offset %d, found end of input" ch c.pos
+
+let literal c word value =
+  let n = String.length word in
+  if c.pos + n <= String.length c.src && String.sub c.src c.pos n = word then begin
+    c.pos <- c.pos + n;
+    value
+  end
+  else parse_error "invalid literal at offset %d" c.pos
+
+let parse_string c =
+  expect c '"';
+  let b = Buffer.create 16 in
+  let rec go () =
+    match peek c with
+    | None -> parse_error "unterminated string at offset %d" c.pos
+    | Some '"' -> advance c
+    | Some '\\' ->
+      advance c;
+      (match peek c with
+      | Some '"' -> Buffer.add_char b '"'
+      | Some '\\' -> Buffer.add_char b '\\'
+      | Some '/' -> Buffer.add_char b '/'
+      | Some 'n' -> Buffer.add_char b '\n'
+      | Some 'r' -> Buffer.add_char b '\r'
+      | Some 't' -> Buffer.add_char b '\t'
+      | Some 'b' -> Buffer.add_char b '\b'
+      | Some 'f' -> Buffer.add_char b '\012'
+      | Some 'u' ->
+        if c.pos + 4 >= String.length c.src then
+          parse_error "truncated \\u escape at offset %d" c.pos;
+        let hex = String.sub c.src (c.pos + 1) 4 in
+        let code =
+          try int_of_string ("0x" ^ hex)
+          with _ -> parse_error "bad \\u escape at offset %d" c.pos
+        in
+        (* Only BMP code points below 0x80 round-trip as single bytes; the
+           emitter only escapes control characters, so this suffices. *)
+        if code < 0x80 then Buffer.add_char b (Char.chr code)
+        else Buffer.add_string b (Printf.sprintf "\\u%04x" code);
+        c.pos <- c.pos + 4
+      | _ -> parse_error "bad escape at offset %d" c.pos);
+      advance c;
+      go ()
+    | Some ch ->
+      advance c;
+      Buffer.add_char b ch;
+      go ()
+  in
+  go ();
+  Buffer.contents b
+
+let parse_number c =
+  let start = c.pos in
+  let is_num_char = function
+    | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+    | _ -> false
+  in
+  while match peek c with Some ch when is_num_char ch -> true | _ -> false do
+    advance c
+  done;
+  let s = String.sub c.src start (c.pos - start) in
+  match int_of_string_opt s with
+  | Some i -> Int i
+  | None -> (
+    match float_of_string_opt s with
+    | Some f -> Float f
+    | None -> parse_error "bad number %S at offset %d" s start)
+
+let rec parse_value c =
+  skip_ws c;
+  match peek c with
+  | None -> parse_error "unexpected end of input at offset %d" c.pos
+  | Some 'n' -> literal c "null" Null
+  | Some 't' -> literal c "true" (Bool true)
+  | Some 'f' -> literal c "false" (Bool false)
+  | Some '"' -> Str (parse_string c)
+  | Some '[' ->
+    advance c;
+    skip_ws c;
+    if peek c = Some ']' then begin
+      advance c;
+      List []
+    end
+    else
+      let rec items acc =
+        let v = parse_value c in
+        skip_ws c;
+        match peek c with
+        | Some ',' ->
+          advance c;
+          items (v :: acc)
+        | Some ']' ->
+          advance c;
+          List.rev (v :: acc)
+        | _ -> parse_error "expected ',' or ']' at offset %d" c.pos
+      in
+      List (items [])
+  | Some '{' ->
+    advance c;
+    skip_ws c;
+    if peek c = Some '}' then begin
+      advance c;
+      Obj []
+    end
+    else
+      let rec fields acc =
+        skip_ws c;
+        let k = parse_string c in
+        skip_ws c;
+        expect c ':';
+        let v = parse_value c in
+        skip_ws c;
+        match peek c with
+        | Some ',' ->
+          advance c;
+          fields ((k, v) :: acc)
+        | Some '}' ->
+          advance c;
+          List.rev ((k, v) :: acc)
+        | _ -> parse_error "expected ',' or '}' at offset %d" c.pos
+      in
+      Obj (fields [])
+  | Some _ -> parse_number c
+
+let of_string s =
+  let c = { src = s; pos = 0 } in
+  let v = parse_value c in
+  skip_ws c;
+  if c.pos <> String.length s then
+    parse_error "trailing garbage at offset %d" c.pos;
+  v
+
+(* --- Accessors ----------------------------------------------------------- *)
+
+let member key = function Obj fields -> List.assoc_opt key fields | _ -> None
+
+let to_float_opt = function
+  | Int i -> Some (float_of_int i)
+  | Float f -> Some f
+  | _ -> None

@@ -22,3 +22,19 @@ val to_string : ?pretty:bool -> t -> string
 val float_repr : float -> string
 (** The serializer's float rendering (exposed for exporters that format
     numbers outside a document, e.g. Prometheus text). *)
+
+exception Parse_error of string
+
+val of_string : string -> t
+(** Parse a JSON document (the dual of {!to_string}; also reads the
+    committed perf baselines back in for the regression gate). Integral
+    numbers parse as [Int], others as [Float].
+    @raise Parse_error on malformed input. *)
+
+val member : string -> t -> t option
+(** [member key (Obj fields)] is the first field named [key]; [None] for
+    missing keys and non-objects. *)
+
+val to_float_opt : t -> float option
+(** Numeric coercion: [Int] and [Float] yield the value, everything else
+    [None]. *)

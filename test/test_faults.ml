@@ -1,6 +1,8 @@
-(* Fault-injection stage semantics and the stack-hardening paths it
-   exercises: Gilbert–Elliott burst statistics, corruption-drop accounting,
-   RST generation/handling, SYN retry exhaustion, FIN retry cap. *)
+(* Fault-injection tests, consolidated: stage unit semantics
+   (Gilbert–Elliott burst statistics, dup/reorder/blackout), corruption-drop
+   accounting, RST generation/handling, SYN retry exhaustion, FIN retry cap,
+   plus end-to-end wire behaviour under injected faults (reordering and
+   duplication into TAS, tap-based handshake observation, ACK accounting). *)
 
 module Sim = Tas_engine.Sim
 module Time_ns = Tas_engine.Time_ns
@@ -11,6 +13,7 @@ module Packet = Tas_proto.Packet
 module Tcp = Tas_proto.Tcp_header
 module Port = Tas_netsim.Port
 module Nic = Tas_netsim.Nic
+module Tap = Tas_netsim.Tap
 module Fault = Tas_netsim.Fault
 module Topology = Tas_netsim.Topology
 module Config = Tas_core.Config
@@ -358,6 +361,182 @@ let test_fin_retry_cap () =
     (Slow_path.flow_count (Tas.slow_path tas));
   Alcotest.(check bool) "app saw the close" true !closed
 
+(* --- Wire behaviour under injected faults ---------------------------------- *)
+
+let bulk_through_tas _sim net tas lt peer ~n =
+  ignore tas;
+  let received = Buffer.create n in
+  Libtas.listen lt ~port:7 ~ctx_of_tuple:(fun _ -> 0) (fun _ ->
+      {
+        Libtas.null_handlers with
+        Libtas.on_data = (fun _ d -> Buffer.add_bytes received d);
+      });
+  let payload = Bytes.init n (fun i -> Char.chr ((i * 11) land 0xff)) in
+  let sent = ref 0 in
+  let push c =
+    while
+      !sent < n
+      &&
+      let k = E.send c (Bytes.sub payload !sent (min 4096 (n - !sent))) in
+      sent := !sent + k;
+      k > 0
+    do
+      ()
+    done
+  in
+  ignore
+    (E.connect peer ~dst_ip:(Nic.ip net.Topology.a.Topology.nic) ~dst_port:7
+       {
+         E.null_callbacks with
+         E.on_connected = (fun c -> push c);
+         E.on_sendable = (fun c _ -> push c);
+       });
+  (received, payload)
+
+let test_reordering_into_tas () =
+  (* 10% of packets towards TAS are delayed by 60us: heavy reordering, no
+     loss. The OOO interval plus duplicate-ACK-driven retransmission must
+     still deliver the exact stream. *)
+  let sim = Sim.create () in
+  let net = Topology.point_to_point sim ~queues_per_nic:4 () in
+  let tas =
+    Tas.create sim ~nic:net.Topology.a.Topology.nic ~config:Config.default ()
+  in
+  let lt =
+    Tas.app tas ~app_cores:[| Core.create sim ~id:100 () |] ~api:Libtas.Sockets
+  in
+  let peer = E.create sim net.Topology.b.Topology.nic E.default_config in
+  E.attach peer;
+  let rng = Rng.create 31 in
+  let stage =
+    Fault.create sim rng
+      { Fault.passthrough with
+        Fault.reorder =
+          Some
+            { Fault.reorder_rate = 0.1; reorder_window = 4;
+              max_hold_ns = 60_000 } }
+  in
+  Port.set_deliver net.Topology.b.Topology.uplink
+    (Fault.wrap stage (fun pkt -> Nic.input net.Topology.a.Topology.nic pkt));
+  let n = 200_000 in
+  let received, payload = bulk_through_tas sim net tas lt peer ~n in
+  Sim.run ~until:(Time_ns.sec 5) sim;
+  Alcotest.(check int) "stream complete under reordering" n
+    (Buffer.length received);
+  Alcotest.(check string) "stream intact" (Bytes.to_string payload)
+    (Buffer.contents received)
+
+let test_duplication_into_tas () =
+  (* Every 10th packet is delivered twice: duplicates must be absorbed. *)
+  let sim = Sim.create () in
+  let net = Topology.point_to_point sim ~queues_per_nic:4 () in
+  let tas =
+    Tas.create sim ~nic:net.Topology.a.Topology.nic ~config:Config.default ()
+  in
+  let lt =
+    Tas.app tas ~app_cores:[| Core.create sim ~id:100 () |] ~api:Libtas.Sockets
+  in
+  let peer = E.create sim net.Topology.b.Topology.nic E.default_config in
+  E.attach peer;
+  let count = ref 0 in
+  Port.set_deliver net.Topology.b.Topology.uplink (fun pkt ->
+      incr count;
+      Nic.input net.Topology.a.Topology.nic pkt;
+      if !count mod 10 = 0 then Nic.input net.Topology.a.Topology.nic pkt);
+  let n = 100_000 in
+  let received, payload = bulk_through_tas sim net tas lt peer ~n in
+  Sim.run ~until:(Time_ns.sec 5) sim;
+  Alcotest.(check int) "no duplicate delivery to the app" n
+    (Buffer.length received);
+  Alcotest.(check string) "stream intact" (Bytes.to_string payload)
+    (Buffer.contents received)
+
+let test_tap_observes_handshake () =
+  (* The tap must see exactly one SYN and one handshake ACK from the client,
+     and TAS's SYN-ACK in the other direction. *)
+  let sim = Sim.create () in
+  let net = Topology.point_to_point sim ~queues_per_nic:4 () in
+  let tas =
+    Tas.create sim ~nic:net.Topology.a.Topology.nic ~config:Config.default ()
+  in
+  let lt =
+    Tas.app tas ~app_cores:[| Core.create sim ~id:100 () |] ~api:Libtas.Sockets
+  in
+  Libtas.listen lt ~port:7 ~ctx_of_tuple:(fun _ -> 0) (fun _ ->
+      Libtas.null_handlers);
+  let peer = E.create sim net.Topology.b.Topology.nic E.default_config in
+  E.attach peer;
+  let to_tas = Tap.create () and from_tas = Tap.create () in
+  Port.set_deliver net.Topology.b.Topology.uplink
+    (Tap.wrap to_tas sim (fun p -> Nic.input net.Topology.a.Topology.nic p));
+  Port.set_deliver net.Topology.a.Topology.uplink
+    (Tap.wrap from_tas sim (fun p -> Nic.input net.Topology.b.Topology.nic p));
+  ignore
+    (E.connect peer ~dst_ip:(Nic.ip net.Topology.a.Topology.nic) ~dst_port:7
+       E.null_callbacks);
+  Sim.run ~until:(Time_ns.ms 10) sim;
+  let syns =
+    Tap.matching to_tas (fun p ->
+        p.Packet.tcp.Tcp.flags.Tcp.syn && not p.Packet.tcp.Tcp.flags.Tcp.ack)
+  in
+  let synacks =
+    Tap.matching from_tas (fun p ->
+        p.Packet.tcp.Tcp.flags.Tcp.syn && p.Packet.tcp.Tcp.flags.Tcp.ack)
+  in
+  Alcotest.(check int) "one SYN" 1 (List.length syns);
+  Alcotest.(check int) "one SYN-ACK" 1 (List.length synacks);
+  (* The SYN carries MSS, wscale and timestamp options. *)
+  (match syns with
+  | [ { Tap.pkt; _ } ] ->
+    let opts = pkt.Packet.tcp.Tcp.options in
+    Alcotest.(check bool) "SYN has mss" true (opts.Tcp.mss <> None);
+    Alcotest.(check bool) "SYN has wscale" true (opts.Tcp.wscale <> None);
+    Alcotest.(check bool) "SYN has timestamp" true (opts.Tcp.timestamp <> None)
+  | _ -> Alcotest.fail "expected one SYN");
+  (* pp_record renders without raising. *)
+  let buf = Buffer.create 256 in
+  let fmt = Format.formatter_of_buffer buf in
+  Tap.dump fmt to_tas;
+  Format.pp_print_flush fmt ();
+  Alcotest.(check bool) "dump produced text" true (Buffer.length buf > 0)
+
+let test_tap_ring_limit () =
+  let sim = Sim.create () in
+  let tap = Tap.create ~limit:5 () in
+  let deliver = Tap.wrap tap sim ignore in
+  let tcp =
+    { Tcp.src_port = 1; dst_port = 2; seq = 0; ack = 0;
+      flags = Tcp.data_flags; window = 0; options = Tcp.no_options }
+  in
+  for _ = 1 to 12 do
+    deliver
+      (Packet.make ~src_mac:1 ~dst_mac:2 ~src_ip:(Tas_proto.Addr.host_ip 1)
+         ~dst_ip:(Tas_proto.Addr.host_ip 2) ~tcp ~payload:Bytes.empty ())
+  done;
+  Alcotest.(check int) "bounded at limit" 5 (Tap.count tap);
+  Tap.clear tap;
+  Alcotest.(check int) "cleared" 0 (Tap.count tap)
+
+let test_tas_acks_every_data_packet () =
+  (* Wire-level check: for N data packets in, TAS emits N ACKs. *)
+  let sim = Sim.create () in
+  let net = Topology.point_to_point sim ~queues_per_nic:4 () in
+  let tas =
+    Tas.create sim ~nic:net.Topology.a.Topology.nic ~config:Config.default ()
+  in
+  let lt =
+    Tas.app tas ~app_cores:[| Core.create sim ~id:100 () |] ~api:Libtas.Sockets
+  in
+  let peer = E.create sim net.Topology.b.Topology.nic E.default_config in
+  E.attach peer;
+  let n = 64_000 in
+  let received, _ = bulk_through_tas sim net tas lt peer ~n in
+  Sim.run ~until:(Time_ns.sec 2) sim;
+  Alcotest.(check int) "delivered" n (Buffer.length received);
+  let stats = Fast_path.stats (Tas.fast_path tas) in
+  Alcotest.(check int) "one ACK per data packet"
+    stats.Fast_path.rx_data_packets stats.Fast_path.acks_sent
+
 let suite =
   [
     Alcotest.test_case "GE loss: deterministic and bursty" `Quick
@@ -377,4 +556,11 @@ let suite =
       test_connect_refused_by_rst;
     Alcotest.test_case "SYN retry exhaustion" `Quick test_syn_retry_exhaustion;
     Alcotest.test_case "FIN retry cap" `Quick test_fin_retry_cap;
+    Alcotest.test_case "reordering into TAS" `Quick test_reordering_into_tas;
+    Alcotest.test_case "duplication into TAS" `Quick test_duplication_into_tas;
+    Alcotest.test_case "tap observes handshake + options" `Quick
+      test_tap_observes_handshake;
+    Alcotest.test_case "tap ring limit" `Quick test_tap_ring_limit;
+    Alcotest.test_case "TAS acks every data packet" `Quick
+      test_tas_acks_every_data_packet;
   ]

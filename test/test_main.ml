@@ -10,7 +10,6 @@ let () =
       ("tas", Test_tas.suite);
       ("apps", Test_apps.suite);
       ("tas_behavior", Test_tas_behavior.suite);
-      ("fault_injection", Test_fault_injection.suite);
       ("faults", Test_faults.suite);
       ("stream_properties", Test_stream_properties.suite);
       ("harness", Test_harness.suite);
@@ -23,4 +22,5 @@ let () =
       ("telemetry", Test_telemetry.suite);
       ("wrap_edges", Test_wrap_edges.suite);
       ("determinism", Test_determinism.suite);
+      ("parallel", Test_parallel.suite);
     ]
