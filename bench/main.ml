@@ -171,6 +171,7 @@ let run_perf args fmt =
 
 let () =
   let args, jobs = extract_jobs (List.tl (Array.to_list Sys.argv)) in
+  Tas_experiments.Run_opts.set_jobs jobs;
   let fmt = Format.std_formatter in
   (match args with
   | [] | [ "all" ] ->

@@ -5,6 +5,7 @@
      tas_run list          list experiment ids
      tas_run perf          hot-path perf suite + regression gate (--check)
      tas_run flows         JSON flow-state snapshot (ss-style, Table 3)
+     tas_run stats         merged telemetry over a -j N batch of runs
      tas_run trace         write a Chrome trace (chrome://tracing, Perfetto)
      tas_run top           periodic text dashboard from the metrics registry *)
 
@@ -59,7 +60,7 @@ let run_cmd quick jobs ids =
 
 (* --- flows -------------------------------------------------------------- *)
 
-let flows_cmd duration_ms =
+let flows_cmd duration_ms shard =
   let d = Diagnostics.build () in
   Diagnostics.run d ~duration_ns:(Time_ns.ms duration_ms);
   (* Emit nothing but the JSON document: consumers pipe this straight into
@@ -68,9 +69,32 @@ let flows_cmd duration_ms =
     (Json.to_string ~pretty:true
        (Json.Obj
           [
-            ("server", Tas.flows d.Diagnostics.server);
-            ("client", Tas.flows d.Diagnostics.client);
+            ("server", Tas.flows ?shard d.Diagnostics.server);
+            ("client", Tas.flows ?shard d.Diagnostics.client);
           ]));
+  print_newline ();
+  0
+
+(* --- stats -------------------------------------------------------------- *)
+
+let stats_cmd duration_ms runs jobs =
+  Run_opts.set_jobs jobs;
+  let b =
+    Diagnostics.batch_stats ~runs ~duration_ns:(Time_ns.ms duration_ms) ()
+  in
+  Printf.printf
+    "merged telemetry over %d diagnostic runs (%d ms each, jobs=%d)\n"
+    b.Diagnostics.runs duration_ms b.Diagnostics.jobs;
+  Printf.printf "rpcs completed: %d\n" b.Diagnostics.completed;
+  Printf.printf "trace events: %d\n" b.Diagnostics.trace_events;
+  List.iter
+    (fun (k, n) ->
+      Printf.printf "  %-16s %d\n" (Tas_telemetry.Trace.kind_name k) n)
+    b.Diagnostics.trace_counts;
+  (* The merged registry snapshot, same exposition as `tm`'s artifact. *)
+  print_string
+    (Json.to_string ~pretty:true
+       (Json.List (List.map Metrics.sample_to_json b.Diagnostics.metrics)));
   print_newline ();
   0
 
@@ -222,6 +246,9 @@ let jobs_arg =
 
 let run_main list quick jobs bench_dir trace_capacity ids =
   apply_opts bench_dir trace_capacity;
+  (* Experiments with internal independent sub-runs (chaos schedules)
+     consult the recorded jobs setting for their own fan-out. *)
+  Run_opts.set_jobs jobs;
   if list then list_cmd () else run_cmd quick jobs ids
 
 let list_flag =
@@ -311,9 +338,36 @@ let flows_cmd_v =
          on stdout — the simulator's 'ss -ti'.";
     ]
   in
+  let shard =
+    let doc = "Restrict the flow list to one RSS-queue shard." in
+    Arg.(value & opt (some int) None & info [ "shard" ] ~docv:"Q" ~doc)
+  in
   Cmd.v
     (Cmd.info "flows" ~doc ~man)
-    Term.(const flows_cmd $ duration_arg 8)
+    Term.(const flows_cmd $ duration_arg 8 $ shard)
+
+let stats_cmd_v =
+  let doc = "merged metrics + trace summary over a batch of parallel runs" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Runs a batch of independent trace-enabled diagnostic simulations \
+         (RPC echo, TAS on both hosts) across $(b,--jobs) domains, merges \
+         every host's metrics registry (counters and gauges summed, \
+         histograms combined) and trace rings (timestamp-ordered), and \
+         prints the aggregate: completed RPCs, trace-event counts by kind, \
+         and the merged registry snapshot as JSON. The merge is \
+         deterministic — output is byte-identical for any jobs value.";
+    ]
+  in
+  let runs =
+    let doc = "Number of independent runs in the batch." in
+    Arg.(value & opt int 4 & info [ "runs" ] ~docv:"N" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "stats" ~doc ~man)
+    Term.(const stats_cmd $ duration_arg 5 $ runs $ jobs_arg)
 
 let trace_cmd_v =
   let doc = "write a Chrome trace of per-packet latency spans" in
@@ -356,6 +410,9 @@ let cmd =
   let doc = "reproduce the TAS (EuroSys'19) evaluation" in
   let info = Cmd.info "tas_run" ~doc in
   Cmd.group ~default:run_term info
-    [ run_cmd_v; list_cmd_v; perf_cmd_v; flows_cmd_v; trace_cmd_v; top_cmd_v ]
+    [
+      run_cmd_v; list_cmd_v; perf_cmd_v; flows_cmd_v; stats_cmd_v;
+      trace_cmd_v; top_cmd_v;
+    ]
 
 let () = exit (Cmd.eval' cmd)

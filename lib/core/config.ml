@@ -29,6 +29,9 @@ type t = {
   fp_ack_rx_cycles : int;
   sp_conn_cycles : int;
   sp_flow_control_cycles : int;
+  flow_shards_enabled : bool;
+  shard_lock_cycles : int;
+  shard_lock_remote_cycles : int;
   trace_enabled : bool;
   trace_capacity : int;
   span_enabled : bool;
@@ -70,6 +73,9 @@ let default =
     fp_ack_rx_cycles = 100;
     sp_conn_cycles = 3000;
     sp_flow_control_cycles = 80;
+    flow_shards_enabled = true;
+    shard_lock_cycles = 24;
+    shard_lock_remote_cycles = 96;
     trace_enabled = false;
     trace_capacity = 8192;
     span_enabled = false;

@@ -46,6 +46,18 @@ type t = {
   fp_ack_rx_cycles : int;  (** process incoming ACK, reclaim tx buffer *)
   sp_conn_cycles : int;  (** slow-path connection setup/teardown handling *)
   sp_flow_control_cycles : int;  (** slow-path CC loop, per flow *)
+  flow_shards_enabled : bool;
+      (** partition the flow table into per-RSS-queue shards that follow
+          the NIC redirection table (default [true], §3.1); [false] keeps
+          one shared table — byte-identical packet behavior, no per-shard
+          occupancy/lock accounting *)
+  shard_lock_cycles : int;
+      (** per-flow spinlock cost model: cycles charged for an owner-core
+          (local) acquisition. Accounting only — never posted to a
+          simulated core (Table 2's lock line) *)
+  shard_lock_remote_cycles : int;
+      (** cycles charged for a cross-core acquisition (slow-path flow
+          install/remove, shard migration) *)
   trace_enabled : bool;
       (** record structured telemetry trace events; when [false] (default)
           the trace ring costs one boolean test per would-be event *)

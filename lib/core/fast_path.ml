@@ -44,12 +44,23 @@ type t = {
 
 let create ?trace ?span sim ~nic ~cores ~config =
   if Array.length cores = 0 then invalid_arg "Fast_path.create: no cores";
+  let flows =
+    (* Sharded by RSS queue (one shard per queue, following the NIC's
+       redirection table) unless explicitly configured as one table. *)
+    if config.Config.flow_shards_enabled then
+      Flow_table.create_sharded
+        ~lock_cycles:config.Config.shard_lock_cycles
+        ~remote_lock_cycles:config.Config.shard_lock_remote_cycles
+        ~rss:(Nic.rss nic) ()
+    else Flow_table.create ()
+  in
+  let t =
   {
     sim;
     nic;
     cores;
     config;
-    flows = Flow_table.create ();
+    flows;
     contexts = Hashtbl.create 16;
     next_context_id = 0;
     active = Array.length cores;
@@ -71,6 +82,14 @@ let create ?trace ?span sim ~nic ~cores ~config =
     busy_snapshot = Array.make (Array.length cores) 0;
     last_rx_time = Array.make (Array.length cores) 0;
   }
+  in
+  Flow_table.set_on_migrate t.flows (fun ~group ~from_q:_ ~to_q ~moved ->
+      (* One event per flow group whose state actually moved shards; [core]
+         is the destination queue, [flow] the group id. *)
+      if moved > 0 && Trace.enabled t.trace then
+        Trace.record t.trace ~ts:(Sim.now t.sim) ~kind:Trace.Shard_migrate
+          ~core:to_q ~flow:group);
+  t
 
 let flows t = t.flows
 let stats t = t.stats
@@ -107,7 +126,13 @@ let register t m =
   Metrics.gauge_fn m ~help:"fast-path cores currently active" "fp_active_cores"
     (fun () -> float_of_int t.active);
   Metrics.gauge_fn m ~help:"flows installed in the fast-path flow table"
-    "fp_flows" (fun () -> float_of_int (Flow_table.count t.flows))
+    "fp_flows" (fun () -> float_of_int (Flow_table.count t.flows));
+  c "fp_lock_cycles"
+    "flow-table spinlock cycles charged across all shards (cost model only)"
+    (fun () -> Flow_table.lock_cycles t.flows);
+  c "fp_flow_migrations" "flows moved between shards by RSS rewrites"
+    (fun () -> Flow_table.migrated_flows t.flows);
+  Flow_table.register t.flows m ()
 
 let set_active_cores t n =
   (* Bounded by both the configured cores and the NIC's RSS queues. *)

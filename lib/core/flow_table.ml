@@ -1,35 +1,51 @@
-module Tbl = Hashtbl.Make (struct
-  type t = Tas_proto.Addr.Four_tuple.t
+module Rss_table = Tas_shard.Rss_table
+module Flow_shards = Tas_shard.Flow_shards
 
-  let equal = Tas_proto.Addr.Four_tuple.equal
-  let hash = Tas_proto.Addr.Four_tuple.hash
-end)
+type t = Flow_state.t Flow_shards.t
 
-type t = Flow_state.t Tbl.t
+(* Single-table mode: one shard behind a private single-queue redirection
+   table (nothing ever migrates). Same code path as the sharded table, so
+   behavior and counters differ only in shard granularity. *)
+let create () =
+  Flow_shards.create ~rss:(Rss_table.create ~num_queues:1 ()) ()
 
-let create () = Tbl.create 1024
-let add t k v = Tbl.replace t k v
-let find t k = Tbl.find_opt t k
-let remove t k = Tbl.remove t k
-let count t = Tbl.length t
-let iter t f = Tbl.iter f t
+let create_sharded ?lock_cycles ?remote_lock_cycles ~rss () =
+  Flow_shards.create ?lock_cycles ?remote_lock_cycles ~rss ()
 
-let dump t =
+let add = Flow_shards.add
+let find = Flow_shards.find
+let remove = Flow_shards.remove
+let count = Flow_shards.count
+let iter t f = Flow_shards.iter t f
+
+let num_shards = Flow_shards.num_shards
+let shard_count = Flow_shards.shard_count
+let shard_of = Flow_shards.shard_of
+let shard_stats = Flow_shards.shard_stats
+let lock_cycles = Flow_shards.lock_cycles
+let remote_lock_cycles = Flow_shards.remote_lock_cycles
+let migrated_flows = Flow_shards.migrated_flows
+let set_on_migrate = Flow_shards.set_on_migrate
+let register = Flow_shards.register
+
+let dump ?shard t =
   let module J = Tas_telemetry.Json in
   let rows = ref [] in
-  Tbl.iter
-    (fun tuple fl ->
-      let j =
-        match Flow_state.to_json fl with
-        | J.Obj fields ->
-          J.Obj
-            (( "tuple",
-               J.Str
-                 (Format.asprintf "%a" Tas_proto.Addr.Four_tuple.pp tuple) )
-            :: fields)
-        | j -> j
-      in
-      rows := (fl.Flow_state.opaque, j) :: !rows)
-    t;
+  let collect tuple fl =
+    let j =
+      match Flow_state.to_json fl with
+      | J.Obj fields ->
+        J.Obj
+          (( "tuple",
+             J.Str
+               (Format.asprintf "%a" Tas_proto.Addr.Four_tuple.pp tuple) )
+          :: fields)
+      | j -> j
+    in
+    rows := (fl.Flow_state.opaque, j) :: !rows
+  in
+  (match shard with
+  | None -> Flow_shards.iter t collect
+  | Some i -> Flow_shards.iter_shard t i collect);
   let rows = List.sort (fun (a, _) (b, _) -> compare a b) !rows in
   J.List (List.map snd rows)

@@ -161,6 +161,10 @@ let register t m =
     (fun () -> t.fin_retry_exhausted);
   c "sp_flows_reaped" "dead flows reaped for lack of sequence progress"
     (fun () -> t.flows_reaped);
+  c "sp_lock_cycles"
+    "spinlock cycles charged for the slow path's cross-core flow-table \
+     touches (installs, removals, migrations; cost model only)"
+    (fun () -> Flow_table.remote_lock_cycles (Fast_path.flows t.fp));
   Metrics.gauge_fn m ~help:"established flows tracked by the slow path"
     "sp_flows" (fun () -> float_of_int (Tuple_tbl.length t.entries));
   Metrics.gauge_fn m ~help:"handshakes in progress" "sp_pending_handshakes"

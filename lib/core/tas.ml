@@ -156,12 +156,32 @@ let snapshot t =
 
 (* --- Flow introspection -------------------------------------------------- *)
 
-let flows t =
+let shard_summary ft =
+  Json.List
+    (List.init (Flow_table.num_shards ft) (fun i ->
+         let s = Flow_table.shard_stats ft i in
+         Json.Obj
+           [
+             ("shard", Json.Int i);
+             ("flows", Json.Int s.Tas_shard.Flow_shards.flows);
+             ("lookups", Json.Int s.Tas_shard.Flow_shards.lookups);
+             ("installs", Json.Int s.Tas_shard.Flow_shards.installs);
+             ("removes", Json.Int s.Tas_shard.Flow_shards.removes);
+             ( "migrations_in",
+               Json.Int s.Tas_shard.Flow_shards.migrations_in );
+             ( "migrations_out",
+               Json.Int s.Tas_shard.Flow_shards.migrations_out );
+             ("lock_cycles", Json.Int s.Tas_shard.Flow_shards.lock_cycles);
+           ]))
+
+let flows ?shard t =
+  let ft = Fast_path.flows t.fp in
   Json.Obj
     [
       ("now_ns", Json.Int (Tas_engine.Sim.now t.sim));
-      ("count", Json.Int (Flow_table.count (Fast_path.flows t.fp)));
-      ("flows", Flow_table.dump (Fast_path.flows t.fp));
+      ("count", Json.Int (Flow_table.count ft));
+      ("shards", shard_summary ft);
+      ("flows", Flow_table.dump ?shard ft);
       ("lifecycle", Slow_path.lifecycle_json t.sp);
     ]
 

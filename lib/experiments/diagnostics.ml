@@ -38,13 +38,14 @@ let wire_endpoint span (ep : Topology.endpoint) =
   Port.set_span ep.Topology.uplink span;
   Port.set_span ep.Topology.downlink span
 
-let client_tas sim ~nic ~span =
+let client_tas sim ~nic ~span ~trace =
   let config =
     {
       Config.default with
       Config.max_fast_path_cores = 2;
       rx_buf_size = 16384;
       tx_buf_size = 16384;
+      trace_enabled = trace;
     }
   in
   let tas = Tas.create sim ~nic ~config ~span () in
@@ -56,7 +57,7 @@ let client_tas sim ~nic ~span =
   (tas, transport)
 
 let build ?(sample_every = 16) ?(capacity = 65536) ?(n_conns = 8)
-    ?(msg_size = 64) ?(pipeline = 4) () =
+    ?(msg_size = 64) ?(pipeline = 4) ?(trace = false) () =
   let sim = Sim.create () in
   let net = Topology.star sim ~n_clients:1 ~queues_per_nic:8 () in
   let span = Span.create ~enabled:true ~sample_every ~capacity () in
@@ -65,7 +66,9 @@ let build ?(sample_every = 16) ?(capacity = 65536) ?(n_conns = 8)
   Switch.set_span net.Topology.switch span;
   let server =
     Scenario.build_server sim ~nic:net.Topology.server.Topology.nic
-      ~kind:Scenario.Tas_so ~total_cores:4 ~span ()
+      ~kind:Scenario.Tas_so ~total_cores:4 ~span
+      ~tas_patch:(fun c -> { c with Config.trace_enabled = trace })
+      ()
   in
   Rpc_echo.server server.Scenario.transport ~port:7 ~msg_size ~app_cycles:680;
   let server_tas =
@@ -74,7 +77,7 @@ let build ?(sample_every = 16) ?(capacity = 65536) ?(n_conns = 8)
     | None -> assert false (* Tas_so servers always carry a TAS instance *)
   in
   let client_tas, client_transport =
-    client_tas sim ~nic:net.Topology.clients.(0).Topology.nic ~span
+    client_tas sim ~nic:net.Topology.clients.(0).Topology.nic ~span ~trace
   in
   let stats = Rpc_echo.make_stats () in
   Rpc_echo.closed_loop_clients sim client_transport ~n:n_conns
@@ -87,3 +90,64 @@ let run t ~duration_ns = Sim.run ~until:duration_ns t.sim
 let run_with_tick t ~duration_ns ~every_ns f =
   ignore (Sim.periodic t.sim every_ns (fun () -> f ()));
   Sim.run ~until:duration_ns t.sim
+
+(* --- Cross-domain batch statistics ------------------------------------- *)
+
+module Metrics = Tas_telemetry.Metrics
+module Trace = Tas_telemetry.Trace
+
+type batch_stats = {
+  runs : int;
+  jobs : int;
+  completed : int;
+  metrics : Metrics.sample list;
+  trace_events : int;
+  trace_counts : (Trace.kind * int) list;
+}
+
+(* One batch member: an independent diagnostics simulation (workload size
+   varies with the run index so members are distinguishable) returning its
+   host-merged telemetry. Runs on any pool domain — each domain builds its
+   own sim, registries and trace rings. *)
+let batch_member ~duration_ns i =
+  let d = build ~n_conns:(4 + (2 * i)) ~trace:true () in
+  run d ~duration_ns;
+  let samples =
+    Metrics.merge
+      [ Metrics.snapshot (Tas.metrics d.server);
+        Metrics.snapshot (Tas.metrics d.client) ]
+  in
+  let events =
+    Trace.merge
+      [ Trace.drain (Tas.trace d.server); Trace.drain (Tas.trace d.client) ]
+  in
+  let completed = Tas_engine.Stats.Counter.value d.stats.Rpc_echo.completed in
+  (samples, events, completed)
+
+let batch_stats ?(runs = 4) ~duration_ns () =
+  let jobs = max 1 (min (Run_opts.jobs ()) runs) in
+  let results =
+    let idx = Array.init runs (fun i -> i) in
+    if jobs <= 1 then Array.map (batch_member ~duration_ns) idx
+    else
+      Tas_parallel.Domain_pool.with_pool ~jobs (fun pool ->
+          Tas_parallel.Domain_pool.map pool ~f:(batch_member ~duration_ns)
+            idx)
+  in
+  (* Submission-order merge: [Metrics.merge] output is sorted by
+     (name, labels) and [Trace.merge] is a stable sort by timestamp, so the
+     aggregate is byte-identical for any [jobs]. *)
+  let metrics =
+    Metrics.merge (Array.to_list (Array.map (fun (m, _, _) -> m) results))
+  in
+  let events =
+    Trace.merge (Array.to_list (Array.map (fun (_, e, _) -> e) results))
+  in
+  {
+    runs;
+    jobs;
+    completed = Array.fold_left (fun acc (_, _, c) -> acc + c) 0 results;
+    metrics;
+    trace_events = List.length events;
+    trace_counts = Trace.counts_by_kind events;
+  }

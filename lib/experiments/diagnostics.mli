@@ -20,11 +20,13 @@ val build :
   ?n_conns:int ->
   ?msg_size:int ->
   ?pipeline:int ->
+  ?trace:bool ->
   unit ->
   t
 (** Defaults: sample 1 packet in 16 per origin, 65536-event ring, 8
-    connections of 64-byte pipelined (depth 4) echo RPCs. Deterministic:
-    same parameters, same event stream. *)
+    connections of 64-byte pipelined (depth 4) echo RPCs. [trace] enables
+    both hosts' structured trace rings (default off). Deterministic: same
+    parameters, same event stream. *)
 
 val run : t -> duration_ns:Tas_engine.Time_ns.t -> unit
 
@@ -36,3 +38,26 @@ val run_with_tick :
   unit
 (** Like {!run} but invokes the callback every [every_ns] of simulated time
     (the refresh driver for [tas_run top]). *)
+
+(** Aggregated telemetry over a batch of independent diagnostics runs — the
+    cross-domain view behind [tas_run stats]. *)
+type batch_stats = {
+  runs : int;
+  jobs : int;  (** pool size the batch actually used *)
+  completed : int;  (** RPCs finished, summed over runs *)
+  metrics : Tas_telemetry.Metrics.sample list;
+      (** {!Tas_telemetry.Metrics.merge} over every host registry of every
+          run (counters/gauges summed, histograms combined) *)
+  trace_events : int;
+  trace_counts : (Tas_telemetry.Trace.kind * int) list;
+      (** kind histogram of the merged trace streams *)
+}
+
+val batch_stats :
+  ?runs:int -> duration_ns:Tas_engine.Time_ns.t -> unit -> batch_stats
+(** Run [runs] (default 4) independent trace-enabled diagnostics
+    simulations of increasing connection count, each for [duration_ns],
+    and merge every host's metrics registry and trace ring into one
+    report. The batch fans out over a domain pool of {!Run_opts.jobs}
+    domains; the merge is in submission order and the merged snapshot is
+    sorted, so the result is byte-identical for any jobs setting. *)

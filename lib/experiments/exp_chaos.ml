@@ -327,7 +327,19 @@ let json_of_outcome o =
       ("flows_reaped", Json.Int o.reaped);
     ]
 
-let run ?(quick = false) fmt =
+(* One schedule's evaluation: two same-seed runs plus the invariant check.
+   Pure with respect to process-global state (its own sim, its own seeded
+   RNG), so a batch of schedules can run on any mix of pool domains. *)
+let eval_schedule ~seed ~quick sched =
+  match
+    let o = run_one ~seed ~quick sched in
+    let o2 = run_one ~seed ~quick sched in
+    (o, invariants o o2)
+  with
+  | r -> Ok r
+  | exception exn -> Error exn
+
+let run ?(quick = false) ?only fmt =
   Report.section fmt
     "Chaos: KV workload under seeded fault schedules (TAS on both hosts)";
   Report.note fmt
@@ -335,17 +347,31 @@ let run ?(quick = false) fmt =
      conservation, corruption drops reconcile, every connection terminates \
      cleanly, no flow leaks, bit-identical counters across the two runs";
   let seed = 0xC0FFEE in
+  let schedules =
+    match only with
+    | None -> schedules
+    | Some names -> List.filter (fun s -> List.mem s.name names) schedules
+  in
+  (* Schedules are independent seeded simulations: fan them out over the
+     domain pool when the run was given [-j N]. Results come back in
+     submission order, and all reporting below happens serially on this
+     domain — output and artifact are byte-identical to a serial run. *)
+  let jobs = min (Run_opts.jobs ()) (List.length schedules) in
+  let evals =
+    let arr = Array.of_list schedules in
+    if jobs <= 1 then Array.map (eval_schedule ~seed ~quick) arr
+    else
+      Tas_parallel.Domain_pool.with_pool ~jobs (fun pool ->
+          Tas_parallel.Domain_pool.map pool ~f:(eval_schedule ~seed ~quick)
+            arr)
+  in
   let violations = ref 0 in
   let details = ref [] in
   let rows =
-    List.map
-      (fun sched ->
-        match
-          let o = run_one ~seed ~quick sched in
-          let o2 = run_one ~seed ~quick sched in
-          (o, invariants o o2)
-        with
-        | o, inv ->
+    List.map2
+      (fun sched result ->
+        match result with
+        | Ok (o, inv) ->
           let failed = List.filter (fun (_, ok) -> not ok) inv in
           violations := !violations + List.length failed;
           List.iter
@@ -379,7 +405,7 @@ let run ?(quick = false) fmt =
             string_of_int o.reaped;
             (if List.length failed = 0 then "ok" else "FAIL");
           ]
-        | exception exn ->
+        | Error exn ->
           incr violations;
           details :=
             ( sched.name,
@@ -392,7 +418,7 @@ let run ?(quick = false) fmt =
             :: !details;
           [ sched.name; "-"; "-"; "-"; "-"; "-"; "-"; "-"; "-";
             "EXCEPTION: " ^ Printexc.to_string exn ])
-      schedules
+      schedules (Array.to_list evals)
   in
   Report.table fmt
     ~header:

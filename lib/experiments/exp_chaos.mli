@@ -6,6 +6,13 @@
     validation counters, every connection completing or failing cleanly, no
     leaked flow-table entries, and bit-identical counters across two
     same-seed runs. Violations are reported (and counted in the artifact),
-    never raised. *)
+    never raised.
 
-val run : ?quick:bool -> Format.formatter -> unit
+    Schedules are independent seeded simulations; with
+    {!Run_opts.set_jobs}[ N > 1] they run in parallel on a domain pool and
+    are merged in submission order, so the report and artifact are
+    byte-identical to a serial run. *)
+
+val run : ?quick:bool -> ?only:string list -> Format.formatter -> unit
+(** [only] restricts the run to the named schedules (default: all five) —
+    used by the parallel-determinism tests to keep runtimes bounded. *)

@@ -1,0 +1,7 @@
+(** "sh": sharded fast-path core scaling — throughput at fixed saturating
+    load swept over 1..N active fast-path cores (Fig. 4 flavor), with
+    per-shard occupancy/imbalance and spinlock-model cycle accounting,
+    plus a scale-down migration drill and a sharded-vs-single-table
+    equivalence check. *)
+
+val run : ?quick:bool -> Format.formatter -> unit

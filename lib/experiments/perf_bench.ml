@@ -170,6 +170,55 @@ let wire ~quick =
       "words/op" Alloc;
   ]
 
+(* Sharded flow-table lookup: the per-packet work of hashing a four-tuple,
+   routing through the RSS redirection table to the owning shard, and
+   finding the flow record — over a table populated like a busy server
+   (4096 flows across 8 shards). Payloads are plain ints so the cost
+   measured is the table's, not the record's. *)
+let flow_lookup ~quick =
+  let module Rss = Tas_shard.Rss_table in
+  let module Shards = Tas_shard.Flow_shards in
+  let module Four_tuple = Addr.Four_tuple in
+  let rss = Rss.create ~num_queues:8 () in
+  let shards : int Shards.t = Shards.create ~rss () in
+  let n_flows = 4096 in
+  let tuples =
+    Array.init n_flows (fun i ->
+        {
+          Four_tuple.local_ip = 0x0a000001;
+          local_port = 7;
+          peer_ip = 0x0a000100 + (i lsr 12);
+          peer_port = 1024 + (i land 0xfff);
+        })
+  in
+  Array.iteri (fun i t -> Shards.add shards t i) tuples;
+  let iters = if quick then 200_000 else 600_000 in
+  let samples =
+    List.init 3 (fun _ ->
+        let w0 = Gc.minor_words () in
+        let t0 = Unix.gettimeofday () in
+        (* Stride coprime with the table size: touches every flow while
+           defeating any sequential-bucket locality a linear scan would
+           enjoy, like independent per-packet arrivals do. *)
+        let j = ref 0 in
+        for _ = 1 to iters do
+          (match Shards.find shards tuples.(!j) with
+          | Some _ -> ()
+          | None -> assert false);
+          j := (!j + 2049) land (n_flows - 1)
+        done;
+        let wall = Unix.gettimeofday () -. t0 in
+        let words = Gc.minor_words () -. w0 in
+        (float_of_int iters /. wall, words /. float_of_int iters))
+  in
+  [
+    m "flow_lookup_per_sec" (median (List.map fst samples)) "ops/s"
+      Throughput;
+    m "flow_lookup_minor_words"
+      (median (List.map snd samples))
+      "words/op" Alloc;
+  ]
+
 (* Event-queue churn: chains of fire-and-forget [post] events, the shape of
    the simulator's per-packet event storm (serialization, propagation, core
    dispatch, pacing). *)
@@ -209,7 +258,9 @@ let measure ~quick =
      runs second inherits the first pass's grown major heap and pending GC
      work and measures a few percent slower across the board. *)
   Gc.compact ();
-  List.concat [ bulk ~quick; rpc ~quick; wire ~quick; events ~quick ]
+  List.concat
+    [ bulk ~quick; rpc ~quick; wire ~quick; flow_lookup ~quick;
+      events ~quick ]
 
 (* The same suite with buffer pooling disabled: the pre-PR allocation
    behaviour, measured on the same build and machine so the artifact

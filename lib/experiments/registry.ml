@@ -49,11 +49,13 @@ let all =
     { id = "x4"; title = "Ablation: NIC-offload projection of the fast path";
       run = Exp_ablation.x4_nic_offload };
     { id = "ch"; title = "Chaos: KV workload under seeded fault schedules";
-      run = Exp_chaos.run };
+      run = (fun ?quick fmt -> Exp_chaos.run ?quick fmt) };
     { id = "tm"; title = "Telemetry: metrics registry + cycle breakdown + trace";
       run = Exp_telemetry.run };
     { id = "sp"; title = "Span tracing: per-hop latency decomposition";
       run = Exp_span.run };
+    { id = "sh"; title = "Sharding: fast-path core scaling with per-queue shards";
+      run = Exp_sharding.run };
   ]
 
 let find id = List.find_opt (fun e -> String.lowercase_ascii id = e.id) all

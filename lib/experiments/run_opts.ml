@@ -12,3 +12,7 @@ let bench_dir () =
 let trace_capacity_override = ref None
 let set_trace_capacity n = trace_capacity_override := Some n
 let trace_capacity ~default = Option.value !trace_capacity_override ~default
+
+let jobs_setting = ref 1
+let set_jobs n = jobs_setting := max 1 n
+let jobs () = !jobs_setting

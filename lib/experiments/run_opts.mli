@@ -15,3 +15,12 @@ val set_trace_capacity : int -> unit
 
 val trace_capacity : default:int -> int
 (** CLI override if set, else [default]. *)
+
+val set_jobs : int -> unit
+(** Record the batch's [-j]/[--jobs] setting (floored at 1). *)
+
+val jobs : unit -> int
+(** The recorded parallelism (default 1). Experiments with internal
+    independent sub-runs (chaos schedules, stats batches) fan out over
+    their own domain pool of this size; the deterministic merge keeps
+    their output byte-identical to a serial run. *)

@@ -1,7 +1,8 @@
 module Packet = Tas_proto.Packet
 module Span = Tas_telemetry.Span
+module Rss_table = Tas_shard.Rss_table
 
-let rss_table_size = 128
+let rss_table_size = Rss_table.default_size
 
 type t = {
   sim : Tas_engine.Sim.t;
@@ -9,8 +10,7 @@ type t = {
   mac : Tas_proto.Addr.mac;
   num_queues : int;
   tx_port : Port.t;
-  rss_table : int array;
-  mutable active : int;
+  rss : Rss_table.t;
   mutable rx_handler : queue:int -> Packet.t -> unit;
   mutable rx_packets : int;
   mutable tx_packets : int;
@@ -22,11 +22,6 @@ type t = {
   mutable trace : Tas_telemetry.Trace.t;
 }
 
-let rewrite_table t n =
-  for i = 0 to rss_table_size - 1 do
-    t.rss_table.(i) <- i mod n
-  done
-
 let create sim ~ip ~mac ~num_queues ~tx_port () =
   if num_queues <= 0 then invalid_arg "Nic.create: need at least one queue";
   let t =
@@ -36,8 +31,7 @@ let create sim ~ip ~mac ~num_queues ~tx_port () =
       mac;
       num_queues;
       tx_port;
-      rss_table = Array.make rss_table_size 0;
-      active = num_queues;
+      rss = Rss_table.create ~size:rss_table_size ~num_queues ();
       rx_handler = (fun ~queue:_ _ -> ());
       rx_packets = 0;
       tx_packets = 0;
@@ -49,7 +43,6 @@ let create sim ~ip ~mac ~num_queues ~tx_port () =
       trace = Tas_telemetry.Trace.disabled ();
     }
   in
-  rewrite_table t num_queues;
   t
 
 let ip t = t.ip
@@ -75,7 +68,7 @@ let input_valid t pkt =
       pkt.Packet.span <-
         Span.start t.span ~ts ~hop:Span.Nic_rx ~core:(-1) ~flow:(-1)
   end;
-  let queue = t.rss_table.(Packet.flow_hash pkt mod rss_table_size) in
+  let queue = Rss_table.queue_for_hash t.rss (Packet.flow_hash pkt) in
   t.rx_handler ~queue pkt
 
 (* Hardware checksum-offload validation: frames whose simulated "checksum
@@ -99,11 +92,11 @@ let transmit t pkt =
 let set_active_queues t n =
   if n < 1 || n > t.num_queues then
     invalid_arg "Nic.set_active_queues: out of range";
-  t.active <- n;
-  rewrite_table t n
+  Rss_table.set_active t.rss n
 
-let active_queues t = t.active
-let queue_for_hash t h = t.rss_table.(h mod rss_table_size)
+let rss t = t.rss
+let active_queues t = Rss_table.active t.rss
+let queue_for_hash t h = Rss_table.queue_for_hash t.rss h
 let rx_packets t = t.rx_packets
 let tx_packets t = t.tx_packets
 let rx_bytes t = t.rx_bytes
@@ -120,5 +113,6 @@ let register t m ?(labels = []) () =
   c "nic_rx_csum_drops" "frames dropped by receive checksum validation"
     (fun () -> t.rx_csum_drops);
   Metrics.gauge_fn m ~labels ~help:"RSS queues currently in the redirection table"
-    "nic_active_queues" (fun () -> float_of_int t.active);
+    "nic_active_queues" (fun () -> float_of_int (Rss_table.active t.rss));
+  Rss_table.register t.rss m ~labels ();
   Port.register t.tx_port m ~labels ()

@@ -1,0 +1,71 @@
+let default_size = 128
+
+type t = {
+  size : int;
+  num_queues : int;
+  table : int array;
+  mutable active : int;
+  mutable rewrites : int;
+  mutable groups_moved : int;
+  mutable on_move : group:int -> from_q:int -> to_q:int -> unit;
+}
+
+let spread table n =
+  for g = 0 to Array.length table - 1 do
+    table.(g) <- g mod n
+  done
+
+let create ?(size = default_size) ~num_queues () =
+  if size <= 0 then invalid_arg "Rss_table.create: need a positive size";
+  if num_queues <= 0 then
+    invalid_arg "Rss_table.create: need at least one queue";
+  let table = Array.make size 0 in
+  spread table num_queues;
+  {
+    size;
+    num_queues;
+    table;
+    active = num_queues;
+    rewrites = 0;
+    groups_moved = 0;
+    on_move = (fun ~group:_ ~from_q:_ ~to_q:_ -> ());
+  }
+
+let size t = t.size
+let num_queues t = t.num_queues
+let active t = t.active
+let rewrites t = t.rewrites
+let groups_moved t = t.groups_moved
+let set_on_move t f = t.on_move <- f
+
+let group_of_hash t h = ((h mod t.size) + t.size) mod t.size
+let queue_of_group t g = t.table.(g)
+let queue_for_hash t h = t.table.(group_of_hash t h)
+
+let set_active t n =
+  if n < 1 || n > t.num_queues then
+    invalid_arg "Rss_table.set_active: out of range";
+  t.active <- n;
+  t.rewrites <- t.rewrites + 1;
+  (* Walk groups in ascending order so migration callbacks fire in a
+     deterministic sequence regardless of how the caller scales. *)
+  for g = 0 to t.size - 1 do
+    let to_q = g mod n in
+    let from_q = t.table.(g) in
+    if from_q <> to_q then begin
+      t.table.(g) <- to_q;
+      t.groups_moved <- t.groups_moved + 1;
+      t.on_move ~group:g ~from_q ~to_q
+    end
+  done
+
+let register t m ?(labels = []) () =
+  let module Metrics = Tas_telemetry.Metrics in
+  Metrics.counter_fn m ~labels
+    ~help:"RSS redirection-table rewrites (core scaling events)"
+    "nic_rss_rewrites"
+    (fun () -> t.rewrites);
+  Metrics.counter_fn m ~labels
+    ~help:"flow groups remapped to a different queue by table rewrites"
+    "nic_rss_groups_moved"
+    (fun () -> t.groups_moved)

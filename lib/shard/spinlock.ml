@@ -1,0 +1,35 @@
+type t = {
+  local_cycles : int;
+  remote_cycles : int;
+  mutable acquisitions : int;
+  mutable remote_acquisitions : int;
+  mutable cycles : int;
+  mutable remote_cycles_total : int;
+}
+
+let create ?(local_cycles = 24) ?(remote_cycles = 96) () =
+  if local_cycles < 0 || remote_cycles < 0 then
+    invalid_arg "Spinlock.create: negative cycle cost";
+  {
+    local_cycles;
+    remote_cycles;
+    acquisitions = 0;
+    remote_acquisitions = 0;
+    cycles = 0;
+    remote_cycles_total = 0;
+  }
+
+let acquire t ~remote =
+  t.acquisitions <- t.acquisitions + 1;
+  let c = if remote then t.remote_cycles else t.local_cycles in
+  t.cycles <- t.cycles + c;
+  if remote then begin
+    t.remote_acquisitions <- t.remote_acquisitions + 1;
+    t.remote_cycles_total <- t.remote_cycles_total + c
+  end;
+  c
+
+let acquisitions t = t.acquisitions
+let remote_acquisitions t = t.remote_acquisitions
+let cycles t = t.cycles
+let remote_cycles t = t.remote_cycles_total

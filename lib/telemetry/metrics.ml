@@ -126,6 +126,57 @@ let snapshot t =
            s_value = read e.instrument;
          })
 
+(* --- Cross-registry merge ----------------------------------------------- *)
+
+let merge_hist a b =
+  let n = a.count + b.count in
+  if n = 0 then a
+  else begin
+    let wa = float_of_int a.count and wb = float_of_int b.count in
+    let wavg x y = ((x *. wa) +. (y *. wb)) /. (wa +. wb) in
+    {
+      count = n;
+      mean = wavg a.mean b.mean;
+      max_v = Float.max a.max_v b.max_v;
+      (* Count-weighted quantile average: an approximation (exact merged
+         quantiles need the raw buckets), adequate for batch summaries. *)
+      p50 = wavg a.p50 b.p50;
+      p90 = wavg a.p90 b.p90;
+      p99 = wavg a.p99 b.p99;
+    }
+  end
+
+let merge_value a b =
+  match (a, b) with
+  | Counter x, Counter y -> Counter (x + y)
+  | Gauge x, Gauge y -> Gauge (x +. y)
+  | Hist x, Hist y -> Hist (merge_hist x y)
+  | _ -> invalid_arg "Metrics.merge: mismatched sample types"
+
+let merge snapshots =
+  let tbl = Hashtbl.create 64 in
+  let order = ref [] in
+  List.iter
+    (List.iter (fun s ->
+         let key = (s.s_name, s.s_labels) in
+         match Hashtbl.find_opt tbl key with
+         | None ->
+           Hashtbl.replace tbl key s;
+           order := key :: !order
+         | Some prev ->
+           Hashtbl.replace tbl key
+             {
+               prev with
+               s_value = merge_value prev.s_value s.s_value;
+               s_help = (if prev.s_help = "" then s.s_help else prev.s_help);
+             }))
+    snapshots;
+  List.rev_map (Hashtbl.find tbl) !order
+  |> List.stable_sort (fun a b ->
+         match String.compare a.s_name b.s_name with
+         | 0 -> compare a.s_labels b.s_labels
+         | c -> c)
+
 (* --- Exporters ---------------------------------------------------------- *)
 
 let prom_labels = function

@@ -61,11 +61,26 @@ type sample = {
 val snapshot : t -> sample list
 (** Current values, sorted by (name, labels) — deterministic. *)
 
+val merge : sample list list -> sample list
+(** Aggregate snapshots from several registries (e.g. one per domain of a
+    parallel batch) into one: samples sharing (name, labels) combine —
+    counters and gauges sum; histogram summaries merge with summed counts,
+    count-weighted means/quantiles (an approximation; exact merged
+    quantiles would need the raw buckets) and max-of-max. Output is sorted
+    by (name, labels) like {!snapshot}, so merging is deterministic and
+    independent of input order up to equal keys.
+    @raise Invalid_argument when the same key carries different sample
+    types in different snapshots. *)
+
 (** {2 Exporters} *)
 
 val to_prometheus : t -> string
 (** Prometheus text exposition format; histograms export as summaries with
     0.5/0.9/0.99 quantiles plus [_count] and [_max] series. *)
+
+val sample_to_json : sample -> Json.t
+(** One snapshot (or merged) sample as the same JSON shape {!to_json}
+    emits per entry. *)
 
 val to_json : t -> Json.t
 val to_json_string : ?pretty:bool -> t -> string

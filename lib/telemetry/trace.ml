@@ -20,6 +20,7 @@ type kind =
   | Malformed_drop
   | Csum_drop
   | Rst_tx
+  | Shard_migrate
 
 let kind_name = function
   | Rx_data -> "rx_data"
@@ -41,13 +42,14 @@ let kind_name = function
   | Malformed_drop -> "malformed_drop"
   | Csum_drop -> "csum_drop"
   | Rst_tx -> "rst_tx"
+  | Shard_migrate -> "shard_migrate"
 
 let all_kinds =
   [
     Rx_data; Rx_ack; Tx_data; Ack_tx; Ooo_store; Payload_drop; Fast_rexmit;
     Timeout_rexmit; Conn_setup; Conn_teardown; Exception_fwd; Core_scale;
     Fault_drop; Fault_dup; Fault_corrupt; Fault_hold; Malformed_drop;
-    Csum_drop; Rst_tx;
+    Csum_drop; Rst_tx; Shard_migrate;
   ]
 
 type event = {
@@ -86,6 +88,12 @@ let drain t =
   let out = ref [] in
   ignore (Spsc.drain t.ring (fun e -> out := e :: !out));
   List.rev !out
+
+(* Deterministic cross-ring merge: stable sort by timestamp, so events from
+   the same ring keep their record order and equal-timestamp events from
+   different rings order by the position of their ring in the argument. *)
+let merge streams =
+  List.stable_sort (fun a b -> compare a.ts b.ts) (List.concat streams)
 
 let event_to_json e =
   Json.Obj

@@ -30,6 +30,7 @@ type kind =
   | Malformed_drop  (** fast path dropped a length-inconsistent packet *)
   | Csum_drop       (** NIC dropped a checksum-failing frame *)
   | Rst_tx          (** slow path generated an RST *)
+  | Shard_migrate   (** RSS rewrite moved a flow group between shards *)
 
 val kind_name : kind -> string
 val all_kinds : kind list
@@ -64,6 +65,12 @@ val recorded : t -> int
 
 val drain : t -> event list
 (** Pop all buffered events in record order (consuming). *)
+
+val merge : event list list -> event list
+(** Merge several drained streams into one timestamp-ordered stream.
+    Deterministic: the sort is stable, so events of one stream keep their
+    record order and equal-timestamp events across streams order by their
+    stream's position in the argument. *)
 
 val event_to_json : event -> Json.t
 

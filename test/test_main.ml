@@ -23,4 +23,5 @@ let () =
       ("wrap_edges", Test_wrap_edges.suite);
       ("determinism", Test_determinism.suite);
       ("parallel", Test_parallel.suite);
+      ("shard", Test_shard.suite);
     ]
