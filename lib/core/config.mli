@@ -44,6 +44,19 @@ type t = {
   fp_rx_cycles : int;  (** receive data segment, including ACK generation *)
   fp_tx_cycles : int;  (** segmentation + transmit *)
   fp_ack_rx_cycles : int;  (** process incoming ACK, reclaim tx buffer *)
+  fp_burst_enabled : bool;
+      (** batch fast-path receive into vector passes over each core's
+          backlog (DPDK-burst style, default [true]); [false] processes one
+          packet per dispatch event. Per-packet cycle charges are identical
+          either way — batching amortizes event dispatch and flow lookup *)
+  fp_burst_size : int;  (** max packets per vector pass (default 32) *)
+  flow_arena_enabled : bool;
+      (** back per-flow state with the off-heap {!Flow_arena} of 102-byte
+          Table-3 records (default [true]); [false] keeps the boxed OCaml
+          record — the reference backing the differential tests compare
+          against *)
+  flow_arena_capacity : int;
+      (** arena slots; connections beyond this are refused (default 4096) *)
   sp_conn_cycles : int;  (** slow-path connection setup/teardown handling *)
   sp_flow_control_cycles : int;  (** slow-path CC loop, per flow *)
   flow_shards_enabled : bool;

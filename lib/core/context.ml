@@ -21,25 +21,26 @@ let post t event =
   if was_empty then t.waker ()
 
 let post_readable t flow =
-  if not flow.Flow_state.rx_notified then begin
-    flow.Flow_state.rx_notified <- true;
+  if not (Flow_state.rx_notified flow) then begin
+    Flow_state.set_rx_notified flow true;
     post t (Readable flow)
   end
 
 let post_writable t flow =
-  if not flow.Flow_state.tx_notified then begin
-    flow.Flow_state.tx_notified <- true;
+  if not (Flow_state.tx_notified flow) then begin
+    Flow_state.set_tx_notified flow true;
     post t (Writable flow)
   end
 
 let pop t =
   match Spsc.try_pop t.queue with
   | Some (Readable flow) as e ->
-    flow.Flow_state.rx_notified <- false;
+    Flow_state.set_rx_notified flow false;
     e
   | Some (Writable flow) as e ->
-    flow.Flow_state.tx_notified <- false;
+    Flow_state.set_tx_notified flow false;
     e
   | None -> None
 
 let pending t = Spsc.length t.queue
+let is_empty t = Spsc.is_empty t.queue

@@ -35,3 +35,6 @@ val pop : t -> event option
 (** Dequeue the next event, clearing its coalescing flag. *)
 
 val pending : t -> int
+
+val is_empty : t -> bool
+(** No events queued (cheaper than [pending t = 0]). *)

@@ -23,6 +23,30 @@ type stats = {
   mutable fast_retransmits : int;
   mutable exceptions_forwarded : int;
   mutable malformed_drops : int;
+  mutable rx_bursts : int;
+  mutable rx_burst_packets : int;
+}
+
+(* Per-core receive backlog: packets accepted from the NIC queue but not
+   yet run through the vector pass. A plain circular buffer so enqueueing
+   a packet allocates nothing. *)
+type backlog = {
+  mutable bl_buf : Packet.t array;
+  mutable bl_head : int;
+  mutable bl_len : int;
+}
+
+(* One-entry flow memo for the duration of a single vector pass: bursts are
+   dominated by runs of segments of the same flow, so the common case skips
+   the hash lookup (and its modeled lock acquisition) entirely. Reset at
+   every pass; flow installs/removes are deferred events and cannot land
+   mid-pass. *)
+type memo = {
+  mutable m_flow : Flow_state.t option;
+  mutable m_src_ip : int;
+  mutable m_src_port : int;
+  mutable m_dst_ip : int;
+  mutable m_dst_port : int;
 }
 
 type t = {
@@ -40,7 +64,57 @@ type t = {
   span : Span.t;
   mutable busy_snapshot : int array;
   mutable last_rx_time : int array;  (* per-core, for idle blocking *)
+  backlogs : backlog array;
+  drain_armed : bool array;
+  mutable drain_thunks : (unit -> unit) array;
+  (* Per-core transmit staging: a data segment is pushed here and handed to
+     the NIC by the core's persistent tx thunk. Per-core FIFO order means
+     each thunk firing pops exactly the packet whose [Core.run] scheduled
+     it — identical behaviour to capturing the packet in a closure, minus
+     the per-packet closure. *)
+  tx_queues : backlog array;
+  mutable tx_thunks : (unit -> unit) array;
+  memo : memo;
+  scratch : Packet.t array;  (* vector-pass staging, fp_burst_size slots *)
+  dummy_pkt : Packet.t;
 }
+
+(* Circular-FIFO helpers shared by the receive backlogs and the transmit
+   staging queues. *)
+let backlog_push b pkt =
+  let cap = Array.length b.bl_buf in
+  if b.bl_len = cap then begin
+    let bigger = Array.make (2 * cap) b.bl_buf.(0) in
+    for i = 0 to b.bl_len - 1 do
+      bigger.(i) <- b.bl_buf.((b.bl_head + i) mod cap)
+    done;
+    b.bl_buf <- bigger;
+    b.bl_head <- 0
+  end;
+  b.bl_buf.((b.bl_head + b.bl_len) mod Array.length b.bl_buf) <- pkt;
+  b.bl_len <- b.bl_len + 1
+
+let backlog_shift b dummy =
+  if b.bl_len = 0 then invalid_arg "Fast_path: empty backlog";
+  let pkt = b.bl_buf.(b.bl_head) in
+  b.bl_buf.(b.bl_head) <- dummy;
+  b.bl_head <- (b.bl_head + 1) mod Array.length b.bl_buf;
+  b.bl_len <- b.bl_len - 1;
+  pkt
+
+let make_dummy_packet () =
+  Packet.make ~src_mac:0 ~dst_mac:0 ~src_ip:0 ~dst_ip:0
+    ~tcp:
+      {
+        Tcp_header.src_port = 0;
+        dst_port = 0;
+        seq = 0;
+        ack = 0;
+        flags = Tcp_header.no_flags;
+        window = 0;
+        options = Tcp_header.no_options;
+      }
+    ~payload:Bytes.empty ()
 
 let create ?trace ?span sim ~nic ~cores ~config =
   if Array.length cores = 0 then invalid_arg "Fast_path.create: no cores";
@@ -54,6 +128,8 @@ let create ?trace ?span sim ~nic ~cores ~config =
         ~rss:(Nic.rss nic) ()
     else Flow_table.create ()
   in
+  let dummy_pkt = make_dummy_packet () in
+  let n = Array.length cores in
   let t =
   {
     sim;
@@ -63,7 +139,7 @@ let create ?trace ?span sim ~nic ~cores ~config =
     flows;
     contexts = Hashtbl.create 16;
     next_context_id = 0;
-    active = Array.length cores;
+    active = n;
     exception_handler = ignore;
     stats =
       {
@@ -76,11 +152,32 @@ let create ?trace ?span sim ~nic ~cores ~config =
         fast_retransmits = 0;
         exceptions_forwarded = 0;
         malformed_drops = 0;
+        rx_bursts = 0;
+        rx_burst_packets = 0;
       };
     trace = (match trace with Some tr -> tr | None -> Trace.disabled ());
     span = (match span with Some sp -> sp | None -> Span.disabled ());
-    busy_snapshot = Array.make (Array.length cores) 0;
-    last_rx_time = Array.make (Array.length cores) 0;
+    busy_snapshot = Array.make n 0;
+    last_rx_time = Array.make n 0;
+    backlogs =
+      Array.init n (fun _ ->
+          { bl_buf = Array.make 64 dummy_pkt; bl_head = 0; bl_len = 0 });
+    drain_armed = Array.make n false;
+    drain_thunks = [||];
+    tx_queues =
+      Array.init n (fun _ ->
+          { bl_buf = Array.make 64 dummy_pkt; bl_head = 0; bl_len = 0 });
+    tx_thunks = [||];
+    memo =
+      {
+        m_flow = None;
+        m_src_ip = -1;
+        m_src_port = -1;
+        m_dst_ip = -1;
+        m_dst_port = -1;
+      };
+    scratch = Array.make (max 1 config.Config.fp_burst_size) dummy_pkt;
+    dummy_pkt;
   }
   in
   Flow_table.set_on_migrate t.flows (fun ~group ~from_q:_ ~to_q ~moved ->
@@ -89,6 +186,9 @@ let create ?trace ?span sim ~nic ~cores ~config =
       if moved > 0 && Trace.enabled t.trace then
         Trace.record t.trace ~ts:(Sim.now t.sim) ~kind:Trace.Shard_migrate
           ~core:to_q ~flow:group);
+  t.tx_thunks <-
+    Array.init n (fun idx ->
+        fun () -> Nic.transmit t.nic (backlog_shift t.tx_queues.(idx) t.dummy_pkt));
   t
 
 let flows t = t.flows
@@ -123,6 +223,10 @@ let register t m =
       s.exceptions_forwarded);
   c "fp_malformed_drops" "length-inconsistent packets dropped on receive"
     (fun () -> s.malformed_drops);
+  c "fp_rx_bursts" "vector passes over the receive backlog" (fun () ->
+      s.rx_bursts);
+  c "fp_rx_burst_packets" "packets processed through vector passes" (fun () ->
+      s.rx_burst_packets);
   Metrics.gauge_fn m ~help:"fast-path cores currently active" "fp_active_cores"
     (fun () -> float_of_int t.active);
   Metrics.gauge_fn m ~help:"flows installed in the fast-path flow table"
@@ -175,46 +279,59 @@ let now_us t = Sim.now t.sim / 1000
 let build_packet t flow ~(flags : Tcp_header.flags) ~seq ~payload =
   let tcp =
     {
-      Tcp_header.src_port = flow.Flow_state.local_port;
-      dst_port = flow.Flow_state.peer_port;
+      Tcp_header.src_port = Flow_state.local_port flow;
+      dst_port = Flow_state.peer_port flow;
       seq;
-      ack = (if flags.Tcp_header.ack then flow.Flow_state.ack else 0);
+      ack = (if flags.Tcp_header.ack then Flow_state.ack flow else 0);
       flags;
       window =
-        min 65535 (Ring.free flow.Flow_state.rx_buf asr t.config.Config.wscale);
+        min 65535 (Ring.free (Flow_state.rx_buf flow) asr t.config.Config.wscale);
       options =
         {
           Tcp_header.mss = None;
           wscale = None;
           timestamp =
-            Some (now_us t land 0xFFFF_FFFF, flow.Flow_state.ts_recent);
+            Some (now_us t land 0xFFFF_FFFF, Flow_state.ts_recent flow);
         };
     }
   in
   let ecn =
     if Bytes.length payload > 0 then Ipv4_header.Ect0 else Ipv4_header.Not_ect
   in
-  Packet.make ~src_mac:(Nic.mac t.nic) ~dst_mac:flow.Flow_state.peer_mac
-    ~src_ip:(Nic.ip t.nic) ~dst_ip:flow.Flow_state.peer_ip ~ecn ~tcp ~payload
+  Packet.make ~src_mac:(Nic.mac t.nic) ~dst_mac:(Flow_state.peer_mac flow)
+    ~src_ip:(Nic.ip t.nic) ~dst_ip:(Flow_state.peer_ip flow) ~ecn ~tcp ~payload
     ()
 
 let send_raw t pkt = Nic.transmit t.nic pkt
 
+(* [maybe_send]'s core is always an element of [t.cores] ([core_of_flow] or
+   the drain pass's core); the scan is over at most a handful of cores. *)
+let core_index t core =
+  let n = Array.length t.cores in
+  let rec go i = if i >= n - 1 || t.cores.(i) == core then i else go (i + 1) in
+  go 0
+
+(* Both ACK-flag shapes, precomputed: the per-ACK [{ack_flags with ece}]
+   record allocation used to show up in the bulk words/packet profile. *)
+let ack_flags_ece = { Tcp_header.ack_flags with Tcp_header.ece = true }
+
 let send_ack t flow ~ece =
-  let flags = { Tcp_header.ack_flags with ece } in
+  let flags = if ece then ack_flags_ece else Tcp_header.ack_flags in
   t.stats.acks_sent <- t.stats.acks_sent + 1;
   if Trace.enabled t.trace then
     Trace.record t.trace ~ts:(Sim.now t.sim) ~kind:Trace.Ack_tx
       ~core:(Core.id (core_of_flow t flow))
-      ~flow:flow.Flow_state.opaque;
+      ~flow:(Flow_state.opaque flow);
   Nic.transmit t.nic
-    (build_packet t flow ~flags ~seq:flow.Flow_state.seq ~payload:Bytes.empty)
+    (build_packet t flow ~flags ~seq:(Flow_state.seq flow) ~payload:Bytes.empty)
+
+let fin_ack_flags = { Tcp_header.ack_flags with Tcp_header.fin = true }
 
 let emit_fin t flow =
-  flow.Flow_state.fin_sent <- true;
-  let flags = { Tcp_header.ack_flags with fin = true } in
+  Flow_state.set_fin_sent flow true;
   Nic.transmit t.nic
-    (build_packet t flow ~flags ~seq:flow.Flow_state.seq ~payload:Bytes.empty)
+    (build_packet t flow ~flags:fin_ack_flags ~seq:(Flow_state.seq flow)
+       ~payload:Bytes.empty)
 
 (* --- Transmission ------------------------------------------------------ *)
 
@@ -225,48 +342,50 @@ let tx_cycles t = t.config.Config.fp_driver_cycles + t.config.Config.fp_tx_cycle
    bucket runs dry. Runs on [core]. *)
 let rec maybe_send t flow core =
   let avail = Flow_state.tx_available flow in
-  if avail > 0 && not flow.Flow_state.fin_sent then begin
-    let peer_budget = flow.Flow_state.window - flow.Flow_state.tx_sent in
+  if avail > 0 && not (Flow_state.fin_sent flow) then begin
+    let peer_budget = Flow_state.window flow - Flow_state.tx_sent flow in
     if peer_budget > 0 then begin
       let want = min t.config.Config.mss (min avail peer_budget) in
       (* Pace whole segments: a rate bucket with only a few tokens must not
          emit tiny packets — wait until a full [want] accumulates. *)
       let granted =
-        match Rate_bucket.ns_until_bytes flow.Flow_state.bucket want with
-        | Some _ -> 0
-        | None ->
-          Rate_bucket.tx_budget flow.Flow_state.bucket
-            ~in_flight:flow.Flow_state.tx_sent ~want
+        if Rate_bucket.ns_until_bytes_int (Flow_state.bucket flow) want >= 0
+        then 0
+        else
+          Rate_bucket.tx_budget (Flow_state.bucket flow)
+            ~in_flight:(Flow_state.tx_sent flow) ~want
       in
       if granted > 0 then begin
         (* Pool-recycled payload staging: [Ring.read_at ~len:granted] below
            overwrites the full (exact-length) buffer, so stale contents of a
            recycled buffer are never observable. *)
         let payload = Buf_pool.take (Buf_pool.local ()) granted in
-        Ring.read_at flow.Flow_state.tx_buf
-          ~pos:(Ring.tail flow.Flow_state.tx_buf + flow.Flow_state.tx_sent)
+        let tx_buf = Flow_state.tx_buf flow in
+        Ring.read_at tx_buf
+          ~pos:(Ring.tail tx_buf + Flow_state.tx_sent flow)
           ~dst:payload ~dst_off:0 ~len:granted;
-        let seq = flow.Flow_state.seq in
-        flow.Flow_state.seq <- Seq32.add seq granted;
-        flow.Flow_state.tx_sent <- flow.Flow_state.tx_sent + granted;
+        let seq = Flow_state.seq flow in
+        Flow_state.set_seq flow (Seq32.add seq granted);
+        Flow_state.set_tx_sent flow (Flow_state.tx_sent flow + granted);
         t.stats.tx_data_packets <- t.stats.tx_data_packets + 1;
         trace_ev t Trace.Tx_data ~core:(Core.id core)
-          ~flow:flow.Flow_state.opaque;
+          ~flow:(Flow_state.opaque flow);
         let pkt =
           build_packet t flow ~flags:Tcp_header.data_flags ~seq ~payload
         in
         (* Small payloads bypassed the pool; marking them would only make
            the final release allocate a pointless [Some]. *)
         if granted >= Buf_pool.min_len then Packet.mark_pooled pkt;
-        if flow.Flow_state.tx_span >= 0 then begin
-          let id = flow.Flow_state.tx_span in
-          flow.Flow_state.tx_span <- -1;
+        if Flow_state.tx_span flow >= 0 then begin
+          let id = Flow_state.tx_span flow in
+          Flow_state.set_tx_span flow (-1);
           pkt.Packet.span <- id;
           Span.record t.span ~ts:(Sim.now t.sim) ~id ~hop:Span.Fp_tx
-            ~core:(Core.id core) ~flow:flow.Flow_state.opaque
+            ~core:(Core.id core) ~flow:(Flow_state.opaque flow)
         end;
-        Core.run core ~cat:Core.Tx ~cycles:(tx_cycles t) (fun () ->
-            Nic.transmit t.nic pkt);
+        let idx = core_index t core in
+        backlog_push t.tx_queues.(idx) pkt;
+        Core.run core ~cat:Core.Tx ~cycles:(tx_cycles t) t.tx_thunks.(idx);
         maybe_send t flow core
       end
       else arm_pacing_timer t flow core ~want
@@ -274,15 +393,16 @@ let rec maybe_send t flow core =
   end
 
 and arm_pacing_timer t flow core ~want =
-  if not flow.Flow_state.tx_timer_armed then begin
-    match Rate_bucket.ns_until_bytes flow.Flow_state.bucket want with
-    | None -> () (* window mode: an ACK will reopen the window *)
-    | Some delay when delay = max_int -> () (* rate is zero; slow path will update *)
-    | Some delay ->
-      flow.Flow_state.tx_timer_armed <- true;
+  if not (Flow_state.tx_timer_armed flow) then begin
+    let delay = Rate_bucket.ns_until_bytes_int (Flow_state.bucket flow) want in
+    if delay < 0 then () (* window mode / available now: an ACK reopens *)
+    else if delay = max_int then () (* rate is zero; slow path will update *)
+    else begin
+      Flow_state.set_tx_timer_armed flow true;
       Sim.post t.sim (max delay 1) (fun () ->
-          flow.Flow_state.tx_timer_armed <- false;
+          Flow_state.set_tx_timer_armed flow false;
           maybe_send t flow core)
+    end
   end
 
 let notify_tx t flow =
@@ -294,10 +414,10 @@ let trigger_retransmit t flow =
   let core = core_of_flow t flow in
   Core.run core ~cat:Core.Tx ~cycles:100 (fun () ->
       (* Reset sender state as if the unacked segments were never sent. *)
-      flow.Flow_state.seq <- Flow_state.snd_una flow;
-      flow.Flow_state.tx_sent <- 0;
-      flow.Flow_state.dupack_cnt <- 0;
-      flow.Flow_state.in_recovery <- false;
+      Flow_state.set_seq flow (Flow_state.snd_una flow);
+      Flow_state.set_tx_sent flow 0;
+      Flow_state.set_dupack_cnt flow 0;
+      Flow_state.set_in_recovery flow false;
       maybe_send t flow core)
 
 (* --- Receive processing ------------------------------------------------ *)
@@ -307,36 +427,36 @@ let sample_rtt t flow (tcp : Tcp_header.t) =
   | Some (_, ecr) when ecr > 0 ->
     let rtt = (now_us t - ecr) * 1000 in
     if rtt >= 0 then
-      flow.Flow_state.rtt_est <-
-        (if flow.Flow_state.rtt_est = 0 then rtt
-         else ((7 * flow.Flow_state.rtt_est) + rtt) / 8)
+      Flow_state.set_rtt_est flow
+        (if Flow_state.rtt_est flow = 0 then rtt
+         else ((7 * Flow_state.rtt_est flow) + rtt) / 8)
   | _ -> ()
 
 let process_ack t flow pkt core =
   let tcp = pkt.Packet.tcp in
   let acked = Seq32.diff tcp.Tcp_header.ack (Flow_state.snd_una flow) in
-  flow.Flow_state.window <-
-    tcp.Tcp_header.window lsl flow.Flow_state.peer_wscale;
+  Flow_state.set_window flow
+    (tcp.Tcp_header.window lsl Flow_state.peer_wscale flow);
   if acked > 0 then begin
     (* Accept any ACK covering bytes still in the transmit buffer. After a
        fast-retransmit rewind the receiver can cumulatively ACK past
        snd_nxt (it had the later segments buffered); fast-forward. *)
-    if acked <= Ring.used flow.Flow_state.tx_buf then begin
-      Ring.advance_tail flow.Flow_state.tx_buf acked;
-      if acked >= flow.Flow_state.tx_sent then begin
-        flow.Flow_state.seq <- tcp.Tcp_header.ack;
-        flow.Flow_state.tx_sent <- 0
+    if acked <= Ring.used (Flow_state.tx_buf flow) then begin
+      Ring.advance_tail (Flow_state.tx_buf flow) acked;
+      if acked >= Flow_state.tx_sent flow then begin
+        Flow_state.set_seq flow tcp.Tcp_header.ack;
+        Flow_state.set_tx_sent flow 0
       end
-      else flow.Flow_state.tx_sent <- flow.Flow_state.tx_sent - acked;
-      flow.Flow_state.dupack_cnt <- 0;
-      flow.Flow_state.in_recovery <- false;
-      flow.Flow_state.cnt_ackb <- flow.Flow_state.cnt_ackb + acked;
+      else Flow_state.set_tx_sent flow (Flow_state.tx_sent flow - acked);
+      Flow_state.set_dupack_cnt flow 0;
+      Flow_state.set_in_recovery flow false;
+      Flow_state.set_cnt_ackb flow (Flow_state.cnt_ackb flow + acked);
       if tcp.Tcp_header.flags.Tcp_header.ece then
-        flow.Flow_state.cnt_ecnb <- flow.Flow_state.cnt_ecnb + acked;
+        Flow_state.set_cnt_ecnb flow (Flow_state.cnt_ecnb flow + acked);
       sample_rtt t flow tcp;
-      if flow.Flow_state.tx_interest then begin
-        flow.Flow_state.tx_interest <- false;
-        match find_context t flow.Flow_state.context with
+      if Flow_state.tx_interest flow then begin
+        Flow_state.set_tx_interest flow false;
+        match find_context t (Flow_state.context flow) with
         | Some ctx -> Context.post_writable ctx flow
         | None -> () (* application exited; flow teardown in progress *)
       end;
@@ -350,23 +470,23 @@ let process_ack t flow pkt core =
   end
   else if
     acked = 0
-    && flow.Flow_state.tx_sent > 0
+    && Flow_state.tx_sent flow > 0
     && Bytes.length pkt.Packet.payload = 0
   then begin
-    flow.Flow_state.dupack_cnt <- flow.Flow_state.dupack_cnt + 1;
-    if flow.Flow_state.dupack_cnt >= 3 && not flow.Flow_state.in_recovery
+    Flow_state.set_dupack_cnt flow (Flow_state.dupack_cnt flow + 1);
+    if Flow_state.dupack_cnt flow >= 3 && not (Flow_state.in_recovery flow)
     then begin
-      flow.Flow_state.in_recovery <- true;
+      Flow_state.set_in_recovery flow true;
       (* Fast recovery: rewind the sender as if the segments beyond the
          duplicate ACK had not been sent (§3.1 exception 1); the slow path
          sees cnt_frexmits and cuts the flow's rate. *)
-      flow.Flow_state.cnt_frexmits <- flow.Flow_state.cnt_frexmits + 1;
+      Flow_state.set_cnt_frexmits flow (Flow_state.cnt_frexmits flow + 1);
       t.stats.fast_retransmits <- t.stats.fast_retransmits + 1;
       trace_ev t Trace.Fast_rexmit ~core:(Core.id core)
-        ~flow:flow.Flow_state.opaque;
-      flow.Flow_state.seq <- Flow_state.snd_una flow;
-      flow.Flow_state.tx_sent <- 0;
-      flow.Flow_state.dupack_cnt <- 0;
+        ~flow:(Flow_state.opaque flow);
+      Flow_state.set_seq flow (Flow_state.snd_una flow);
+      Flow_state.set_tx_sent flow 0;
+      Flow_state.set_dupack_cnt flow 0;
       maybe_send t flow core
     end
   end
@@ -376,15 +496,16 @@ let process_data t flow pkt core =
   let payload = pkt.Packet.payload in
   let seg_len = Bytes.length payload in
   let ce = pkt.Packet.ip.Ipv4_header.ecn = Ipv4_header.Ce in
-  let window = Ring.free flow.Flow_state.rx_buf in
+  let rx_buf = Flow_state.rx_buf flow in
+  let window = Ring.free rx_buf in
   let verdict =
     if t.config.Config.rx_ooo_enabled then
-      Ooo.handle flow.Flow_state.ooo ~exp:flow.Flow_state.ack ~window
+      Ooo.handle (Flow_state.ooo flow) ~exp:(Flow_state.ack flow) ~window
         ~seg_start:tcp.Tcp_header.seq ~seg_len
     else begin
       (* Simple go-back-N receive: only the exact next segment is accepted
          (the Fig. 7 "TAS simple recovery" ablation). *)
-      let exp = flow.Flow_state.ack in
+      let exp = Flow_state.ack flow in
       if Seq32.lt tcp.Tcp_header.seq exp then begin
         let dup = Seq32.diff exp tcp.Tcp_header.seq in
         if dup >= seg_len then Ooo.Duplicate
@@ -408,40 +529,40 @@ let process_data t flow pkt core =
   | Ooo.Deliver { write_at; write_len; advance } ->
     if write_len > 0 then begin
       let src_off = Seq32.diff write_at tcp.Tcp_header.seq in
-      Ring.write_at flow.Flow_state.rx_buf
+      Ring.write_at rx_buf
         ~pos:(Flow_state.rx_offset_of_seq flow write_at)
         payload ~off:src_off ~len:write_len
     end;
-    Ring.advance_head flow.Flow_state.rx_buf advance;
-    flow.Flow_state.ack <- Seq32.add flow.Flow_state.ack advance;
+    Ring.advance_head rx_buf advance;
+    Flow_state.set_ack flow (Seq32.add (Flow_state.ack flow) advance);
     if pkt.Packet.span >= 0 then begin
       Span.record t.span ~ts:(Sim.now t.sim) ~id:pkt.Packet.span
         ~hop:Span.Ctx_notify ~core:(Core.id core)
-        ~flow:flow.Flow_state.opaque;
+        ~flow:(Flow_state.opaque flow);
       (* Carry the span across the coalesced context queue to the app's
          read; first sampled packet wins until delivery clears it. *)
-      if flow.Flow_state.rx_span < 0 then
-        flow.Flow_state.rx_span <- pkt.Packet.span
+      if Flow_state.rx_span flow < 0 then
+        Flow_state.set_rx_span flow pkt.Packet.span
     end;
-    (match find_context t flow.Flow_state.context with
+    (match find_context t (Flow_state.context flow) with
     | Some ctx -> Context.post_readable ctx flow
     | None -> () (* application exited; flow teardown in progress *));
     send_ack t flow ~ece:ce
   | Ooo.Store { write_at; write_len } ->
     let src_off = Seq32.diff write_at tcp.Tcp_header.seq in
-    Ring.write_at flow.Flow_state.rx_buf
+    Ring.write_at rx_buf
       ~pos:(Flow_state.rx_offset_of_seq flow write_at)
       payload ~off:src_off ~len:write_len;
     t.stats.ooo_stored <- t.stats.ooo_stored + 1;
     trace_ev t Trace.Ooo_store ~core:(Core.id core)
-      ~flow:flow.Flow_state.opaque;
+      ~flow:(Flow_state.opaque flow);
     (* Duplicate ACK tells the sender what we are still waiting for. *)
     send_ack t flow ~ece:ce
   | Ooo.Duplicate -> send_ack t flow ~ece:ce
   | Ooo.Drop ->
     t.stats.payload_drops <- t.stats.payload_drops + 1;
     trace_ev t Trace.Payload_drop ~core:(Core.id core)
-      ~flow:flow.Flow_state.opaque;
+      ~flow:(Flow_state.opaque flow);
     send_ack t flow ~ece:ce
 
 (* Last consumer of an RX packet recycles its pooled payload. Safe only
@@ -452,6 +573,33 @@ let release_pkt pkt =
   match Packet.release pkt with
   | Some buf -> Buf_pool.give (Buf_pool.local ()) buf
   | None -> ()
+
+(* Flow lookup with the vector-pass memo: consecutive same-flow segments
+   hit the memoized entry and skip the table (and its lock cost) the way a
+   batched DPDK loop keeps the previous flow's state hot. *)
+let memo_reset t = t.memo.m_flow <- None
+
+let lookup_flow t pkt =
+  let m = t.memo in
+  let ip = pkt.Packet.ip and tcp = pkt.Packet.tcp in
+  match m.m_flow with
+  | Some _ as r
+    when
+      m.m_src_ip = ip.Ipv4_header.src
+      && m.m_src_port = tcp.Tcp_header.src_port
+      && m.m_dst_ip = ip.Ipv4_header.dst
+      && m.m_dst_port = tcp.Tcp_header.dst_port -> r
+  | _ ->
+    let r = Flow_table.find t.flows (Packet.four_tuple_at_receiver pkt) in
+    (match r with
+    | Some _ ->
+      m.m_flow <- r;
+      m.m_src_ip <- ip.Ipv4_header.src;
+      m.m_src_port <- tcp.Tcp_header.src_port;
+      m.m_dst_ip <- ip.Ipv4_header.dst;
+      m.m_dst_port <- tcp.Tcp_header.dst_port
+    | None -> m.m_flow <- None);
+    r
 
 let rec process t pkt core =
   (if not (Packet.well_formed pkt) then begin
@@ -475,29 +623,72 @@ and process_valid t pkt core =
     t.exception_handler pkt
   end
   else begin
-    match Flow_table.find t.flows (Packet.four_tuple_at_receiver pkt) with
+    match lookup_flow t pkt with
     | None ->
       t.stats.exceptions_forwarded <- t.stats.exceptions_forwarded + 1;
       trace_ev t Trace.Exception_fwd ~core:(Core.id core) ~flow:(-1);
       t.exception_handler pkt
     | Some flow ->
       (match tcp.Tcp_header.options.Tcp_header.timestamp with
-      | Some (ts_val, _) -> flow.Flow_state.ts_recent <- ts_val
+      | Some (ts_val, _) -> Flow_state.set_ts_recent flow ts_val
       | None -> ());
       if Bytes.length pkt.Packet.payload = 0 then begin
         t.stats.rx_ack_packets <- t.stats.rx_ack_packets + 1;
         trace_ev t Trace.Rx_ack ~core:(Core.id core)
-          ~flow:flow.Flow_state.opaque;
+          ~flow:(Flow_state.opaque flow);
         process_ack t flow pkt core
       end
       else begin
         t.stats.rx_data_packets <- t.stats.rx_data_packets + 1;
         trace_ev t Trace.Rx_data ~core:(Core.id core)
-          ~flow:flow.Flow_state.opaque;
+          ~flow:(Flow_state.opaque flow);
         process_ack t flow pkt core;
         process_data t flow pkt core
       end
   end
+
+(* --- Burst (vector) receive -------------------------------------------- *)
+
+(* One vector pass over [count] packets of [pkts]: flow lookup, seq/ack
+   update and emission run per segment as in [process], but the pass-local
+   flow memo amortizes the table lookup across runs of same-flow segments —
+   the DPDK-burst discipline of the paper's poll loop. Order within the
+   burst is arrival order, so per-flow ordering is preserved for any
+   interleaving of flows. *)
+let process_burst t pkts ~count core =
+  if count < 0 || count > Array.length pkts then
+    invalid_arg "Fast_path.process_burst: count out of range";
+  if count > 0 then begin
+    memo_reset t;
+    t.stats.rx_bursts <- t.stats.rx_bursts + 1;
+    t.stats.rx_burst_packets <- t.stats.rx_burst_packets + count;
+    for k = 0 to count - 1 do
+      process t pkts.(k) core
+    done;
+    memo_reset t
+  end
+
+(* Drain the backlog in bursts of at most [fp_burst_size]: packets keep
+   arriving while the core works off earlier ones, so under load each
+   drain finds a naturally formed batch — exactly how a DPDK poll loop
+   sees deeper bursts as it falls behind. *)
+let drain_backlog t idx core =
+  t.drain_armed.(idx) <- false;
+  let b = t.backlogs.(idx) in
+  let burst_cap = Array.length t.scratch in
+  while b.bl_len > 0 do
+    let n = min b.bl_len burst_cap in
+    let cap = Array.length b.bl_buf in
+    for i = 0 to n - 1 do
+      let j = (b.bl_head + i) mod cap in
+      t.scratch.(i) <- b.bl_buf.(j);
+      b.bl_buf.(j) <- t.dummy_pkt
+    done;
+    b.bl_head <- (b.bl_head + n) mod cap;
+    b.bl_len <- b.bl_len - n;
+    process_burst t t.scratch ~count:n core;
+    Array.fill t.scratch 0 n t.dummy_pkt
+  done
 
 let rx_cost t pkt =
   let c = t.config in
@@ -506,6 +697,10 @@ let rx_cost t pkt =
   else c.Config.fp_driver_cycles + c.Config.fp_rx_cycles
 
 let attach t =
+  t.drain_thunks <-
+    Array.init (Array.length t.cores) (fun idx ->
+        let core = t.cores.(idx) in
+        fun () -> drain_backlog t idx core);
   Nic.set_rx_handler t.nic (fun ~queue pkt ->
       let idx = queue mod Array.length t.cores in
       let core = t.cores.(idx) in
@@ -519,10 +714,27 @@ let attach t =
         if Bytes.length pkt.Packet.payload = 0 then Core.Ack_rx
         else Core.Driver_rx
       in
-      if asleep then
-        Core.run_after core ~cat ~delay:t.config.Config.wakeup_ns ~cycles
-          (fun () -> process t pkt core)
-      else Core.run core ~cat ~cycles (fun () -> process t pkt core))
+      if not t.config.Config.fp_burst_enabled then begin
+        if asleep then
+          Core.run_after core ~cat ~delay:t.config.Config.wakeup_ns ~cycles
+            (fun () -> process t pkt core)
+        else Core.run core ~cat ~cycles (fun () -> process t pkt core)
+      end
+      else begin
+        (* Burst mode: enqueue, charge the packet's cycles, and make sure
+           one drain pass is scheduled. Packets charged behind an armed
+           drain are picked up by it — the cost model is unchanged while
+           the processing pass is batched. *)
+        backlog_push t.backlogs.(idx) pkt;
+        if t.drain_armed.(idx) then Core.charge core ~cat ~cycles
+        else begin
+          t.drain_armed.(idx) <- true;
+          if asleep then
+            Core.run_after core ~cat ~delay:t.config.Config.wakeup_ns ~cycles
+              t.drain_thunks.(idx)
+          else Core.run core ~cat ~cycles t.drain_thunks.(idx)
+        end
+      end)
 
 let reinject t pkt =
   let tuple = Packet.four_tuple_at_receiver pkt in

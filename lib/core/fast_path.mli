@@ -24,6 +24,10 @@ type stats = {
   mutable malformed_drops : int;
       (** packets whose IP total length disagrees with their actual
           header/payload sizes, dropped before any flow-state access *)
+  mutable rx_bursts : int;  (** vector passes over a receive backlog *)
+  mutable rx_burst_packets : int;
+      (** packets that went through a vector pass; [/ rx_bursts] is the
+          achieved mean burst depth *)
 }
 
 val create :
@@ -42,7 +46,22 @@ val create :
 
 val attach : t -> unit
 (** Install the NIC receive handler: packets are charged and processed on
-    the core owning their RSS queue. *)
+    the core owning their RSS queue. With [Config.fp_burst_enabled] each
+    arrival is charged immediately but queued on a per-core backlog; one
+    scheduled drain works the backlog off in vector passes of at most
+    [Config.fp_burst_size] packets ({!process_burst}). *)
+
+val process_burst :
+  t -> Tas_proto.Packet.t array -> count:int -> Tas_cpu.Core.t -> unit
+(** One vector pass over [pkts.(0 .. count-1)] on [core]: per-segment flow
+    lookup, seq/ack update and ACK/data emission exactly as single-packet
+    processing would do them, in array order — so a burst of N segments of
+    one flow behaves identically to N single dispatches, and per-flow
+    ordering is preserved for any interleaving of flows. A pass-local flow
+    memo elides repeated flow-table lookups within same-flow runs. Consumes
+    one packet reference per packet (like single-packet processing); an
+    empty burst ([count = 0]) is a no-op.
+    @raise Invalid_argument if [count] exceeds [Array.length pkts]. *)
 
 val set_exception_handler : t -> (Tas_proto.Packet.t -> unit) -> unit
 (** Where non-common-case packets go (the slow path). Runs after the fast

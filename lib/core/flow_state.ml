@@ -1,97 +1,377 @@
 module Seq32 = Tas_proto.Seq32
 module Ring = Tas_buffers.Ring_buffer
+module A = Flow_arena
 
-type t = {
-  opaque : int;
-  mutable context : int;
-  mutable bucket : Rate_bucket.t;
-  rx_buf : Ring.t;
-  tx_buf : Ring.t;
-  mutable tx_sent : int;
-  mutable seq : Seq32.t;
-  mutable ack : Seq32.t;
-  mutable window : int;
-  mutable dupack_cnt : int;
-  mutable in_recovery : bool;
-  peer_wscale : int;
-  local_port : Tas_proto.Addr.port;
-  peer_ip : Tas_proto.Addr.ipv4;
-  peer_port : Tas_proto.Addr.port;
-  peer_mac : Tas_proto.Addr.mac;
-  ooo : Tas_buffers.Ooo_interval.t;
-  mutable cnt_ackb : int;
-  mutable cnt_ecnb : int;
-  mutable cnt_frexmits : int;
-  mutable rtt_est : int;
-  mutable ts_recent : int;
-  mutable rx_notified : bool;
-  mutable tx_notified : bool;
-  mutable tx_interest : bool;
-  mutable tx_timer_armed : bool;
-  mutable fin_received : bool;
-  mutable fin_sent : bool;
-  mutable rx_closed : bool;
-  mutable tx_span : int;
-  mutable rx_span : int;
+(* Flag-byte bit assignments, shared verbatim between the arena's packed
+   flags field and the boxed fallback's int. *)
+let bit_in_recovery = 0
+let bit_rx_notified = 1
+let bit_tx_notified = 2
+let bit_tx_interest = 3
+let bit_tx_timer_armed = 4
+let bit_fin_received = 5
+let bit_fin_sent = 6
+let bit_rx_closed = 7
+
+(* The boxed (pre-arena) backing: one GC-managed record per flow, kept as
+   the reference implementation behind [Config.flow_arena_enabled = false]
+   and as the landing pad for handles that outlive their arena slot. *)
+type scalars = {
+  s_opaque : int;
+  s_local_port : int;
+  s_peer_ip : int;
+  s_peer_port : int;
+  s_peer_mac : int;
+  s_peer_wscale : int;
+  mutable s_context : int;
+  mutable s_tx_sent : int;
+  mutable s_seq : int;
+  mutable s_ack : int;
+  mutable s_window : int;
+  mutable s_dupack_cnt : int;
+  mutable s_cnt_ackb : int;
+  mutable s_cnt_ecnb : int;
+  mutable s_cnt_frexmits : int;
+  mutable s_rtt_est : int;
+  mutable s_ts_recent : int;
+  mutable s_flags : int;
+  mutable s_tx_span : int;
+  mutable s_rx_span : int;
 }
 
-let create ~opaque ~context ~bucket ~rx_buf_size ~tx_buf_size ~local_port
-    ~peer_ip ~peer_port ~peer_mac ~tx_iss ~rx_next ~window ~peer_wscale =
+type store = Boxed of scalars | Slot of A.t * int
+
+type t = {
+  rx_buf : Ring.t;
+  tx_buf : Ring.t;
+  ooo : Tas_buffers.Ooo_interval.t;
+  mutable bucket : Rate_bucket.t;
+  mutable store : store;
+}
+
+exception Arena_exhausted
+
+let create ?arena ~opaque ~context ~bucket ~rx_buf_size ~tx_buf_size
+    ~local_port ~peer_ip ~peer_port ~peer_mac ~tx_iss ~rx_next ~window
+    ~peer_wscale () =
+  let store =
+    match arena with
+    | None ->
+      Boxed
+        {
+          s_opaque = opaque;
+          s_local_port = local_port;
+          s_peer_ip = peer_ip;
+          s_peer_port = peer_port;
+          s_peer_mac = peer_mac;
+          s_peer_wscale = peer_wscale;
+          s_context = context;
+          s_tx_sent = 0;
+          s_seq = tx_iss;
+          s_ack = rx_next;
+          s_window = window;
+          s_dupack_cnt = 0;
+          s_cnt_ackb = 0;
+          s_cnt_ecnb = 0;
+          s_cnt_frexmits = 0;
+          s_rtt_est = 0;
+          s_ts_recent = 0;
+          s_flags = 0;
+          s_tx_span = -1;
+          s_rx_span = -1;
+        }
+    | Some a -> (
+      match A.alloc a with
+      | None -> raise Arena_exhausted
+      | Some i ->
+        A.set_opaque a i opaque;
+        A.set_local_port a i local_port;
+        A.set_peer_ip a i peer_ip;
+        A.set_peer_port a i peer_port;
+        A.set_peer_mac a i peer_mac;
+        A.set_peer_wscale a i peer_wscale;
+        A.set_context a i context;
+        A.set_seq a i tx_iss;
+        A.set_ack a i rx_next;
+        A.set_window a i window;
+        A.set_tx_span a i (-1);
+        A.set_rx_span a i (-1);
+        A.set_rx_size a i rx_buf_size;
+        A.set_tx_size a i tx_buf_size;
+        Slot (a, i))
+  in
   {
-    opaque;
-    context;
-    bucket;
     rx_buf = Ring.create rx_buf_size;
     tx_buf = Ring.create tx_buf_size;
-    tx_sent = 0;
-    seq = tx_iss;
-    ack = rx_next;
-    window;
-    dupack_cnt = 0;
-    in_recovery = false;
-    peer_wscale;
-    local_port;
-    peer_ip;
-    peer_port;
-    peer_mac;
     ooo = Tas_buffers.Ooo_interval.create ();
-    cnt_ackb = 0;
-    cnt_ecnb = 0;
-    cnt_frexmits = 0;
-    rtt_est = 0;
-    ts_recent = 0;
-    rx_notified = false;
-    tx_notified = false;
-    tx_interest = false;
-    tx_timer_armed = false;
-    fin_received = false;
-    fin_sent = false;
-    rx_closed = false;
-    tx_span = -1;
-    rx_span = -1;
+    bucket;
+    store;
   }
+
+let is_arena_backed t = match t.store with Slot _ -> true | Boxed _ -> false
+let slot t = match t.store with Slot (_, i) -> Some i | Boxed _ -> None
+
+(* Teardown: materialize the scalar state back onto the heap, then return
+   the slot. Handles retained past teardown (sockets, queued context
+   events) keep reading coherent state and can never alias a recycled
+   slot. *)
+let release t =
+  match t.store with
+  | Boxed _ -> ()
+  | Slot (a, i) ->
+    let s =
+      {
+        s_opaque = A.get_opaque a i;
+        s_local_port = A.get_local_port a i;
+        s_peer_ip = A.get_peer_ip a i;
+        s_peer_port = A.get_peer_port a i;
+        s_peer_mac = A.get_peer_mac a i;
+        s_peer_wscale = A.get_peer_wscale a i;
+        s_context = A.get_context a i;
+        s_tx_sent = A.get_tx_sent a i;
+        s_seq = A.get_seq a i;
+        s_ack = A.get_ack a i;
+        s_window = A.get_window a i;
+        s_dupack_cnt = A.get_dupack_cnt a i;
+        s_cnt_ackb = A.get_cnt_ackb a i;
+        s_cnt_ecnb = A.get_cnt_ecnb a i;
+        s_cnt_frexmits = A.get_cnt_frexmits a i;
+        s_rtt_est = A.get_rtt_est a i;
+        s_ts_recent = A.get_ts_recent a i;
+        s_flags = A.get_flags a i;
+        s_tx_span = A.get_tx_span a i;
+        s_rx_span = A.get_rx_span a i;
+      }
+    in
+    t.store <- Boxed s;
+    A.free a i
+
+(* --- Accessors ---------------------------------------------------------- *)
+
+let opaque t =
+  match t.store with Boxed s -> s.s_opaque | Slot (a, i) -> A.get_opaque a i
+
+let local_port t =
+  match t.store with
+  | Boxed s -> s.s_local_port
+  | Slot (a, i) -> A.get_local_port a i
+
+let peer_ip t =
+  match t.store with Boxed s -> s.s_peer_ip | Slot (a, i) -> A.get_peer_ip a i
+
+let peer_port t =
+  match t.store with
+  | Boxed s -> s.s_peer_port
+  | Slot (a, i) -> A.get_peer_port a i
+
+let peer_mac t =
+  match t.store with
+  | Boxed s -> s.s_peer_mac
+  | Slot (a, i) -> A.get_peer_mac a i
+
+let peer_wscale t =
+  match t.store with
+  | Boxed s -> s.s_peer_wscale
+  | Slot (a, i) -> A.get_peer_wscale a i
+
+let context t =
+  match t.store with Boxed s -> s.s_context | Slot (a, i) -> A.get_context a i
+
+let set_context t v =
+  match t.store with
+  | Boxed s -> s.s_context <- v
+  | Slot (a, i) -> A.set_context a i v
+
+let tx_sent t =
+  match t.store with Boxed s -> s.s_tx_sent | Slot (a, i) -> A.get_tx_sent a i
+
+let set_tx_sent t v =
+  match t.store with
+  | Boxed s -> s.s_tx_sent <- v
+  | Slot (a, i) -> A.set_tx_sent a i v
+
+let seq t =
+  match t.store with Boxed s -> s.s_seq | Slot (a, i) -> A.get_seq a i
+
+let set_seq t v =
+  match t.store with
+  | Boxed s -> s.s_seq <- v
+  | Slot (a, i) -> A.set_seq a i v
+
+let ack t =
+  match t.store with Boxed s -> s.s_ack | Slot (a, i) -> A.get_ack a i
+
+let set_ack t v =
+  match t.store with
+  | Boxed s -> s.s_ack <- v
+  | Slot (a, i) -> A.set_ack a i v
+
+let window t =
+  match t.store with Boxed s -> s.s_window | Slot (a, i) -> A.get_window a i
+
+let set_window t v =
+  match t.store with
+  | Boxed s -> s.s_window <- v
+  | Slot (a, i) -> A.set_window a i v
+
+let dupack_cnt t =
+  match t.store with
+  | Boxed s -> s.s_dupack_cnt
+  | Slot (a, i) -> A.get_dupack_cnt a i
+
+let set_dupack_cnt t v =
+  match t.store with
+  | Boxed s -> s.s_dupack_cnt <- v
+  | Slot (a, i) -> A.set_dupack_cnt a i v
+
+let cnt_ackb t =
+  match t.store with
+  | Boxed s -> s.s_cnt_ackb
+  | Slot (a, i) -> A.get_cnt_ackb a i
+
+let set_cnt_ackb t v =
+  match t.store with
+  | Boxed s -> s.s_cnt_ackb <- v
+  | Slot (a, i) -> A.set_cnt_ackb a i v
+
+let cnt_ecnb t =
+  match t.store with
+  | Boxed s -> s.s_cnt_ecnb
+  | Slot (a, i) -> A.get_cnt_ecnb a i
+
+let set_cnt_ecnb t v =
+  match t.store with
+  | Boxed s -> s.s_cnt_ecnb <- v
+  | Slot (a, i) -> A.set_cnt_ecnb a i v
+
+let cnt_frexmits t =
+  match t.store with
+  | Boxed s -> s.s_cnt_frexmits
+  | Slot (a, i) -> A.get_cnt_frexmits a i
+
+let set_cnt_frexmits t v =
+  match t.store with
+  | Boxed s -> s.s_cnt_frexmits <- v
+  | Slot (a, i) -> A.set_cnt_frexmits a i v
+
+let rtt_est t =
+  match t.store with
+  | Boxed s -> s.s_rtt_est
+  | Slot (a, i) -> A.get_rtt_est a i
+
+let set_rtt_est t v =
+  match t.store with
+  | Boxed s -> s.s_rtt_est <- v
+  | Slot (a, i) -> A.set_rtt_est a i v
+
+let ts_recent t =
+  match t.store with
+  | Boxed s -> s.s_ts_recent
+  | Slot (a, i) -> A.get_ts_recent a i
+
+let set_ts_recent t v =
+  match t.store with
+  | Boxed s -> s.s_ts_recent <- v
+  | Slot (a, i) -> A.set_ts_recent a i v
+
+let tx_span t =
+  match t.store with Boxed s -> s.s_tx_span | Slot (a, i) -> A.get_tx_span a i
+
+let set_tx_span t v =
+  match t.store with
+  | Boxed s -> s.s_tx_span <- v
+  | Slot (a, i) -> A.set_tx_span a i v
+
+let rx_span t =
+  match t.store with Boxed s -> s.s_rx_span | Slot (a, i) -> A.get_rx_span a i
+
+let set_rx_span t v =
+  match t.store with
+  | Boxed s -> s.s_rx_span <- v
+  | Slot (a, i) -> A.set_rx_span a i v
+
+let get_flag t bit =
+  match t.store with
+  | Boxed s -> s.s_flags land (1 lsl bit) <> 0
+  | Slot (a, i) -> A.get_flag a i ~bit
+
+let set_flag t bit v =
+  match t.store with
+  | Boxed s ->
+    s.s_flags <-
+      (if v then s.s_flags lor (1 lsl bit)
+       else s.s_flags land lnot (1 lsl bit))
+  | Slot (a, i) -> A.set_flag a i ~bit v
+
+let in_recovery t = get_flag t bit_in_recovery
+let set_in_recovery t v = set_flag t bit_in_recovery v
+let rx_notified t = get_flag t bit_rx_notified
+let set_rx_notified t v = set_flag t bit_rx_notified v
+let tx_notified t = get_flag t bit_tx_notified
+let set_tx_notified t v = set_flag t bit_tx_notified v
+let tx_interest t = get_flag t bit_tx_interest
+let set_tx_interest t v = set_flag t bit_tx_interest v
+let tx_timer_armed t = get_flag t bit_tx_timer_armed
+let set_tx_timer_armed t v = set_flag t bit_tx_timer_armed v
+let fin_received t = get_flag t bit_fin_received
+let set_fin_received t v = set_flag t bit_fin_received v
+let fin_sent t = get_flag t bit_fin_sent
+let set_fin_sent t v = set_flag t bit_fin_sent v
+let rx_closed t = get_flag t bit_rx_closed
+let set_rx_closed t v = set_flag t bit_rx_closed v
+
+let rx_buf t = t.rx_buf
+let tx_buf t = t.tx_buf
+let ooo t = t.ooo
+let bucket t = t.bucket
+let set_bucket t b = t.bucket <- b
+
+(* --- Derived views ------------------------------------------------------ *)
 
 let tuple t ~local_ip =
   {
     Tas_proto.Addr.Four_tuple.local_ip;
-    local_port = t.local_port;
-    peer_ip = t.peer_ip;
-    peer_port = t.peer_port;
+    local_port = local_port t;
+    peer_ip = peer_ip t;
+    peer_port = peer_port t;
   }
 
-let snd_una t = Seq32.add t.seq (-t.tx_sent)
+let snd_una t = Seq32.add (seq t) (-tx_sent t)
 
 (* The next expected byte [ack] sits at the rx ring's head offset; later
    sequence numbers land deeper into the buffer window. *)
-let seq_of_rx_offset t off = Seq32.add t.ack (off - Ring.head t.rx_buf)
-let rx_offset_of_seq t s = Ring.head t.rx_buf + Seq32.diff s t.ack
-let tx_available t = Ring.used t.tx_buf - t.tx_sent
+let seq_of_rx_offset t off = Seq32.add (ack t) (off - Ring.head t.rx_buf)
+let rx_offset_of_seq t s = Ring.head t.rx_buf + Seq32.diff s (ack t)
+let tx_available t = Ring.used t.tx_buf - tx_sent t
 
 (* Table 3: 102 bytes. *)
-let state_bytes = 102
+let state_bytes = Flow_arena.slot_bytes
+
+(* Refresh the arena's shadow of state operationally held in companion
+   structures (ring positions, the out-of-order interval) so a slot is a
+   complete Table-3 image at snapshot time. The hot path never calls this;
+   dumps and tests do. *)
+let sync_shadow t =
+  match t.store with
+  | Boxed _ -> ()
+  | Slot (a, i) ->
+    A.set_rx_head a i (Ring.head t.rx_buf);
+    A.set_rx_tail a i (Ring.tail t.rx_buf);
+    A.set_tx_head a i (Ring.head t.tx_buf);
+    A.set_tx_tail a i (Ring.tail t.tx_buf);
+    A.set_rx_size a i (Ring.capacity t.rx_buf);
+    A.set_tx_size a i (Ring.capacity t.tx_buf);
+    (match Tas_buffers.Ooo_interval.interval t.ooo with
+    | None ->
+      A.set_ooo_start a i 0;
+      A.set_ooo_len a i 0
+    | Some (start, len) ->
+      A.set_ooo_start a i start;
+      A.set_ooo_len a i len)
 
 let to_json t =
   let module J = Tas_telemetry.Json in
+  sync_shadow t;
   let bucket =
     match Rate_bucket.mode t.bucket with
     | Rate_bucket.Rate bps ->
@@ -107,30 +387,30 @@ let to_json t =
   in
   J.Obj
     [
-      ("opaque", J.Int t.opaque);
-      ("context", J.Int t.context);
+      ("opaque", J.Int (opaque t));
+      ("context", J.Int (context t));
       ("peer", J.Str
-         (Printf.sprintf "%s:%d" (Tas_proto.Addr.ipv4_to_string t.peer_ip)
-            t.peer_port));
-      ("local_port", J.Int t.local_port);
-      ("seq", J.Int t.seq);
-      ("ack", J.Int t.ack);
+         (Printf.sprintf "%s:%d" (Tas_proto.Addr.ipv4_to_string (peer_ip t))
+            (peer_port t)));
+      ("local_port", J.Int (local_port t));
+      ("seq", J.Int (seq t));
+      ("ack", J.Int (ack t));
       ("snd_una", J.Int (snd_una t));
-      ("tx_sent", J.Int t.tx_sent);
+      ("tx_sent", J.Int (tx_sent t));
       ("tx_avail", J.Int (tx_available t));
       ("tx_buf_used", J.Int (Ring.used t.tx_buf));
       ("tx_buf_free", J.Int (Ring.free t.tx_buf));
       ("rx_buf_used", J.Int (Ring.used t.rx_buf));
       ("rx_buf_free", J.Int (Ring.free t.rx_buf));
-      ("window", J.Int t.window);
-      ("dupack_cnt", J.Int t.dupack_cnt);
-      ("in_recovery", J.Bool t.in_recovery);
+      ("window", J.Int (window t));
+      ("dupack_cnt", J.Int (dupack_cnt t));
+      ("in_recovery", J.Bool (in_recovery t));
       ("bucket", bucket);
       ("ooo", ooo);
-      ("cnt_ackb", J.Int t.cnt_ackb);
-      ("cnt_ecnb", J.Int t.cnt_ecnb);
-      ("cnt_frexmits", J.Int t.cnt_frexmits);
-      ("rtt_est_ns", J.Int t.rtt_est);
-      ("fin_received", J.Bool t.fin_received);
-      ("fin_sent", J.Bool t.fin_sent);
+      ("cnt_ackb", J.Int (cnt_ackb t));
+      ("cnt_ecnb", J.Int (cnt_ecnb t));
+      ("cnt_frexmits", J.Int (cnt_frexmits t));
+      ("rtt_est_ns", J.Int (rtt_est t));
+      ("fin_received", J.Bool (fin_received t));
+      ("fin_sent", J.Bool (fin_sent t));
     ]

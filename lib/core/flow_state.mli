@@ -1,52 +1,35 @@
 (** Per-flow fast-path state — the 102-byte record of paper Table 3.
 
-    This is deliberately minimal: everything the fast path needs for
-    common-case processing and nothing else. The slow path reads and writes
-    the same record (shared memory in the paper; direct access here) for
-    congestion control, timeouts and teardown. *)
+    The record itself lives in one of two backings behind this abstract
+    handle:
 
-type t = {
-  opaque : int;  (** application-defined flow identifier, relayed verbatim *)
-  mutable context : int;  (** RX/TX context queue number *)
-  mutable bucket : Rate_bucket.t;  (** rate/window bucket (Table 3 [bucket]) *)
-  rx_buf : Tas_buffers.Ring_buffer.t;  (** [rx_start|size|head|tail] *)
-  tx_buf : Tas_buffers.Ring_buffer.t;  (** [tx_start|size|head|tail] *)
-  mutable tx_sent : int;  (** sent-but-unacked bytes from the tx tail *)
-  mutable seq : Tas_proto.Seq32.t;  (** next local sequence number to send *)
-  mutable ack : Tas_proto.Seq32.t;  (** next expected peer sequence number *)
-  mutable window : int;  (** remote TCP receive window (already scaled) *)
-  mutable dupack_cnt : int;
-  mutable in_recovery : bool;
-      (** fast recovery triggered; further duplicate ACKs are ignored until
-          snd_una advances *)
-  peer_wscale : int;  (** negotiated peer window-scale shift *)
-  local_port : Tas_proto.Addr.port;
-  peer_ip : Tas_proto.Addr.ipv4;
-  peer_port : Tas_proto.Addr.port;
-  peer_mac : Tas_proto.Addr.mac;  (** for segmentation without ARP lookups *)
-  ooo : Tas_buffers.Ooo_interval.t;  (** [ooo_start|len] *)
-  mutable cnt_ackb : int;  (** acked bytes since last slow-path collection *)
-  mutable cnt_ecnb : int;  (** ECN-marked acked bytes since collection *)
-  mutable cnt_frexmits : int;  (** fast retransmits since collection *)
-  mutable rtt_est : int;  (** EWMA RTT estimate, ns *)
-  (* Implementation bookkeeping outside the paper's table: *)
-  mutable ts_recent : int;  (** peer timestamp to echo *)
-  mutable rx_notified : bool;  (** a Readable event is pending in the queue *)
-  mutable tx_notified : bool;
-  mutable tx_interest : bool;
-      (** the application wants a Writable notification (EPOLLOUT armed) *)
-  mutable tx_timer_armed : bool;  (** a paced transmit event is scheduled *)
-  mutable fin_received : bool;
-  mutable fin_sent : bool;
-  mutable rx_closed : bool;
-  mutable tx_span : int;
-      (** pending latency-span id carried from the app's send across the
-          coalesced context-queue boundary to the next data transmit;
-          [-1] when none *)
-  mutable rx_span : int;  (** likewise, fast-path delivery to app read *)
-}
+    - {b Arena} (default, [Config.flow_arena_enabled]): a 102-byte slot of
+      a {!Flow_arena} — off-heap, fixed field offsets, free-list reuse.
+      Every getter/setter below reads/writes the slot directly, so a flow's
+      scalar state costs exactly [state_bytes] bytes and is invisible to
+      the GC.
+    - {b Boxed}: the pre-arena OCaml record, kept as the reference
+      implementation for the arena-vs-boxed differential test battery.
+
+    On {!release} the scalar state is copied back onto the heap and the
+    slot returned to the arena, so handles retained past teardown (sockets,
+    queued context events) keep reading coherent values and can never
+    observe a recycled slot.
+
+    Companion structures that are pointers in the paper's record (payload
+    rings, the out-of-order interval, the rate bucket) remain OCaml values
+    owned by the handle; their positions are mirrored into the slot's
+    shadow fields by {!sync_shadow} at snapshot time. *)
+
+type t
+
+exception Arena_exhausted
+(** Raised by {!create} when the arena free list is empty. Callers check
+    {!Flow_arena.available} (or catch this) and refuse the connection —
+    there is no silent heap fallback. *)
 
 val create :
+  ?arena:Flow_arena.t ->
   opaque:int ->
   context:int ->
   bucket:Rate_bucket.t ->
@@ -60,9 +43,142 @@ val create :
   rx_next:Tas_proto.Seq32.t ->
   window:int ->
   peer_wscale:int ->
+  unit ->
   t
 (** [tx_iss] is the sequence number of the first data byte to send (stream
-    offset 0 of [tx_buf]); [rx_next] the first expected data byte. *)
+    offset 0 of [tx_buf]); [rx_next] the first expected data byte. With
+    [?arena] the record occupies an arena slot; without, a boxed record. *)
+
+val release : t -> unit
+(** Return the arena slot (no-op for boxed flows); the handle transparently
+    degrades to a boxed copy of its final state. *)
+
+val is_arena_backed : t -> bool
+
+val slot : t -> int option
+(** Arena slot index while arena-backed; [None] for boxed handles. *)
+
+(** {2 Table-3 fields} *)
+
+val opaque : t -> int
+(** Application-defined flow identifier, relayed verbatim. *)
+
+val local_port : t -> Tas_proto.Addr.port
+val peer_ip : t -> Tas_proto.Addr.ipv4
+val peer_port : t -> Tas_proto.Addr.port
+
+val peer_mac : t -> Tas_proto.Addr.mac
+(** For segmentation without ARP lookups. *)
+
+val peer_wscale : t -> int
+(** Negotiated peer window-scale shift. *)
+
+val context : t -> int
+(** RX/TX context queue number. *)
+
+val set_context : t -> int -> unit
+
+val seq : t -> Tas_proto.Seq32.t
+(** Next local sequence number to send. *)
+
+val set_seq : t -> Tas_proto.Seq32.t -> unit
+
+val ack : t -> Tas_proto.Seq32.t
+(** Next expected peer sequence number. *)
+
+val set_ack : t -> Tas_proto.Seq32.t -> unit
+
+val tx_sent : t -> int
+(** Sent-but-unacked bytes from the tx tail. *)
+
+val set_tx_sent : t -> int -> unit
+
+val window : t -> int
+(** Remote TCP receive window (already scaled). *)
+
+val set_window : t -> int -> unit
+val dupack_cnt : t -> int
+val set_dupack_cnt : t -> int -> unit
+
+val in_recovery : t -> bool
+(** Fast recovery triggered; further duplicate ACKs are ignored until
+    snd_una advances. *)
+
+val set_in_recovery : t -> bool -> unit
+
+val cnt_ackb : t -> int
+(** Acked bytes since last slow-path collection. *)
+
+val set_cnt_ackb : t -> int -> unit
+
+val cnt_ecnb : t -> int
+(** ECN-marked acked bytes since collection. *)
+
+val set_cnt_ecnb : t -> int -> unit
+
+val cnt_frexmits : t -> int
+(** Fast retransmits since collection. *)
+
+val set_cnt_frexmits : t -> int -> unit
+
+val rtt_est : t -> int
+(** EWMA RTT estimate, ns. *)
+
+val set_rtt_est : t -> int -> unit
+
+(** {2 Implementation bookkeeping outside the paper's table} *)
+
+val ts_recent : t -> int
+(** Peer timestamp to echo. *)
+
+val set_ts_recent : t -> int -> unit
+
+val rx_notified : t -> bool
+(** A Readable event is pending in the context queue. *)
+
+val set_rx_notified : t -> bool -> unit
+val tx_notified : t -> bool
+val set_tx_notified : t -> bool -> unit
+
+val tx_interest : t -> bool
+(** The application wants a Writable notification (EPOLLOUT armed). *)
+
+val set_tx_interest : t -> bool -> unit
+
+val tx_timer_armed : t -> bool
+(** A paced transmit event is scheduled. *)
+
+val set_tx_timer_armed : t -> bool -> unit
+val fin_received : t -> bool
+val set_fin_received : t -> bool -> unit
+val fin_sent : t -> bool
+val set_fin_sent : t -> bool -> unit
+val rx_closed : t -> bool
+val set_rx_closed : t -> bool -> unit
+
+val tx_span : t -> int
+(** Pending latency-span id carried from the app's send across the
+    coalesced context-queue boundary to the next data transmit; [-1] when
+    none. *)
+
+val set_tx_span : t -> int -> unit
+
+val rx_span : t -> int
+(** Likewise, fast-path delivery to app read. *)
+
+val set_rx_span : t -> int -> unit
+
+(** {2 Companion structures} *)
+
+val rx_buf : t -> Tas_buffers.Ring_buffer.t
+(** Table 3 [rx_start|size|head|tail]. *)
+
+val tx_buf : t -> Tas_buffers.Ring_buffer.t
+val ooo : t -> Tas_buffers.Ooo_interval.t
+val bucket : t -> Rate_bucket.t
+val set_bucket : t -> Rate_bucket.t -> unit
+
+(** {2 Derived views} *)
 
 val tuple : t -> local_ip:Tas_proto.Addr.ipv4 -> Tas_proto.Addr.Four_tuple.t
 
@@ -71,13 +187,21 @@ val snd_una : t -> Tas_proto.Seq32.t
 
 val seq_of_rx_offset : t -> int -> Tas_proto.Seq32.t
 val rx_offset_of_seq : t -> Tas_proto.Seq32.t -> int
+
 val tx_available : t -> int
 (** Bytes in the transmit buffer not yet (re)transmitted. *)
 
 val state_bytes : int
 (** Size of the paper's per-flow record: 102 bytes. *)
 
+val sync_shadow : t -> unit
+(** Mirror ring positions and the out-of-order interval into the arena
+    slot's shadow fields (no-op for boxed flows). Called by dump paths so
+    the slot is a complete Table-3 image; never on the packet hot path. *)
+
 val to_json : t -> Tas_telemetry.Json.t
 (** Snapshot of the Table-3 record (sequence/ack state, buffer occupancy,
-    rate bucket, dup-ACK and recovery state, out-of-order interval, slow-path
-    collection counters, RTT estimate) as a deterministic JSON object. *)
+    rate bucket, dup-ACK and recovery state, out-of-order interval,
+    slow-path collection counters, RTT estimate) as a deterministic JSON
+    object, read through the live backing — the arena itself for
+    arena-backed flows. *)

@@ -42,7 +42,7 @@ let dump ?shard t =
           :: fields)
       | j -> j
     in
-    rows := (fl.Flow_state.opaque, j) :: !rows
+    rows := (Flow_state.opaque fl, j) :: !rows
   in
   (match shard with
   | None -> Flow_shards.iter t collect

@@ -1,6 +1,7 @@
 module Sim = Tas_engine.Sim
 module Core = Tas_cpu.Core
 module Ring = Tas_buffers.Ring_buffer
+module Buf_pool = Tas_buffers.Buf_pool
 module Metrics = Tas_telemetry.Metrics
 module Span = Tas_telemetry.Span
 
@@ -30,6 +31,9 @@ and app_context = {
   ctx : Context.t;
   core : Core.t;
   mutable draining : bool;
+  (* Persistent event-loop step: one closure per context for the lifetime
+     of the app, not one per dispatched event. *)
+  mutable step : unit -> unit;
 }
 
 and socket = {
@@ -88,39 +92,52 @@ let cycles_of_api = function Sockets -> 620 | Lowlevel -> 168
 
 (* --- Event-loop (epoll emulation) --------------------------------------- *)
 
+(* One [Core.run] per context-queue event, but through the context's
+   persistent [step] thunk: popping at fire time (rather than at schedule
+   time) lets arrivals in between coalesce into the queued notification and
+   keeps the loop allocation-free. *)
 let rec drain_context t actx =
-  match Context.pop actx.ctx with
-  | None -> actx.draining <- false
+  if Context.is_empty actx.ctx then actx.draining <- false
+  else Core.run actx.core ~cat:Core.Api ~cycles:t.api_cycles actx.step
+
+and drain_step t actx =
+  (match Context.pop actx.ctx with
+  | None -> ()
   | Some event ->
     t.stats.events_dispatched <- t.stats.events_dispatched + 1;
-    Core.run actx.core ~cat:Core.Api ~cycles:t.api_cycles (fun () ->
-        dispatch t event;
-        drain_context t actx)
+    dispatch t event);
+  drain_context t actx
 
 and dispatch t event =
   match event with
   | Context.Readable flow -> begin
-    match Hashtbl.find_opt t.sockets flow.Flow_state.opaque with
+    match Hashtbl.find_opt t.sockets (Flow_state.opaque flow) with
     | None -> ()
     | Some sock ->
-      let available = Ring.used flow.Flow_state.rx_buf in
+      let rx_buf = Flow_state.rx_buf flow in
+      let available = Ring.used rx_buf in
       if available > 0 then begin
-        let buf = Bytes.create available in
-        let n = Ring.pop flow.Flow_state.rx_buf ~dst:buf ~dst_off:0 ~len:available in
+        (* Borrowed delivery buffer: recycled through the payload pool after
+           [on_data] returns, so handlers must consume it synchronously (all
+           in-tree handlers copy or parse before returning — see the
+           contract on [handlers] in the interface). *)
+        let buf = Buf_pool.take (Buf_pool.local ()) available in
+        let n = Ring.pop rx_buf ~dst:buf ~dst_off:0 ~len:available in
         assert (n = available);
         t.stats.rx_bytes <- t.stats.rx_bytes + n;
-        if flow.Flow_state.rx_span >= 0 then begin
+        if Flow_state.rx_span flow >= 0 then begin
           Span.record (Fast_path.span t.fp) ~ts:(Sim.now t.sim)
-            ~id:flow.Flow_state.rx_span ~hop:Span.App_deliver
+            ~id:(Flow_state.rx_span flow) ~hop:Span.App_deliver
             ~core:(Core.id t.contexts.(sock.ctx_index).core)
-            ~flow:flow.Flow_state.opaque;
-          flow.Flow_state.rx_span <- -1
+            ~flow:(Flow_state.opaque flow);
+          Flow_state.set_rx_span flow (-1)
         end;
-        sock.handlers.on_data sock buf
+        sock.handlers.on_data sock buf;
+        Buf_pool.give (Buf_pool.local ()) buf
       end;
       if
-        flow.Flow_state.fin_received
-        && Ring.used flow.Flow_state.rx_buf = 0
+        Flow_state.fin_received flow
+        && Ring.used rx_buf = 0
         && not sock.eof_delivered
       then begin
         sock.eof_delivered <- true;
@@ -128,7 +145,7 @@ and dispatch t event =
       end
   end
   | Context.Writable flow -> begin
-    match Hashtbl.find_opt t.sockets flow.Flow_state.opaque with
+    match Hashtbl.find_opt t.sockets (Flow_state.opaque flow) with
     | None -> ()
     | Some sock -> sock.handlers.on_sendable sock
   end
@@ -137,13 +154,16 @@ let wake t actx =
   if not actx.draining then begin
     actx.draining <- true;
     (* eventfd wakeup of a blocked application thread (~3 us) when the core
-       is idle; a busy core is already polling its context queue. *)
+       is idle; a busy core is already polling its context queue. The step
+       thunk pops nothing on this first firing beyond what [drain_step]
+       always does: pop one event, dispatch, reschedule. The epoll charge
+       lands through [cycles] here; each event still pays [api_cycles]. *)
     if Core.backlog_ns actx.core = 0 then
       Core.run_after actx.core ~cat:Core.Api ~delay:3_000
-        ~cycles:t.epoll_cycles (fun () -> drain_context t actx)
+        ~cycles:(t.epoll_cycles + t.api_cycles) actx.step
     else
-      Core.run actx.core ~cat:Core.Api ~cycles:t.epoll_cycles (fun () ->
-          drain_context t actx)
+      Core.run actx.core ~cat:Core.Api
+        ~cycles:(t.epoll_cycles + t.api_cycles) actx.step
   end
 
 (* --- Construction -------------------------------------------------------- *)
@@ -160,6 +180,7 @@ let create sim ~fast_path ~slow_path ~app_cores ~api () =
               ~capacity:(Fast_path.config fast_path).Config.context_queue_capacity;
           core;
           draining = false;
+          step = ignore;
         })
       app_cores
   in
@@ -180,6 +201,7 @@ let create sim ~fast_path ~slow_path ~app_cores ~api () =
   in
   Array.iter
     (fun actx ->
+      actx.step <- (fun () -> drain_step t actx);
       Fast_path.register_context fast_path actx.ctx;
       Context.set_waker actx.ctx (fun () -> wake t actx))
     contexts;
@@ -215,7 +237,7 @@ let conn_callbacks t sock =
       (fun flow ->
         (* Order EOF behind any undelivered payload via the context queue;
            after shutdown the context is gone and the event is moot. *)
-        match Fast_path.find_context sock.owner.fp flow.Flow_state.context with
+        match Fast_path.find_context sock.owner.fp (Flow_state.context flow) with
         | Some ctx -> Context.post_readable ctx flow
         | None -> ());
     closed =
@@ -262,32 +284,34 @@ let send sock data =
   match sock.flow with
   | None -> 0
   | Some flow ->
-    if sock.closed || flow.Flow_state.fin_sent then 0
+    if sock.closed || Flow_state.fin_sent flow then 0
     else begin
-      let n = Ring.push flow.Flow_state.tx_buf data ~off:0 ~len:(Bytes.length data) in
+      let n =
+        Ring.push (Flow_state.tx_buf flow) data ~off:0 ~len:(Bytes.length data)
+      in
       sock.owner.stats.tx_bytes <- sock.owner.stats.tx_bytes + n;
       if n > 0 then begin
         let sp = Fast_path.span sock.owner.fp in
-        if Span.enabled sp && flow.Flow_state.tx_span < 0 then
-          flow.Flow_state.tx_span <-
-            Span.start sp ~ts:(Sim.now sock.owner.sim) ~hop:Span.App_send
-              ~core:(Core.id sock.owner.contexts.(sock.ctx_index).core)
-              ~flow:flow.Flow_state.opaque;
+        if Span.enabled sp && Flow_state.tx_span flow < 0 then
+          Flow_state.set_tx_span flow
+            (Span.start sp ~ts:(Sim.now sock.owner.sim) ~hop:Span.App_send
+               ~core:(Core.id sock.owner.contexts.(sock.ctx_index).core)
+               ~flow:(Flow_state.opaque flow));
         Fast_path.notify_tx sock.owner.fp flow
       end;
-      if n < Bytes.length data then flow.Flow_state.tx_interest <- true;
+      if n < Bytes.length data then Flow_state.set_tx_interest flow true;
       n
     end
 
 let tx_free sock =
   match sock.flow with
   | None -> 0
-  | Some flow -> Ring.free flow.Flow_state.tx_buf
+  | Some flow -> Ring.free (Flow_state.tx_buf flow)
 
 let want_sendable sock =
   match sock.flow with
   | None -> ()
-  | Some flow -> flow.Flow_state.tx_interest <- true
+  | Some flow -> Flow_state.set_tx_interest flow true
 
 let close sock =
   if not sock.closed then begin

@@ -15,7 +15,10 @@ type socket
 type handlers = {
   on_connected : socket -> unit;
   on_data : socket -> bytes -> unit;
-      (** In-order payload, copied out of the flow's receive buffer. *)
+      (** In-order payload, copied out of the flow's receive buffer. The
+          buffer is borrowed: it is recycled through the payload pool as
+          soon as the callback returns, so handlers must copy or fully
+          parse it synchronously and must not retain a reference. *)
   on_sendable : socket -> unit;
       (** Space freed after a short [send]; armed by a partial send. *)
   on_peer_closed : socket -> unit;  (** EOF after all data was delivered. *)

@@ -5,16 +5,19 @@ type mode = Rate of float | Window of int
 type t = {
   sim : Sim.t;
   mutable mode : mode;
-  mutable tokens : float;  (* bytes *)
+  tokens : floatarray;  (* 1 cell, bytes: flat storage so refills on the
+                           transmit path never box a float *)
   mutable last_refill : int;
   burst : float;
 }
 
 let create sim mode ~burst_bytes =
+  let tokens = Float.Array.create 1 in
+  Float.Array.set tokens 0 (float_of_int burst_bytes);
   {
     sim;
     mode;
-    tokens = float_of_int burst_bytes;
+    tokens;
     last_refill = Sim.now sim;
     burst = float_of_int burst_bytes;
   }
@@ -30,8 +33,11 @@ let refill t rate_bps =
   let now = Sim.now t.sim in
   let dt = now - t.last_refill in
   if dt > 0 then begin
-    t.tokens <- t.tokens +. (rate_bps /. 8.0 *. (float_of_int dt /. 1e9));
-    if t.tokens > t.burst then t.tokens <- t.burst;
+    let tok =
+      Float.Array.get t.tokens 0
+      +. (rate_bps /. 8.0 *. (float_of_int dt /. 1e9))
+    in
+    Float.Array.set t.tokens 0 (if tok > t.burst then t.burst else tok);
     t.last_refill <- now
   end
 
@@ -40,16 +46,23 @@ let tx_budget t ~in_flight ~want =
   | Window w -> max 0 (min want (w - in_flight))
   | Rate r ->
     refill t r;
-    let grant = min want (int_of_float t.tokens) in
-    if grant > 0 then t.tokens <- t.tokens -. float_of_int grant;
+    let tok = Float.Array.get t.tokens 0 in
+    let grant = min want (int_of_float tok) in
+    if grant > 0 then Float.Array.set t.tokens 0 (tok -. float_of_int grant);
     max 0 grant
 
-let ns_until_bytes t n =
+(* Allocation-free variant used on the transmit hot path: [-1] encodes
+   "no timer needed" (window mode, or tokens already available). *)
+let ns_until_bytes_int t n =
   match t.mode with
-  | Window _ -> None
+  | Window _ -> -1
   | Rate r ->
     refill t r;
-    let deficit = float_of_int n -. t.tokens in
-    if deficit <= 0.0 then None
-    else if r <= 0.0 then Some max_int
-    else Some (int_of_float (ceil (deficit *. 8.0 /. r *. 1e9)))
+    let deficit = float_of_int n -. Float.Array.get t.tokens 0 in
+    if deficit <= 0.0 then -1
+    else if r <= 0.0 then max_int
+    else int_of_float (ceil (deficit *. 8.0 /. r *. 1e9))
+
+let ns_until_bytes t n =
+  let v = ns_until_bytes_int t n in
+  if v < 0 then None else Some v

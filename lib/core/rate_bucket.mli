@@ -29,3 +29,8 @@ val tx_budget : t -> in_flight:int -> want:int -> int
 val ns_until_bytes : t -> int -> Tas_engine.Time_ns.t option
 (** Time until [n] bytes of tokens will be available; [None] in window mode
     (window opens on ACKs, not on a timer) or when available now. *)
+
+val ns_until_bytes_int : t -> int -> int
+(** Same, encoded allocation-free for the transmit hot path: [-1] where
+    {!ns_until_bytes} is [None], the delay otherwise ([max_int] when the
+    configured rate is zero). *)

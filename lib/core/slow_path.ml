@@ -88,6 +88,8 @@ type t = {
   fp : Fast_path.t;
   core : Core.t;
   config : Config.t;
+  arena : Flow_arena.t option;
+      (* off-heap Table-3 records; [None] = boxed reference backing *)
   listeners : (int, Addr.Four_tuple.t -> (int * int * conn_callbacks) option) Hashtbl.t;
   pending : pending Tuple_tbl.t;
   entries : flow_entry Tuple_tbl.t;
@@ -100,6 +102,7 @@ type t = {
   mutable rsts_sent : int;
   mutable fin_retry_exhausted : int;
   mutable flows_reaped : int;
+  mutable arena_refusals : int;
   mutable scale_observer : Tas_engine.Time_ns.t -> int -> unit;
 }
 
@@ -141,6 +144,8 @@ let timeout_retransmits t = t.timeout_retransmits
 let rsts_sent t = t.rsts_sent
 let fin_retry_exhausted t = t.fin_retry_exhausted
 let flows_reaped t = t.flows_reaped
+let arena_refusals t = t.arena_refusals
+let arena t = t.arena
 let set_scale_observer t f = t.scale_observer <- f
 
 (* The slow path shares the fast path's trace ring: one totally-ordered
@@ -161,6 +166,8 @@ let register t m =
     (fun () -> t.fin_retry_exhausted);
   c "sp_flows_reaped" "dead flows reaped for lack of sequence progress"
     (fun () -> t.flows_reaped);
+  c "sp_arena_refusals" "connections refused because the flow arena was full"
+    (fun () -> t.arena_refusals);
   c "sp_lock_cycles"
     "spinlock cycles charged for the slow path's cross-core flow-table \
      touches (installs, removals, migrations; cost model only)"
@@ -282,49 +289,70 @@ let make_bucket t =
 let establish t p =
   cancel_pending_timer t p;
   Tuple_tbl.remove t.pending p.p_tuple;
-  let bucket, cc = make_bucket t in
-  let flow =
-    Flow_state.create ~opaque:p.p_opaque ~context:p.p_context ~bucket
-      ~rx_buf_size:t.config.Config.rx_buf_size
-      ~tx_buf_size:t.config.Config.tx_buf_size
-      ~local_port:p.p_tuple.Addr.Four_tuple.local_port
-      ~peer_ip:p.p_tuple.Addr.Four_tuple.peer_ip
-      ~peer_port:p.p_tuple.Addr.Four_tuple.peer_port
-      ~peer_mac:(Addr.host_mac (Addr.host_id_of_ip p.p_tuple.Addr.Four_tuple.peer_ip))
-      ~tx_iss:(Seq32.add p.p_iss 1)
-      ~rx_next:(Seq32.add p.p_peer_isn 1)
-      ~window:p.p_peer_window ~peer_wscale:p.p_peer_wscale
+  let exhausted =
+    match t.arena with
+    | Some a -> Flow_arena.available a = 0
+    | None -> false
   in
-  flow.Flow_state.ts_recent <- p.p_peer_ts;
-  let entry =
-    {
-      flow;
-      f_tuple = p.p_tuple;
-      cc;
-      f_cb = p.p_cb;
-      last_una = Flow_state.snd_una flow;
-      stall_since = -1;
-      next_cc_due = 0;
-      last_collect = Sim.now t.sim;
-      close_requested = false;
-      fin_acked = false;
-      fin_timer = None;
-      fin_retries = 0;
-      reap_una = Flow_state.snd_una flow;
-      reap_ack = flow.Flow_state.ack;
-      progress_since = Sim.now t.sim;
-      removed = false;
-    }
-  in
-  Tuple_tbl.add t.entries p.p_tuple entry;
-  Fast_path.install_flow t.fp ~tuple:p.p_tuple flow;
-  t.conn_setups <- t.conn_setups + 1;
-  trace_ev t Trace.Conn_setup ~flow:flow.Flow_state.opaque;
-  lifecycle_ev t "established" p.p_tuple;
-  Log.debug (fun m ->
-      m "established %a" Addr.Four_tuple.pp p.p_tuple);
-  p.p_cb.established flow;
-  entry
+  if exhausted then begin
+    (* No slot for the flow's state: refuse cleanly rather than fall back
+       to heap allocation — exactly what a full C flow-state array does. *)
+    t.arena_refusals <- t.arena_refusals + 1;
+    lifecycle_ev t "arena_exhausted" p.p_tuple;
+    Log.debug (fun m ->
+        m "arena exhausted, refusing %a" Addr.Four_tuple.pp p.p_tuple);
+    send_rst t ~tuple:p.p_tuple ~seq:(Seq32.add p.p_iss 1)
+      ~ack_no:(Seq32.add p.p_peer_isn 1);
+    p.p_cb.failed Refused;
+    None
+  end
+  else begin
+    let bucket, cc = make_bucket t in
+    let flow =
+      Flow_state.create ?arena:t.arena ~opaque:p.p_opaque ~context:p.p_context
+        ~bucket
+        ~rx_buf_size:t.config.Config.rx_buf_size
+        ~tx_buf_size:t.config.Config.tx_buf_size
+        ~local_port:p.p_tuple.Addr.Four_tuple.local_port
+        ~peer_ip:p.p_tuple.Addr.Four_tuple.peer_ip
+        ~peer_port:p.p_tuple.Addr.Four_tuple.peer_port
+        ~peer_mac:
+          (Addr.host_mac (Addr.host_id_of_ip p.p_tuple.Addr.Four_tuple.peer_ip))
+        ~tx_iss:(Seq32.add p.p_iss 1)
+        ~rx_next:(Seq32.add p.p_peer_isn 1)
+        ~window:p.p_peer_window ~peer_wscale:p.p_peer_wscale ()
+    in
+    Flow_state.set_ts_recent flow p.p_peer_ts;
+    let entry =
+      {
+        flow;
+        f_tuple = p.p_tuple;
+        cc;
+        f_cb = p.p_cb;
+        last_una = Flow_state.snd_una flow;
+        stall_since = -1;
+        next_cc_due = 0;
+        last_collect = Sim.now t.sim;
+        close_requested = false;
+        fin_acked = false;
+        fin_timer = None;
+        fin_retries = 0;
+        reap_una = Flow_state.snd_una flow;
+        reap_ack = Flow_state.ack flow;
+        progress_since = Sim.now t.sim;
+        removed = false;
+      }
+    in
+    Tuple_tbl.add t.entries p.p_tuple entry;
+    Fast_path.install_flow t.fp ~tuple:p.p_tuple flow;
+    t.conn_setups <- t.conn_setups + 1;
+    trace_ev t Trace.Conn_setup ~flow:(Flow_state.opaque flow);
+    lifecycle_ev t "established" p.p_tuple;
+    Log.debug (fun m ->
+        m "established %a" Addr.Four_tuple.pp p.p_tuple);
+    p.p_cb.established flow;
+    Some entry
+  end
 
 let remove_entry t entry =
   if not entry.removed then begin
@@ -335,22 +363,26 @@ let remove_entry t entry =
     Fast_path.remove_flow t.fp ~tuple:entry.f_tuple;
     Tuple_tbl.remove t.entries entry.f_tuple;
     t.conn_teardowns <- t.conn_teardowns + 1;
-    trace_ev t Trace.Conn_teardown ~flow:entry.flow.Flow_state.opaque;
+    trace_ev t Trace.Conn_teardown ~flow:(Flow_state.opaque entry.flow);
     lifecycle_ev t "closed" entry.f_tuple;
     Log.debug (fun m -> m "removed %a" Addr.Four_tuple.pp entry.f_tuple);
-    entry.f_cb.closed entry.flow
+    entry.f_cb.closed entry.flow;
+    (* Return the flow's arena slot; stale handles (sockets, queued context
+       events) keep a coherent boxed copy of the final state. *)
+    Flow_state.release entry.flow
   end
 
 (* --- Teardown ----------------------------------------------------------- *)
 
-let fin_seq entry = entry.flow.Flow_state.seq
+let fin_seq entry = Flow_state.seq entry.flow
 
 let rec try_emit_fin t entry =
   let flow = entry.flow in
   if
-    entry.close_requested && not flow.Flow_state.fin_sent
-    && Ring.used flow.Flow_state.tx_buf = 0
-    && flow.Flow_state.tx_sent = 0
+    entry.close_requested
+    && (not (Flow_state.fin_sent flow))
+    && Ring.used (Flow_state.tx_buf flow) = 0
+    && Flow_state.tx_sent flow = 0
   then begin
     Fast_path.emit_fin t.fp flow;
     arm_fin_timer t entry
@@ -376,13 +408,13 @@ and arm_fin_timer t entry =
              end
              else begin
                entry.fin_retries <- entry.fin_retries + 1;
-               entry.flow.Flow_state.fin_sent <- false;
+               Flow_state.set_fin_sent entry.flow false;
                try_emit_fin t entry
              end
            end))
 
 let maybe_finish_teardown t entry =
-  if entry.fin_acked && entry.flow.Flow_state.fin_received then
+  if entry.fin_acked && Flow_state.fin_received entry.flow then
     (* Abbreviated TIME_WAIT (1 ms). *)
     ignore (Sim.schedule t.sim 1_000_000 (fun () -> remove_entry t entry))
 
@@ -449,16 +481,19 @@ let handle_synack t pkt tuple =
     (match tcp.Tcp_header.options.Tcp_header.timestamp with
     | Some (v, _) -> p.p_peer_ts <- v
     | None -> ());
-    let entry = establish t p in
-    (* Complete the handshake: ACK the SYN-ACK. *)
-    Fast_path.send_raw t.fp
-      (build t ~tuple ~flags:Tcp_header.ack_flags
-         ~seq:entry.flow.Flow_state.seq ~ack_no:entry.flow.Flow_state.ack
-         ~window:(min 65535 t.config.Config.rx_buf_size)
-         ~with_mss:false ~ts_ecr:p.p_peer_ts);
-    (* Data may already be queued by an eager application. *)
-    if Flow_state.tx_available entry.flow > 0 then
-      Fast_path.notify_tx t.fp entry.flow
+    (match establish t p with
+    | None -> () (* arena full; the peer got an RST *)
+    | Some entry ->
+      (* Complete the handshake: ACK the SYN-ACK. *)
+      Fast_path.send_raw t.fp
+        (build t ~tuple ~flags:Tcp_header.ack_flags
+           ~seq:(Flow_state.seq entry.flow)
+           ~ack_no:(Flow_state.ack entry.flow)
+           ~window:(min 65535 t.config.Config.rx_buf_size)
+           ~with_mss:false ~ts_ecr:p.p_peer_ts);
+      (* Data may already be queued by an eager application. *)
+      if Flow_state.tx_available entry.flow > 0 then
+        Fast_path.notify_tx t.fp entry.flow)
   | _ -> ()
 
 let handle_handshake_ack t pkt tuple =
@@ -468,17 +503,19 @@ let handle_handshake_ack t pkt tuple =
     when p.p_state = Syn_received && tcp.Tcp_header.ack = Seq32.add p.p_iss 1
     ->
     p.p_peer_window <- tcp.Tcp_header.window lsl p.p_peer_wscale;
-    ignore (establish t p);
-    if Bytes.length pkt.Packet.payload > 0 then Fast_path.reinject t.fp pkt
+    (match establish t p with
+    | None -> ()
+    | Some _ ->
+      if Bytes.length pkt.Packet.payload > 0 then Fast_path.reinject t.fp pkt)
   | _ -> begin
     (* Possibly an ACK of our FIN. *)
     match Tuple_tbl.find_opt t.entries tuple with
     | Some entry
-      when entry.flow.Flow_state.fin_sent
+      when Flow_state.fin_sent entry.flow
            && tcp.Tcp_header.ack = Seq32.add (fin_seq entry) 1 ->
       entry.fin_acked <- true;
       lifecycle_ev t "fin_acked" entry.f_tuple;
-      if not entry.flow.Flow_state.fin_received then
+      if not (Flow_state.fin_received entry.flow) then
         (* Half-closed: wait for the peer's FIN. *)
         ()
       else maybe_finish_teardown t entry
@@ -506,26 +543,29 @@ let handle_fin t pkt tuple =
     let fin_pos = Seq32.add tcp.Tcp_header.seq (Bytes.length pkt.Packet.payload) in
     (* Accept the FIN only when all preceding data has been received;
        otherwise the peer retransmits. *)
-    if fin_pos = flow.Flow_state.ack && not flow.Flow_state.fin_received then begin
-      flow.Flow_state.fin_received <- true;
-      flow.Flow_state.ack <- Seq32.add flow.Flow_state.ack 1;
+    if fin_pos = Flow_state.ack flow && not (Flow_state.fin_received flow)
+    then begin
+      Flow_state.set_fin_received flow true;
+      Flow_state.set_ack flow (Seq32.add (Flow_state.ack flow) 1);
       Fast_path.send_raw t.fp
-        (build t ~tuple ~flags:Tcp_header.ack_flags ~seq:flow.Flow_state.seq
-           ~ack_no:flow.Flow_state.ack
+        (build t ~tuple ~flags:Tcp_header.ack_flags ~seq:(Flow_state.seq flow)
+           ~ack_no:(Flow_state.ack flow)
            ~window:(min 65535 t.config.Config.rx_buf_size)
-           ~with_mss:false ~ts_ecr:flow.Flow_state.ts_recent);
+           ~with_mss:false ~ts_ecr:(Flow_state.ts_recent flow));
       lifecycle_ev t "peer_fin" entry.f_tuple;
       entry.f_cb.peer_closed flow;
       maybe_finish_teardown t entry
     end
-    else if flow.Flow_state.fin_received && fin_pos = Seq32.add flow.Flow_state.ack (-1)
+    else if
+      Flow_state.fin_received flow
+      && fin_pos = Seq32.add (Flow_state.ack flow) (-1)
     then
       (* Duplicate FIN: re-ack. *)
       Fast_path.send_raw t.fp
-        (build t ~tuple ~flags:Tcp_header.ack_flags ~seq:flow.Flow_state.seq
-           ~ack_no:flow.Flow_state.ack
+        (build t ~tuple ~flags:Tcp_header.ack_flags ~seq:(Flow_state.seq flow)
+           ~ack_no:(Flow_state.ack flow)
            ~window:(min 65535 t.config.Config.rx_buf_size)
-           ~with_mss:false ~ts_ecr:flow.Flow_state.ts_recent)
+           ~with_mss:false ~ts_ecr:(Flow_state.ts_recent flow))
 
 let handle_rst t pkt tuple =
   let tcp = pkt.Packet.tcp in
@@ -544,7 +584,7 @@ let handle_rst t pkt tuple =
        what we expect next is a stray (or spoofed) segment and is ignored,
        the standard mitigation against blind-reset injection. *)
     let flow = entry.flow in
-    let diff = Seq32.diff tcp.Tcp_header.seq flow.Flow_state.ack in
+    let diff = Seq32.diff tcp.Tcp_header.seq (Flow_state.ack flow) in
     if diff >= -1 && diff <= t.config.Config.rx_buf_size then begin
       entry.f_cb.reset flow;
       remove_entry t entry
@@ -575,7 +615,7 @@ let control_interval_ns t entry =
   match t.config.Config.control_interval_fixed_ns with
   | Some fixed -> fixed
   | None ->
-    let rtt = entry.flow.Flow_state.rtt_est in
+    let rtt = Flow_state.rtt_est entry.flow in
     max t.config.Config.control_interval_min_ns
       (t.config.Config.control_interval_rtts * rtt)
 
@@ -591,9 +631,9 @@ let stall_threshold_ns t entry =
   in
   (* New flows have no RTT estimate yet; assume a conservative 250 us so
      the effective minimum RTO is ~1 ms (datacenter-tuned Linux uses more). *)
-  let rtt_guard = 4 * max flow.Flow_state.rtt_est 250_000 in
+  let rtt_guard = 4 * max (Flow_state.rtt_est flow) 250_000 in
   let pacing_guard =
-    match Rate_bucket.mode flow.Flow_state.bucket with
+    match Rate_bucket.mode (Flow_state.bucket flow) with
     | Rate_bucket.Rate r when r > 0.0 ->
       int_of_float (float_of_int (4 * t.config.Config.mss * 8) /. r *. 1e9)
     | _ -> 0
@@ -612,27 +652,27 @@ let reap_check t entry now =
   | Some dt ->
     let flow = entry.flow in
     let quiescent =
-      flow.Flow_state.tx_sent = 0
-      && Ring.used flow.Flow_state.tx_buf = 0
+      Flow_state.tx_sent flow = 0
+      && Ring.used (Flow_state.tx_buf flow) = 0
       && (not entry.close_requested)
-      && (not flow.Flow_state.fin_sent)
-      && not flow.Flow_state.fin_received
+      && (not (Flow_state.fin_sent flow))
+      && not (Flow_state.fin_received flow)
     in
     let una = Flow_state.snd_una flow in
     let progressed =
-      una <> entry.reap_una || flow.Flow_state.ack <> entry.reap_ack
+      una <> entry.reap_una || Flow_state.ack flow <> entry.reap_ack
     in
     if quiescent || progressed then begin
       entry.reap_una <- una;
-      entry.reap_ack <- flow.Flow_state.ack;
+      entry.reap_ack <- Flow_state.ack flow;
       entry.progress_since <- now
     end
     else if now - entry.progress_since >= dt then begin
       t.flows_reaped <- t.flows_reaped + 1;
       lifecycle_ev t "flow_reaped" entry.f_tuple;
       Log.debug (fun m -> m "reaped %a" Addr.Four_tuple.pp entry.f_tuple);
-      send_rst t ~tuple:entry.f_tuple ~seq:flow.Flow_state.seq
-        ~ack_no:flow.Flow_state.ack;
+      send_rst t ~tuple:entry.f_tuple ~seq:(Flow_state.seq flow)
+        ~ack_no:(Flow_state.ack flow);
       entry.f_cb.reset flow;
       remove_entry t entry
     end
@@ -645,12 +685,12 @@ let run_control_iteration t entry =
   (* Timeout detection: unacked data stuck across control intervals. *)
   let una = Flow_state.snd_una flow in
   let timeouts =
-    if flow.Flow_state.tx_sent > 0 && una = entry.last_una then begin
+    if Flow_state.tx_sent flow > 0 && una = entry.last_una then begin
       if entry.stall_since < 0 then entry.stall_since <- now;
       if now - entry.stall_since >= stall_threshold_ns t entry then begin
         entry.stall_since <- -1;
         t.timeout_retransmits <- t.timeout_retransmits + 1;
-        trace_ev t Trace.Timeout_rexmit ~flow:flow.Flow_state.opaque;
+        trace_ev t Trace.Timeout_rexmit ~flow:(Flow_state.opaque flow);
         Log.debug (fun m ->
             m "timeout retransmit %a" Addr.Four_tuple.pp entry.f_tuple);
         Fast_path.trigger_retransmit t.fp flow;
@@ -666,24 +706,24 @@ let run_control_iteration t entry =
   entry.last_una <- una;
   let fb =
     {
-      Interval_cc.acked_bytes = flow.Flow_state.cnt_ackb;
-      ecn_bytes = flow.Flow_state.cnt_ecnb;
-      fast_retransmits = flow.Flow_state.cnt_frexmits;
+      Interval_cc.acked_bytes = Flow_state.cnt_ackb flow;
+      ecn_bytes = Flow_state.cnt_ecnb flow;
+      fast_retransmits = Flow_state.cnt_frexmits flow;
       timeouts;
-      rtt_ns = flow.Flow_state.rtt_est;
+      rtt_ns = Flow_state.rtt_est flow;
       interval_ns = interval;
     }
   in
-  flow.Flow_state.cnt_ackb <- 0;
-  flow.Flow_state.cnt_ecnb <- 0;
-  flow.Flow_state.cnt_frexmits <- 0;
+  Flow_state.set_cnt_ackb flow 0;
+  Flow_state.set_cnt_ecnb flow 0;
+  Flow_state.set_cnt_frexmits flow 0;
   let control = Interval_cc.update entry.cc fb in
-  Rate_bucket.set_control flow.Flow_state.bucket control;
+  Rate_bucket.set_control (Flow_state.bucket flow) control;
   (* A higher rate or wider window may unblock transmission. *)
-  if Flow_state.tx_available flow > 0 && not flow.Flow_state.tx_timer_armed
+  if Flow_state.tx_available flow > 0 && not (Flow_state.tx_timer_armed flow)
   then Fast_path.notify_tx t.fp flow;
   (* Teardown progress. *)
-  if entry.close_requested && not flow.Flow_state.fin_sent then
+  if entry.close_requested && not (Flow_state.fin_sent flow) then
     try_emit_fin t entry;
   if not entry.removed then reap_check t entry now
 
@@ -733,12 +773,18 @@ let scale_tick t =
 (* --- Construction -------------------------------------------------------- *)
 
 let create sim ~fast_path ~core ~config =
+  let arena =
+    if config.Config.flow_arena_enabled then
+      Some (Flow_arena.create ~capacity:config.Config.flow_arena_capacity ())
+    else None
+  in
   let t =
     {
       sim;
       fp = fast_path;
       core;
       config;
+      arena;
       listeners = Hashtbl.create 16;
       pending = Tuple_tbl.create 64;
       entries = Tuple_tbl.create 1024;
@@ -751,6 +797,7 @@ let create sim ~fast_path ~core ~config =
       rsts_sent = 0;
       fin_retry_exhausted = 0;
       flows_reaped = 0;
+      arena_refusals = 0;
       scale_observer = (fun _ _ -> ());
     }
   in

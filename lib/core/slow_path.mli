@@ -80,6 +80,13 @@ val fin_retry_exhausted : t -> int
 val flows_reaped : t -> int
 (** Flows reaped by the dead-flow timeout ([Config.dead_flow_timeout_ns]). *)
 
+val arena_refusals : t -> int
+(** Connections refused (RST + [failed Refused]) because the flow arena had
+    no free slot. Always 0 with the boxed backing. *)
+
+val arena : t -> Flow_arena.t option
+(** The off-heap flow-state arena, when [Config.flow_arena_enabled]. *)
+
 val lifecycle_json : t -> Tas_telemetry.Json.t
 (** The connection-lifecycle event log as JSON: a bounded FIFO (most recent
     1024 events) of timestamped [syn_sent] / [syn_received] / [established]

@@ -190,7 +190,8 @@ let pp_flows fmt t =
   Flow_table.iter (Fast_path.flows t.fp) (fun tuple fl -> rows := (tuple, fl) :: !rows);
   let rows =
     List.sort
-      (fun (_, a) (_, b) -> compare a.Flow_state.opaque b.Flow_state.opaque)
+      (fun (_, a) (_, b) ->
+        compare (Flow_state.opaque a) (Flow_state.opaque b))
       !rows
   in
   Format.fprintf fmt "@[<v>%d flows at t=%dns@," (List.length rows)
@@ -199,12 +200,12 @@ let pp_flows fmt t =
     (fun (tuple, fl) ->
       let module Ring = Tas_buffers.Ring_buffer in
       let state =
-        if fl.Flow_state.fin_sent || fl.Flow_state.fin_received then "CLOSING"
-        else if fl.Flow_state.in_recovery then "RECOVERY"
+        if Flow_state.fin_sent fl || Flow_state.fin_received fl then "CLOSING"
+        else if Flow_state.in_recovery fl then "RECOVERY"
         else "ESTAB"
       in
       let rate =
-        match Rate_bucket.mode fl.Flow_state.bucket with
+        match Rate_bucket.mode (Flow_state.bucket fl) with
         | Rate_bucket.Rate bps -> Printf.sprintf "rate %.1fMbps" (bps /. 1e6)
         | Rate_bucket.Window w -> Printf.sprintf "cwnd %dB" w
       in
@@ -212,13 +213,13 @@ let pp_flows fmt t =
         "%-8s %a  txq %d/%d inflight %d rxq %d  wnd %d  %s  rtt %dus \
          dupacks %d frexmits %d@,"
         state Tas_proto.Addr.Four_tuple.pp tuple
-        (Ring.used fl.Flow_state.tx_buf)
-        (Ring.capacity fl.Flow_state.tx_buf)
-        fl.Flow_state.tx_sent
-        (Ring.used fl.Flow_state.rx_buf)
-        fl.Flow_state.window rate
-        (fl.Flow_state.rtt_est / 1000)
-        fl.Flow_state.dupack_cnt fl.Flow_state.cnt_frexmits)
+        (Ring.used (Flow_state.tx_buf fl))
+        (Ring.capacity (Flow_state.tx_buf fl))
+        (Flow_state.tx_sent fl)
+        (Ring.used (Flow_state.rx_buf fl))
+        (Flow_state.window fl) rate
+        (Flow_state.rtt_est fl / 1000)
+        (Flow_state.dupack_cnt fl) (Flow_state.cnt_frexmits fl))
     rows;
   Format.fprintf fmt "@]"
 

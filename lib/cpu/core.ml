@@ -63,6 +63,18 @@ let start_no_earlier_than t ~cat ready cycles f =
 let run t ?(cat = Other) ~cycles f =
   start_no_earlier_than t ~cat (Sim.now t.sim) cycles f
 
+(* Busy-time accounting without an event: the caller already has a pass
+   scheduled that will cover this work (burst receive), so only the cost
+   needs to land on the core. Identical arithmetic to
+   [start_no_earlier_than] minus the [Sim.post_at]. *)
+let charge t ~cat ~cycles =
+  let start = max (Sim.now t.sim) t.busy_until in
+  let dur = cycles_to_ns t cycles in
+  t.busy_until <- start + dur;
+  t.busy_ns <- t.busy_ns + dur;
+  let i = cat_index cat in
+  t.busy_by.(i) <- t.busy_by.(i) + dur
+
 let run_after t ?(cat = Other) ~delay ~cycles f =
   start_no_earlier_than t ~cat (Sim.now t.sim + delay) cycles f
 

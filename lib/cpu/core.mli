@@ -40,6 +40,12 @@ val run_after :
   t -> ?cat:category -> delay:Tas_engine.Time_ns.t -> cycles:int -> (unit -> unit) -> unit
 (** Work item that becomes runnable only after [delay] (e.g. wakeup IPI). *)
 
+val charge : t -> cat:category -> cycles:int -> unit
+(** Account [cycles] of busy time (extending [busy_until] exactly as {!run}
+    would) without scheduling a completion event. For batched processing
+    where one already-scheduled pass will perform the work of many charged
+    items — the accounting stays per-item while the events amortize. *)
+
 val busy_ns : t -> int
 (** Cumulative busy nanoseconds. Diff snapshots for windowed utilization. *)
 

@@ -1,16 +1,20 @@
 (* Binary min-heap keyed by (time, seq). The sequence number breaks ties in
    scheduling order so simultaneous events run deterministically. *)
 
-(* Entries are freshly allocated per event and die young. An entry free
-   list was tried and measured slower: recycled entries survive minor
-   collections and get promoted, so storing each event's (young) action
-   closure into them costs a write barrier and a remembered-set entry per
-   event — more than the bump allocation it saves. *)
+(* Handle-free entries ([post]/[post_at]) are recycled through a free list:
+   they are fire-and-forget, so once fired the record can be reused without
+   any ABA hazard. Handle-carrying entries ([schedule]/[schedule_at]) are
+   never recycled — a caller may hold the handle indefinitely and cancel it
+   late. The write barrier on storing a young action closure into a
+   promoted recycled entry once made this a loss; the packet hot path now
+   posts persistent (old) thunks, for which the barrier takes the cheap
+   same-generation exit. *)
 type entry = {
   mutable time : Time_ns.t;
   mutable seq : int;
   mutable action : unit -> unit;
   mutable cancelled : bool;
+  recyclable : bool;
 }
 
 type event = entry
@@ -22,9 +26,16 @@ type t = {
   mutable next_seq : int;
   mutable live : int;
   mutable fired : int;
+  mutable free : entry array;  (* stack of fired recyclable entries *)
+  mutable free_top : int;
 }
 
-let dummy = { time = 0; seq = -1; action = ignore; cancelled = true }
+let dummy =
+  { time = 0; seq = -1; action = ignore; cancelled = true; recyclable = false }
+
+(* Bounds the pool: a burst that briefly inflates the event population must
+   not pin its entries forever. *)
+let max_free = 4096
 
 let create () =
   {
@@ -34,6 +45,8 @@ let create () =
     next_seq = 0;
     live = 0;
     fired = 0;
+    free = Array.make 64 dummy;
+    free_top = 0;
   }
 
 let now t = t.clock
@@ -89,7 +102,7 @@ let schedule_at t time action =
       (Printf.sprintf "Sim.schedule_at: time %d is before now %d" time t.clock);
   let seq = t.next_seq in
   t.next_seq <- seq + 1;
-  let entry = { time; seq; action; cancelled = false } in
+  let entry = { time; seq; action; cancelled = false; recyclable = false } in
   t.live <- t.live + 1;
   push t entry;
   entry
@@ -98,7 +111,27 @@ let schedule t dt action =
   if dt < 0 then invalid_arg "Sim.schedule: negative delay";
   schedule_at t (t.clock + dt) action
 
-let post_at t time action = ignore (schedule_at t time action)
+let post_at t time action =
+  if time < t.clock then
+    invalid_arg
+      (Printf.sprintf "Sim.post_at: time %d is before now %d" time t.clock);
+  let seq = t.next_seq in
+  t.next_seq <- seq + 1;
+  let entry =
+    if t.free_top > 0 then begin
+      t.free_top <- t.free_top - 1;
+      let e = t.free.(t.free_top) in
+      t.free.(t.free_top) <- dummy;
+      e.time <- time;
+      e.seq <- seq;
+      e.action <- action;
+      e.cancelled <- false;
+      e
+    end
+    else { time; seq; action; cancelled = false; recyclable = true }
+  in
+  t.live <- t.live + 1;
+  push t entry
 
 let post t dt action =
   if dt < 0 then invalid_arg "Sim.post: negative delay";
@@ -118,7 +151,23 @@ let fire t entry =
   t.live <- t.live - 1;
   t.clock <- entry.time;
   t.fired <- t.fired + 1;
-  entry.action ()
+  let action = entry.action in
+  if entry.recyclable then begin
+    (* Recycle before running the action: no handle exists, so nothing can
+       observe the entry, and the action itself may immediately reuse it.
+       Dropping the closure reference keeps the pool from pinning it. *)
+    entry.action <- ignore;
+    if t.free_top < max_free then begin
+      if t.free_top = Array.length t.free then begin
+        let bigger = Array.make (2 * t.free_top) dummy in
+        Array.blit t.free 0 bigger 0 t.free_top;
+        t.free <- bigger
+      end;
+      t.free.(t.free_top) <- entry;
+      t.free_top <- t.free_top + 1
+    end
+  end;
+  action ()
 
 let step t =
   let rec next () =

@@ -1,0 +1,201 @@
+(* Arena differential experiment ([ar]): every schedule runs the same
+   seeded workload twice — once with the off-heap flow arena
+   ([Config.flow_arena_enabled]) and once on the boxed reference records —
+   and the two runs must produce byte-identical telemetry (metrics JSON,
+   Prometheus export, trace stream, cycle breakdown) and flow dumps.
+
+   The schedule runs are independent seeded simulations; with [-j N] they
+   fan out over a domain pool, so the bench-quick CI job exercises
+   concurrent arena access from multiple domains. Mismatches are reported
+   and counted in the artifact (like the chaos invariants), never raised. *)
+
+module Sim = Tas_engine.Sim
+module Time_ns = Tas_engine.Time_ns
+module Rng = Tas_engine.Rng
+module Core = Tas_cpu.Core
+module Fault = Tas_netsim.Fault
+module Topology = Tas_netsim.Topology
+module E = Tas_baseline.Tcp_engine
+module Config = Tas_core.Config
+module Tas = Tas_core.Tas
+module Libtas = Tas_core.Libtas
+module Metrics = Tas_telemetry.Metrics
+module Trace = Tas_telemetry.Trace
+module Json = Tas_telemetry.Json
+
+type sched = {
+  name : string;
+  descr : string;
+  seed : int;
+  loss : float option;
+  faults : (Fault.spec * Fault.spec) option;  (* toward TAS, from TAS *)
+}
+
+let schedules =
+  [
+    { name = "bulk"; descr = "clean-link echo exchange"; seed = 7;
+      loss = None; faults = None };
+    { name = "loss"; descr = "2% uniform loss"; seed = 11; loss = Some 0.02;
+      faults = None };
+    { name = "chaos";
+      descr = "bursty loss toward TAS, dup+reorder on the return path";
+      seed = 23; loss = None;
+      faults =
+        Some
+          ( { (Fault.bursty_of_rate ~rate:0.03 ~mean_burst_pkts:3.0) with
+              Fault.dup_rate = 0.01 },
+            { Fault.passthrough with
+              Fault.dup_rate = 0.02;
+              reorder =
+                Some
+                  { Fault.reorder_rate = 0.05; reorder_window = 3;
+                    max_hold_ns = 200_000 } } ) };
+  ]
+
+(* One full run; the digest is every observable export concatenated, so a
+   single byte of divergence anywhere fails the comparison. Returns the
+   digest plus the trace-event count (a sanity signal for the report). *)
+let digest ~quick ~arena sched =
+  let sim = Sim.create () in
+  let rng = Rng.create sched.seed in
+  let fault_ab, fault_ba =
+    match sched.faults with
+    | Some (ab, ba) -> (Some ab, Some ba)
+    | None -> (None, None)
+  in
+  let net =
+    Topology.point_to_point sim ?loss_rate:sched.loss ?fault_ab ?fault_ba
+      ~rng ~queues_per_nic:8 ()
+  in
+  let config =
+    {
+      Config.default with
+      Config.trace_enabled = true;
+      trace_capacity = 8192;
+      flow_arena_enabled = arena;
+    }
+  in
+  let tas = Tas.create sim ~nic:net.Topology.a.Topology.nic ~config () in
+  let app_core = Core.create sim ~id:100 () in
+  let lt = Tas.app tas ~app_cores:[| app_core |] ~api:Libtas.Sockets in
+  Libtas.listen lt ~port:7 ~ctx_of_tuple:(fun _ -> 0) (fun _sock ->
+      {
+        Libtas.null_handlers with
+        Libtas.on_data = (fun sock data -> ignore (Libtas.send sock data));
+      });
+  let client = E.create sim net.Topology.b.Topology.nic E.default_config in
+  E.attach client;
+  let conns = if quick then 6 else 8 in
+  for i = 0 to conns - 1 do
+    let remaining = ref (16 + i) in
+    let cb =
+      {
+        E.null_callbacks with
+        E.on_connected =
+          (fun c -> ignore (E.send c (Bytes.make 600 (Char.chr (65 + i)))));
+        E.on_receive =
+          (fun c d ->
+            ignore d;
+            decr remaining;
+            if !remaining > 0 then
+              ignore (E.send c (Bytes.make 600 (Char.chr (65 + i)))));
+      }
+    in
+    ignore
+      (E.connect client ~dst_ip:(Tas_netsim.Nic.ip net.Topology.a.Topology.nic)
+         ~dst_port:7 cb)
+  done;
+  Sim.run ~until:(Time_ns.ms (if quick then 40 else 80)) sim;
+  let events = Trace.drain (Tas.trace tas) in
+  let buf = Buffer.create 65536 in
+  Buffer.add_string buf (Metrics.to_json_string ~pretty:true (Tas.metrics tas));
+  Buffer.add_string buf (Metrics.to_prometheus (Tas.metrics tas));
+  List.iter
+    (fun e ->
+      Buffer.add_string buf
+        (Printf.sprintf "%d:%s:%d:%d;" e.Trace.ts
+           (Trace.kind_name e.Trace.kind) e.Trace.core e.Trace.flow))
+    events;
+  List.iter
+    (fun (cat, ns) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s=%d;" (Core.category_name cat) ns))
+    (Tas.cycle_breakdown tas);
+  Buffer.add_string buf (Json.to_string (Tas.flows tas));
+  (Buffer.contents buf, List.length events)
+
+let eval ~quick (sched, arena) =
+  match digest ~quick ~arena sched with
+  | d -> Ok d
+  | exception exn -> Error exn
+
+let run ?(quick = false) fmt =
+  Report.section fmt
+    "Arena differential: off-heap flow arena vs boxed reference records";
+  Report.note fmt
+    "each schedule runs the same seeded workload with the arena on and \
+     off; metrics, prometheus, trace stream, cycle breakdown and flow \
+     dump must be byte-identical";
+  (* Each (schedule, backing) run is an independent seeded simulation; fan
+     the six of them out over the domain pool when given [-j N] so arena
+     slabs are exercised from several domains at once. The merge below is
+     in submission order — output and artifact match a serial run. *)
+  let units =
+    Array.of_list
+      (List.concat_map (fun s -> [ (s, true); (s, false) ]) schedules)
+  in
+  let jobs = min (Run_opts.jobs ()) (Array.length units) in
+  let results =
+    if jobs <= 1 then Array.map (eval ~quick) units
+    else
+      Tas_parallel.Domain_pool.with_pool ~jobs (fun pool ->
+          Tas_parallel.Domain_pool.map pool ~f:(eval ~quick) units)
+  in
+  let mismatches = ref 0 in
+  let details = ref [] in
+  let rows =
+    List.mapi
+      (fun i sched ->
+        let outcome =
+          match (results.(2 * i), results.((2 * i) + 1)) with
+          | Ok (da, ea), Ok (db, _) ->
+            if da = db then `Identical ea else `Mismatch ea
+          | Error exn, _ | _, Error exn -> `Error (Printexc.to_string exn)
+        in
+        let verdict, events =
+          match outcome with
+          | `Identical e -> ("identical", e)
+          | `Mismatch e ->
+            incr mismatches;
+            Report.note fmt
+              (Printf.sprintf "MISMATCH [%s]: arena and boxed runs diverge"
+                 sched.name);
+            ("MISMATCH", e)
+          | `Error msg ->
+            incr mismatches;
+            Report.note fmt (Printf.sprintf "ERROR [%s]: %s" sched.name msg);
+            ("ERROR", 0)
+        in
+        details :=
+          ( sched.name,
+            Json.Obj
+              [
+                ("descr", Json.Str sched.descr);
+                ("identical", Json.Bool (verdict = "identical"));
+                ("trace_events", Json.Int events);
+              ] )
+          :: !details;
+        [ sched.name; sched.descr; string_of_int events; verdict ])
+      schedules
+  in
+  Report.table fmt
+    ~header:[ "schedule"; "description"; "trace events"; "arena vs boxed" ]
+    ~rows;
+  Report.attach "arena_differential"
+    (Json.Obj
+       [
+         ("mismatches", Json.Int !mismatches);
+         ("jobs", Json.Int jobs);
+         ("schedules", Json.Obj (List.rev !details));
+       ]);
+  Report.kv fmt "mismatches" (string_of_int !mismatches)

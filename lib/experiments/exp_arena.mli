@@ -1,0 +1,8 @@
+(** "ar": arena differential — the same seeded workloads (bulk echo,
+    uniform loss, a chaos-style fault schedule) run with the off-heap flow
+    arena enabled and disabled must export byte-identical telemetry and
+    flow dumps. Schedule runs fan out over the [-j N] domain pool, so the
+    bench-quick job exercises concurrent arena access across domains.
+    Mismatches are reported and counted in the artifact, never raised. *)
+
+val run : ?quick:bool -> Format.formatter -> unit

@@ -56,6 +56,8 @@ let all =
       run = Exp_span.run };
     { id = "sh"; title = "Sharding: fast-path core scaling with per-queue shards";
       run = Exp_sharding.run };
+    { id = "ar"; title = "Arena differential: off-heap flow arena vs boxed records";
+      run = (fun ?quick fmt -> Exp_arena.run ?quick fmt) };
   ]
 
 let find id = List.find_opt (fun e -> String.lowercase_ascii id = e.id) all

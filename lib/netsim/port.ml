@@ -1,7 +1,42 @@
 module Sim = Tas_engine.Sim
 module Packet = Tas_proto.Packet
+module Tcp_header = Tas_proto.Tcp_header
 module Ipv4_header = Tas_proto.Ipv4_header
 module Span = Tas_telemetry.Span
+
+(* Allocation-free circular packet FIFO (grows by doubling when full). The
+   port sits on every packet's path twice (serialization, then propagation),
+   so per-packet queue cells would dominate the hot-path allocation profile. *)
+type ring = {
+  mutable r_buf : Packet.t array;
+  mutable r_head : int;
+  mutable r_len : int;
+}
+
+let ring_create dummy cap = { r_buf = Array.make cap dummy; r_head = 0; r_len = 0 }
+
+let ring_push r dummy pkt =
+  let cap = Array.length r.r_buf in
+  if r.r_len = cap then begin
+    let bigger = Array.make (2 * cap) dummy in
+    for i = 0 to r.r_len - 1 do
+      bigger.(i) <- r.r_buf.((r.r_head + i) mod cap)
+    done;
+    r.r_buf <- bigger;
+    r.r_head <- 0
+  end;
+  r.r_buf.((r.r_head + r.r_len) mod Array.length r.r_buf) <- pkt;
+  r.r_len <- r.r_len + 1
+
+let ring_pop r dummy =
+  if r.r_len = 0 then None
+  else begin
+    let pkt = r.r_buf.(r.r_head) in
+    r.r_buf.(r.r_head) <- dummy;
+    r.r_head <- (r.r_head + 1) mod Array.length r.r_buf;
+    r.r_len <- r.r_len - 1;
+    Some pkt
+  end
 
 type t = {
   mutable span : Span.t;
@@ -10,10 +45,15 @@ type t = {
   delay : int;
   capacity : int;
   ecn_threshold : int option;
-  queue : Packet.t Queue.t;
+  queue : ring;
+  inflight : ring;  (* serialized, now propagating; delivery is FIFO *)
+  dummy : Packet.t;
   mutable queued_bytes : int;
   mutable transmitting : bool;
+  mutable tx_pkt : Packet.t;  (* the one packet currently serializing *)
   mutable deliver : Packet.t -> unit;
+  mutable tx_done_thunk : unit -> unit;  (* persistent: no per-packet closures *)
+  mutable deliver_thunk : unit -> unit;
   mutable drops : int;
   mutable marks : int;
   mutable tx_packets : int;
@@ -21,57 +61,94 @@ type t = {
   mutable busy_ns : int;
 }
 
-let create sim ~rate_bps ~delay ?(capacity_pkts = 1024) ?ecn_threshold () =
-  {
-    span = Span.disabled ();
-    sim;
-    rate_bps;
-    delay;
-    capacity = capacity_pkts;
-    ecn_threshold;
-    queue = Queue.create ();
-    queued_bytes = 0;
-    transmitting = false;
-    deliver = ignore;
-    drops = 0;
-    marks = 0;
-    tx_packets = 0;
-    tx_bytes = 0;
-    busy_ns = 0;
-  }
+let make_dummy () =
+  Packet.make ~src_mac:0 ~dst_mac:0 ~src_ip:0 ~dst_ip:0
+    ~tcp:
+      {
+        Tcp_header.src_port = 0;
+        dst_port = 0;
+        seq = 0;
+        ack = 0;
+        flags = Tcp_header.no_flags;
+        window = 0;
+        options = Tcp_header.no_options;
+      }
+    ~payload:Bytes.empty ()
 
-let set_deliver t f = t.deliver <- f
-let set_span t span = t.span <- span
+let rec create sim ~rate_bps ~delay ?(capacity_pkts = 1024) ?ecn_threshold () =
+  let dummy = make_dummy () in
+  let t =
+    {
+      span = Span.disabled ();
+      sim;
+      rate_bps;
+      delay;
+      capacity = capacity_pkts;
+      ecn_threshold;
+      queue = ring_create dummy 64;
+      inflight = ring_create dummy 64;
+      dummy;
+      queued_bytes = 0;
+      transmitting = false;
+      tx_pkt = dummy;
+      deliver = ignore;
+      tx_done_thunk = ignore;
+      deliver_thunk = ignore;
+      drops = 0;
+      marks = 0;
+      tx_packets = 0;
+      tx_bytes = 0;
+      busy_ns = 0;
+    }
+  in
+  t.tx_done_thunk <- (fun () -> tx_done t);
+  t.deliver_thunk <-
+    (fun () ->
+      (* Constant propagation delay: deliveries complete in push order. *)
+      match ring_pop t.inflight t.dummy with
+      | Some pkt -> t.deliver pkt
+      | None -> assert false);
+  t
 
-let span_hop t pkt hop =
+and tx_done t =
+  let pkt = t.tx_pkt in
+  t.tx_pkt <- t.dummy;
+  t.queued_bytes <- t.queued_bytes - Packet.wire_size pkt;
+  t.tx_packets <- t.tx_packets + 1;
+  t.tx_bytes <- t.tx_bytes + Packet.wire_size pkt;
+  span_hop t pkt Span.Port_out;
+  (* Propagation delay, then hand to the far end. *)
+  ring_push t.inflight t.dummy pkt;
+  Sim.post t.sim t.delay t.deliver_thunk;
+  start_transmission t
+
+and span_hop t pkt hop =
   if pkt.Packet.span >= 0 then
     Span.record t.span ~ts:(Sim.now t.sim) ~id:pkt.Packet.span ~hop ~core:(-1)
       ~flow:(-1)
 
-let tx_time_ns t pkt =
+and tx_time_ns t pkt =
   let bits = float_of_int (Packet.wire_size pkt * 8) in
   int_of_float (ceil (bits /. t.rate_bps *. 1e9))
 
-let rec start_transmission t =
-  match Queue.take_opt t.queue with
+and start_transmission t =
+  match ring_pop t.queue t.dummy with
   | None -> t.transmitting <- false
   | Some pkt ->
     t.transmitting <- true;
+    t.tx_pkt <- pkt;
     let tx = tx_time_ns t pkt in
     t.busy_ns <- t.busy_ns + tx;
-    (* Fire-and-forget events: [post] recycles the queue entries, so the
-       two per-packet events of every link hop cost no entry allocation. *)
-    Sim.post t.sim tx (fun () ->
-        t.queued_bytes <- t.queued_bytes - Packet.wire_size pkt;
-        t.tx_packets <- t.tx_packets + 1;
-        t.tx_bytes <- t.tx_bytes + Packet.wire_size pkt;
-        span_hop t pkt Span.Port_out;
-        (* Propagation delay, then hand to the far end. *)
-        Sim.post t.sim t.delay (fun () -> t.deliver pkt);
-        start_transmission t)
+    (* Fire-and-forget events: [post] recycles the queue entries, and the
+       two per-packet events of every link hop reuse the port's persistent
+       thunks — a packet's full hop allocates nothing. *)
+    Sim.post t.sim tx t.tx_done_thunk
+
+let set_deliver t f = t.deliver <- f
+let set_span t span = t.span <- span
 
 let enqueue t pkt =
-  let qlen = Queue.length t.queue + if t.transmitting then 1 else 0 in
+  let qlen = t.queue.r_len + if t.transmitting then 1 else 0 in
   if qlen >= t.capacity then t.drops <- t.drops + 1
   else begin
     (* DCTCP marking: set CE when the instantaneous queue exceeds K and the
@@ -87,12 +164,12 @@ let enqueue t pkt =
       | _ -> pkt
     in
     span_hop t pkt Span.Port_q;
-    Queue.add pkt t.queue;
+    ring_push t.queue t.dummy pkt;
     t.queued_bytes <- t.queued_bytes + Packet.wire_size pkt;
     if not t.transmitting then start_transmission t
   end
 
-let queue_len t = Queue.length t.queue + if t.transmitting then 1 else 0
+let queue_len t = t.queue.r_len + if t.transmitting then 1 else 0
 let queue_bytes t = t.queued_bytes
 let drops t = t.drops
 let marks t = t.marks

@@ -24,4 +24,5 @@ let () =
       ("determinism", Test_determinism.suite);
       ("parallel", Test_parallel.suite);
       ("shard", Test_shard.suite);
+      ("arena", Test_arena.suite);
     ]

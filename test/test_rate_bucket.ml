@@ -65,32 +65,32 @@ let mk_flow ~tx_iss ~rx_next =
   let bucket = RB.create sim (RB.Window 65536) ~burst_bytes:0 in
   FS.create ~opaque:1 ~context:0 ~bucket ~rx_buf_size:4096 ~tx_buf_size:4096
     ~local_port:80 ~peer_ip:2 ~peer_port:9 ~peer_mac:3 ~tx_iss ~rx_next
-    ~window:65535 ~peer_wscale:0
+    ~window:65535 ~peer_wscale:0 ()
 
 let test_snd_una_tracks_tx_sent () =
   let flow = mk_flow ~tx_iss:(Seq32.of_int 1000) ~rx_next:0 in
   Alcotest.(check int) "snd_una = seq initially" 1000 (FS.snd_una flow);
-  ignore (Ring.push flow.FS.tx_buf (Bytes.create 500) ~off:0 ~len:500);
+  ignore (Ring.push (FS.tx_buf flow) (Bytes.create 500) ~off:0 ~len:500);
   Alcotest.(check int) "500 available" 500 (FS.tx_available flow);
   (* Simulate sending 300 of them. *)
-  flow.FS.seq <- Seq32.add flow.FS.seq 300;
-  flow.FS.tx_sent <- 300;
+  FS.set_seq flow (Seq32.add (FS.seq flow) 300);
+  FS.set_tx_sent flow 300;
   Alcotest.(check int) "snd_una unchanged while unacked" 1000 (FS.snd_una flow);
   Alcotest.(check int) "200 still sendable" 200 (FS.tx_available flow)
 
 let test_seq_wraparound_offsets () =
   (* tx_iss near the 32-bit wrap point. *)
   let flow = mk_flow ~tx_iss:(Seq32.of_int 0xFFFF_FFF0) ~rx_next:(Seq32.of_int 0xFFFF_FFF8) in
-  flow.FS.seq <- Seq32.add flow.FS.seq 0x20;
-  flow.FS.tx_sent <- 0x20;
+  FS.set_seq flow (Seq32.add (FS.seq flow) 0x20);
+  FS.set_tx_sent flow 0x20;
   Alcotest.(check int) "snd_una wraps correctly" 0xFFFF_FFF0 (FS.snd_una flow);
   (* rx offsets relative to a wrapping expected seq. *)
-  let off = FS.rx_offset_of_seq flow (Seq32.add flow.FS.ack 100) in
+  let off = FS.rx_offset_of_seq flow (Seq32.add (FS.ack flow) 100) in
   Alcotest.(check int) "rx offset across wrap" 100 off
 
 let test_rx_offset_mapping () =
   let flow = mk_flow ~tx_iss:0 ~rx_next:(Seq32.of_int 5000) in
-  Alcotest.(check int) "next expected at ring head" (Ring.head flow.FS.rx_buf)
+  Alcotest.(check int) "next expected at ring head" (Ring.head (FS.rx_buf flow))
     (FS.rx_offset_of_seq flow (Seq32.of_int 5000));
   Alcotest.(check int) "inverse mapping" 5100
     (FS.seq_of_rx_offset flow (FS.rx_offset_of_seq flow (Seq32.of_int 5100)))

@@ -306,7 +306,7 @@ let test_context_event_coalescing () =
   let flow =
     Tas_core.Flow_state.create ~opaque:1 ~context:0 ~bucket ~rx_buf_size:1024
       ~tx_buf_size:1024 ~local_port:1 ~peer_ip:2 ~peer_port:3 ~peer_mac:4
-      ~tx_iss:0 ~rx_next:0 ~window:1000 ~peer_wscale:0
+      ~tx_iss:0 ~rx_next:0 ~window:1000 ~peer_wscale:0 ()
   in
   let wakes = ref 0 in
   Tas_core.Context.set_waker ctx (fun () -> incr wakes);
