@@ -7,7 +7,9 @@
      tas_run flows         JSON flow-state snapshot (ss-style, Table 3)
      tas_run stats         merged telemetry over a -j N batch of runs
      tas_run trace         write a Chrome trace (chrome://tracing, Perfetto)
-     tas_run top           periodic text dashboard from the metrics registry *)
+     tas_run top           periodic text dashboard replayed from the timeline
+     tas_run timeline      per-series sparklines from a TIMELINE_* artifact
+     tas_run health        run the watchdog rules over a recorded timeline *)
 
 module Registry = Tas_experiments.Registry
 module Perf_bench = Tas_experiments.Perf_bench
@@ -18,6 +20,8 @@ module Stats = Tas_engine.Stats
 module Metrics = Tas_telemetry.Metrics
 module Span = Tas_telemetry.Span
 module Json = Tas_telemetry.Json
+module Timeline = Tas_telemetry.Timeline
+module Health = Tas_telemetry.Health
 module Tas = Tas_core.Tas
 
 let apply_opts bench_dir trace_capacity =
@@ -60,18 +64,35 @@ let run_cmd quick jobs ids =
 
 (* --- flows -------------------------------------------------------------- *)
 
-let flows_cmd duration_ms shard =
+let flows_cmd duration_ms shard watch =
   let d = Diagnostics.build () in
-  Diagnostics.run d ~duration_ns:(Time_ns.ms duration_ms);
+  let step = Time_ns.ms duration_ms in
+  let snapshot () =
+    Json.Obj
+      [
+        ("server", Tas.flows ?shard d.Diagnostics.server);
+        ("client", Tas.flows ?shard d.Diagnostics.client);
+      ]
+  in
   (* Emit nothing but the JSON document: consumers pipe this straight into
      json.tool / jq. *)
-  print_string
-    (Json.to_string ~pretty:true
-       (Json.Obj
-          [
-            ("server", Tas.flows ?shard d.Diagnostics.server);
-            ("client", Tas.flows ?shard d.Diagnostics.client);
-          ]));
+  let doc =
+    if watch <= 1 then begin
+      Diagnostics.run d ~duration_ns:step;
+      snapshot ()
+    end
+    else
+      (* --watch N: advance the same simulation N times and emit one
+         snapshot per step, as a single JSON list. *)
+      Json.List
+        (List.init watch (fun k ->
+             Diagnostics.run d ~duration_ns:((k + 1) * step);
+             match snapshot () with
+             | Json.Obj fields ->
+               Json.Obj (("t_ms", Json.Int ((k + 1) * duration_ms)) :: fields)
+             | j -> j))
+  in
+  print_string (Json.to_string ~pretty:true doc);
   print_newline ();
   0
 
@@ -131,88 +152,286 @@ let trace_cmd out sample_every duration_ms bench_dir =
     path;
   0
 
+(* --- frame helpers (top / timeline / health) ---------------------------- *)
+
+(* Sum a gauge across its label sets inside one timeline frame. *)
+let frame_gauge (f : Timeline.frame) name =
+  List.fold_left
+    (fun acc (n, _, v) -> if n = name then acc +. v else acc)
+    0. f.Timeline.gauges
+
+(* Sum a counter's per-interval delta across its label sets. *)
+let frame_delta (f : Timeline.frame) name =
+  List.fold_left
+    (fun acc (n, _, d) -> if n = name then acc + d else acc)
+    0 f.Timeline.counters
+
+let host_frames tas =
+  match Tas.timeline tas with
+  | Some tl -> Timeline.frames tl
+  | None -> []
+
 (* --- top ---------------------------------------------------------------- *)
 
-(* Read one metric from a registry snapshot by name (+ label subset). *)
-let sample_value samples name labels =
-  List.fold_left
-    (fun acc s ->
-      if
-        s.Metrics.s_name = name
-        && List.for_all (fun kv -> List.mem kv s.Metrics.s_labels) labels
-      then
-        acc
-        +.
-        match s.Metrics.s_value with
-        | Metrics.Counter c -> float_of_int c
-        | Metrics.Gauge g -> g
-        | Metrics.Hist _ -> 0.
-      else acc)
-    0. samples
-
-let core_samples samples =
-  List.filter_map
-    (fun s ->
-      if s.Metrics.s_name = "core_busy_ns" then
-        match
-          ( List.assoc_opt "core" s.Metrics.s_labels,
-            List.assoc_opt "role" s.Metrics.s_labels,
-            s.Metrics.s_value )
-        with
-        | Some core, Some role, Metrics.Gauge busy -> Some (role, core, busy)
-        | _ -> None
-      else None)
-    samples
-
+(* The dashboard is a replay of the flight recorder: run the whole
+   simulation with the timeline enabled at the refresh interval, then
+   render one dashboard row per recorded frame — per-core utilization,
+   flows and queue depth come straight out of the frames. *)
 let top_cmd interval_ms frames =
-  let d = Diagnostics.build () in
   let interval_ns = Time_ns.ms interval_ms in
-  let frame = ref 0 in
-  let prev_busy : (string * string, float) Hashtbl.t = Hashtbl.create 32 in
-  let prev_rpcs = ref 0 and prev_pkts = ref 0. in
-  let host label tas =
-    let samples = Metrics.snapshot (Tas.metrics tas) in
-    let cores =
-      List.filter_map
-        (fun (role, core, busy) ->
-          let key = (label ^ role, core) in
-          let before = Option.value ~default:0. (Hashtbl.find_opt prev_busy key) in
-          Hashtbl.replace prev_busy key busy;
-          if !frame = 0 then None
-          else
-            let pct = 100. *. (busy -. before) /. float_of_int interval_ns in
-            Some (Printf.sprintf "%s%s %.0f%%" role core (max 0. pct)))
-        (core_samples samples)
-    in
-    let flows = sample_value samples "fp_flows" [] in
-    let qlen = sample_value samples "port_queue_pkts" [] in
-    Printf.printf "  %-6s flows %-3.0f txq %-4.0f cores [%s]\n" label flows qlen
-      (String.concat " " cores);
-    samples
-  in
+  let d = Diagnostics.build ~timeline_ns:interval_ns () in
+  let rpc_ticks = ref [] in
   Diagnostics.run_with_tick d ~duration_ns:(interval_ns * frames)
     ~every_ns:interval_ns (fun () ->
-      let now_ms = float_of_int (Tas_engine.Sim.now d.Diagnostics.sim) /. 1e6 in
-      let rpcs =
+      rpc_ticks :=
         Stats.Counter.value d.Diagnostics.stats.Tas_apps.Rpc_echo.completed
-      in
-      let krps =
-        float_of_int (rpcs - !prev_rpcs) /. (float_of_int interval_ms *. 1e-3)
-        /. 1e3
-      in
-      Printf.printf "t=%5.1fms  rpcs %-7d %s\n" now_ms rpcs
-        (if !frame = 0 then "" else Printf.sprintf "(%.1f krps)" krps);
-      prev_rpcs := rpcs;
-      let server_samples = host "server" d.Diagnostics.server in
-      ignore (host "client" d.Diagnostics.client);
-      let pkts = sample_value server_samples "nic_rx_packets" [] in
-      if !frame > 0 then
-        Printf.printf "  server nic rx %.1f kpps\n"
-          ((pkts -. !prev_pkts) /. (float_of_int interval_ms *. 1e-3) /. 1e3);
-      prev_pkts := pkts;
-      print_newline ();
-      incr frame);
+        :: !rpc_ticks);
+  let rpcs = Array.of_list (List.rev !rpc_ticks) in
+  let server = Array.of_list (host_frames d.Diagnostics.server) in
+  let client = Array.of_list (host_frames d.Diagnostics.client) in
+  let host label (f : Timeline.frame) =
+    let cores =
+      List.map
+        (fun c ->
+          Printf.sprintf "%s%d %.0f%%" c.Timeline.c_role c.Timeline.c_id
+            (100. *. c.Timeline.c_util))
+        f.Timeline.cores
+    in
+    Printf.printf "  %-6s flows %-3.0f txq %-4.0f cores [%s]\n" label
+      (frame_gauge f "fp_flows")
+      (frame_gauge f "port_queue_pkts")
+      (String.concat " " cores)
+  in
+  Array.iteri
+    (fun i (f : Timeline.frame) ->
+      let now_ms = float_of_int f.Timeline.ts /. 1e6 in
+      let prev = if i = 0 then 0 else rpcs.(i - 1) in
+      let per_s v = float_of_int v /. (float_of_int interval_ms *. 1e-3) in
+      (if i < Array.length rpcs then
+         let krps = per_s (rpcs.(i) - prev) /. 1e3 in
+         Printf.printf "t=%5.1fms  rpcs %-7d (%.1f krps)\n" now_ms rpcs.(i)
+           krps);
+      host "server" f;
+      if i < Array.length client then host "client" client.(i);
+      Printf.printf "  server nic rx %.1f kpps\n"
+        (per_s (frame_delta f "nic_rx_packets") /. 1e3);
+      print_newline ())
+    server;
   0
+
+(* --- timeline ----------------------------------------------------------- *)
+
+let spark_glyphs = [| "▁"; "▂"; "▃"; "▄"; "▅"; "▆"; "▇"; "█" |]
+
+(* Downsample [values] to at most [width] columns (mean per column) and
+   render min-max normalized block glyphs. *)
+let sparkline ?(width = 48) values =
+  match values with
+  | [] -> ""
+  | _ ->
+    let arr = Array.of_list values in
+    let n = Array.length arr in
+    let lo = Array.fold_left min arr.(0) arr in
+    let hi = Array.fold_left max arr.(0) arr in
+    let cols = min width n in
+    let buf = Buffer.create (cols * 3) in
+    for c = 0 to cols - 1 do
+      let i0 = c * n / cols in
+      let i1 = max (i0 + 1) ((c + 1) * n / cols) in
+      let sum = ref 0. in
+      for i = i0 to i1 - 1 do
+        sum := !sum +. arr.(i)
+      done;
+      let v = !sum /. float_of_int (i1 - i0) in
+      let t = if hi -. lo < 1e-12 then 0. else (v -. lo) /. (hi -. lo) in
+      Buffer.add_string buf spark_glyphs.(min 7 (int_of_float (t *. 8.)))
+    done;
+    Buffer.contents buf
+
+let labels_suffix = function
+  | [] -> ""
+  | labels ->
+    "{"
+    ^ String.concat "," (List.map (fun (k, v) -> k ^ "=" ^ v) labels)
+    ^ "}"
+
+let series_row name values =
+  match values with
+  | [] -> ()
+  | v0 :: _ ->
+    let mn = List.fold_left min v0 values in
+    let mx = List.fold_left max v0 values in
+    let mean =
+      List.fold_left ( +. ) 0. values /. float_of_int (List.length values)
+    in
+    let last = List.nth values (List.length values - 1) in
+    Printf.printf "  %-30s %9.3g %9.3g %9.3g %9.3g  %s\n" name mn mean mx
+      last (sparkline values)
+
+let render_timeline ~name ~interval_ns frames =
+  Printf.printf "timeline '%s': %d frames @ %dus\n" name (List.length frames)
+    (interval_ns / 1000);
+  match frames with
+  | [] -> ()
+  | first :: _ ->
+    Printf.printf "  %-30s %9s %9s %9s %9s\n" "series" "min" "mean" "max"
+      "last";
+    List.iteri
+      (fun i (c : Timeline.core_sample) ->
+        series_row
+          (Printf.sprintf "util %s%d" c.Timeline.c_role c.Timeline.c_id)
+          (List.map
+             (fun (f : Timeline.frame) ->
+               match List.nth_opt f.Timeline.cores i with
+               | Some c -> c.Timeline.c_util
+               | None -> 0.)
+             frames))
+      first.Timeline.cores;
+    series_row "flows (fp_flows)"
+      (List.map (fun f -> frame_gauge f "fp_flows") frames);
+    if Array.length first.Timeline.shard_flows > 0 then
+      series_row "shard flows total"
+        (List.map
+           (fun (f : Timeline.frame) ->
+             float_of_int (Array.fold_left ( + ) 0 f.Timeline.shard_flows))
+           frames);
+    if first.Timeline.arena <> None then
+      series_row "arena live"
+        (List.map
+           (fun (f : Timeline.frame) ->
+             match f.Timeline.arena with
+             | Some (live, _) -> float_of_int live
+             | None -> 0.)
+           frames);
+    (* The busiest counters, by total delta over the window. *)
+    let totals = Hashtbl.create 64 in
+    List.iter
+      (fun (f : Timeline.frame) ->
+        List.iter
+          (fun (n, lbls, d) ->
+            let key = (n, lbls) in
+            Hashtbl.replace totals key
+              (d + Option.value ~default:0 (Hashtbl.find_opt totals key)))
+          f.Timeline.counters)
+      frames;
+    let top =
+      Hashtbl.fold (fun k v acc -> (k, v) :: acc) totals []
+      |> List.filter (fun (_, v) -> v > 0)
+      |> List.sort (fun (ka, va) (kb, vb) ->
+             match compare vb va with 0 -> compare ka kb | c -> c)
+      |> List.filteri (fun i _ -> i < 6)
+    in
+    List.iter
+      (fun ((n, lbls), _) ->
+        series_row
+          ("d " ^ n ^ labels_suffix lbls)
+          (List.map
+             (fun (f : Timeline.frame) ->
+               List.fold_left
+                 (fun acc (n', l', d) ->
+                   if n' = n && l' = lbls then acc +. float_of_int d else acc)
+                 0. f.Timeline.counters)
+             frames))
+      top
+
+let null_formatter =
+  Format.make_formatter (fun _ _ _ -> ()) (fun () -> ())
+
+let timeline_cmd quick interval_us json_flag chrome_out bench_dir id =
+  apply_opts bench_dir None;
+  Option.iter
+    (fun us -> Run_opts.set_timeline_interval_ns (us * 1000))
+    interval_us;
+  match Registry.find id with
+  | None ->
+    Printf.eprintf "unknown experiment id: %s (try 'tas_run list')\n" id;
+    1
+  | Some e ->
+    ignore (Registry.run_entry ~quick e null_formatter);
+    let path =
+      Filename.concat (Run_opts.bench_dir ())
+        ("TIMELINE_" ^ e.Registry.id ^ ".json")
+    in
+    if not (Sys.file_exists path) then begin
+      Printf.eprintf "experiment '%s' recorded no timeline\n" e.Registry.id;
+      1
+    end
+    else begin
+      let doc =
+        Json.of_string (In_channel.with_open_text path In_channel.input_all)
+      in
+      if json_flag then begin
+        print_string (Json.to_string ~pretty:true doc);
+        print_newline ();
+        0
+      end
+      else begin
+        let named =
+          match Json.member "timelines" doc with
+          | Some (Json.List l) ->
+            List.filter_map
+              (fun o ->
+                match (Json.member "name" o, Json.member "timeline" o) with
+                | Some (Json.Str n), Some t ->
+                  let interval_ns =
+                    match Json.member "interval_ns" t with
+                    | Some (Json.Int i) -> i
+                    | _ -> 1
+                  in
+                  Some (n, interval_ns, Timeline.frames_of_json t)
+                | _ -> None)
+              l
+          | _ -> []
+        in
+        List.iter
+          (fun (name, interval_ns, frames) ->
+            render_timeline ~name ~interval_ns frames)
+          named;
+        (match chrome_out with
+        | None -> ()
+        | Some out ->
+          let events =
+            List.concat
+              (List.mapi
+                 (fun pid (name, interval_ns, frames) ->
+                   Timeline.to_chrome_counters ~pid ~prefix:(name ^ " ")
+                     ~interval_ns frames)
+                 named)
+          in
+          let oc = open_out out in
+          output_string oc
+            (Json.to_string ~pretty:true
+               (Json.Obj [ ("traceEvents", Json.List events) ]));
+          output_char oc '\n';
+          close_out oc;
+          Printf.printf "# chrome counters: %s (open in ui.perfetto.dev)\n"
+            out);
+        0
+      end
+    end
+
+(* --- health ------------------------------------------------------------- *)
+
+let health_cmd duration_ms interval_us conns =
+  (* Lighter span sampling than the trace-oriented default: the default
+     65 K ring fills (and honestly drops) within ~30 ms, which would trip
+     the ring-drops rule on a perfectly healthy run. *)
+  let d =
+    Diagnostics.build ~sample_every:64 ~capacity:262144 ~n_conns:conns
+      ~timeline_ns:(interval_us * 1000) ()
+  in
+  Diagnostics.run d ~duration_ns:(Time_ns.ms duration_ms);
+  let fmt = Format.std_formatter in
+  let check label tas =
+    let report = Health.check (host_frames tas) in
+    Format.fprintf fmt "%s: " label;
+    Health.pp_report fmt report;
+    report.Health.passed
+  in
+  let server_ok = check "server" d.Diagnostics.server in
+  let client_ok = check "client" d.Diagnostics.client in
+  Format.pp_print_flush fmt ();
+  if server_ok && client_ok then 0 else 1
 
 (* --- cmdliner wiring ---------------------------------------------------- *)
 
@@ -342,9 +561,16 @@ let flows_cmd_v =
     let doc = "Restrict the flow list to one RSS-queue shard." in
     Arg.(value & opt (some int) None & info [ "shard" ] ~docv:"Q" ~doc)
   in
+  let watch =
+    let doc =
+      "Snapshot the same simulation $(docv) times, every --duration-ms of \
+       simulated time, and emit the snapshots as one JSON list."
+    in
+    Arg.(value & opt int 1 & info [ "watch"; "w" ] ~docv:"N" ~doc)
+  in
   Cmd.v
     (Cmd.info "flows" ~doc ~man)
-    Term.(const flows_cmd $ duration_arg 8 $ shard)
+    Term.(const flows_cmd $ duration_arg 8 $ shard $ watch)
 
 let stats_cmd_v =
   let doc = "merged metrics + trace summary over a batch of parallel runs" in
@@ -396,6 +622,16 @@ let trace_cmd_v =
 
 let top_cmd_v =
   let doc = "periodic text dashboard (cores, flows, queues, rates)" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Runs the diagnostic RPC-echo workload with the timeline flight \
+         recorder enabled at the refresh interval, then replays the \
+         recorded frames as dashboard rows: per-core utilization, live \
+         flows, queue depth and packet rates all come from the frames.";
+    ]
+  in
   let interval =
     let doc = "Refresh interval in simulated milliseconds." in
     Arg.(value & opt int 2 & info [ "interval-ms" ] ~docv:"MS" ~doc)
@@ -404,7 +640,74 @@ let top_cmd_v =
     let doc = "Number of dashboard frames to print." in
     Arg.(value & opt int 5 & info [ "frames" ] ~docv:"N" ~doc)
   in
-  Cmd.v (Cmd.info "top" ~doc) Term.(const top_cmd $ interval $ frames)
+  Cmd.v (Cmd.info "top" ~doc ~man) Term.(const top_cmd $ interval $ frames)
+
+let timeline_cmd_v =
+  let doc = "run an experiment and chart its recorded timeline" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Runs the given experiment (default: tl, the flight-recorder \
+         validation) with its timeline recording on, reads back the \
+         TIMELINE_<id>.json artifact, and renders every series — per-core \
+         utilization, flows, shard occupancy, arena occupancy, and the \
+         busiest counters — as a min/mean/max/last table with a unicode \
+         sparkline per series. $(b,--json) dumps the raw artifact instead; \
+         $(b,--chrome) additionally exports Chrome trace-event counter \
+         samples (\"ph\":\"C\") loadable in ui.perfetto.dev next to \
+         $(b,tas_run trace) span slices.";
+    ]
+  in
+  let id =
+    let doc = "Experiment id whose timeline to chart." in
+    Arg.(value & pos 0 string "tl" & info [] ~docv:"ID" ~doc)
+  in
+  let interval_us =
+    let doc = "Override the timeline frame interval (microseconds)." in
+    Arg.(
+      value & opt (some int) None & info [ "interval" ] ~docv:"US" ~doc)
+  in
+  let json_flag =
+    let doc = "Print the raw TIMELINE_<id>.json document to stdout." in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let chrome =
+    let doc = "Also write Chrome trace-event counter samples to $(docv)." in
+    Arg.(
+      value & opt (some string) None & info [ "chrome" ] ~docv:"FILE" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "timeline" ~doc ~man)
+    Term.(
+      const timeline_cmd $ quick $ interval_us $ json_flag $ chrome
+      $ bench_dir_arg $ id)
+
+let health_cmd_v =
+  let doc = "run the health watchdog over a recorded timeline" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Runs the diagnostic RPC-echo workload with the timeline flight \
+         recorder on both hosts, evaluates every watchdog rule (retransmit \
+         storm, arena pressure, shard imbalance, slow-path backlog growth, \
+         telemetry ring drops) over the recorded frames, and prints one \
+         report per host. Exits non-zero when any rule fired — the \
+         scriptable 'is this run healthy?' check.";
+    ]
+  in
+  let interval_us =
+    let doc = "Timeline frame interval (microseconds)." in
+    Arg.(value & opt int 1000 & info [ "interval" ] ~docv:"US" ~doc)
+  in
+  let conns =
+    let doc = "Number of client connections in the workload." in
+    Arg.(value & opt int 8 & info [ "conns" ] ~docv:"N" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "health" ~doc ~man)
+    Term.(const health_cmd $ duration_arg 40 $ interval_us $ conns)
 
 let cmd =
   let doc = "reproduce the TAS (EuroSys'19) evaluation" in
@@ -412,7 +715,7 @@ let cmd =
   Cmd.group ~default:run_term info
     [
       run_cmd_v; list_cmd_v; perf_cmd_v; flows_cmd_v; stats_cmd_v;
-      trace_cmd_v; top_cmd_v;
+      trace_cmd_v; top_cmd_v; timeline_cmd_v; health_cmd_v;
     ]
 
 let () = exit (Cmd.eval' cmd)

@@ -41,6 +41,8 @@ type t = {
   span_enabled : bool;
   span_sample_every : int;
   span_capacity : int;
+  timeline_interval_ns : int;
+  timeline_capacity : int;
 }
 
 let default =
@@ -89,6 +91,8 @@ let default =
     span_enabled = false;
     span_sample_every = 16;
     span_capacity = 65536;
+    timeline_interval_ns = 0;
+    timeline_capacity = 4096;
   }
 
 let rate_mode t =

@@ -3,6 +3,7 @@ module Metrics = Tas_telemetry.Metrics
 module Trace = Tas_telemetry.Trace
 module Span = Tas_telemetry.Span
 module Json = Tas_telemetry.Json
+module Timeline = Tas_telemetry.Timeline
 
 type t = {
   sim : Tas_engine.Sim.t;
@@ -14,6 +15,7 @@ type t = {
   metrics : Metrics.t;
   tracer : Trace.t;
   spans : Span.t;
+  timeline : Timeline.t option;
   mutable next_app : int;
 }
 
@@ -32,6 +34,14 @@ let register_core_breakdown m ~role core =
         "core_busy_cat_ns"
         (fun () -> float_of_int (Core.busy_ns_of core cat)))
     Core.categories
+
+(* Per-interval utilization feeds the timeline as probe closures, keeping
+   the telemetry layer free of any cpu/core dependency. *)
+let timeline_add_core tl ~role ~interval_ns core =
+  Core.enable_util_buckets core ~interval_ns;
+  Timeline.add_core tl ~role ~id:(Core.id core)
+    ~busy_in:(fun bucket -> Core.util_busy_ns core ~bucket)
+    ~backlog:(fun () -> Core.backlog_ns core)
 
 let create sim ~nic ~config ?span ?(freq_ghz = 2.1) () =
   let fp_cores =
@@ -72,7 +82,37 @@ let create sim ~nic ~config ?span ?(freq_ghz = 2.1) () =
   Tas_netsim.Nic.register nic metrics ();
   Array.iter (register_core_breakdown metrics ~role:"fp") fp_cores;
   register_core_breakdown metrics ~role:"sp" sp_core;
-  { sim; config; fp; sp; fp_cores; sp_core; metrics; tracer; spans;
+  (* Ring self-observability: the watchdog's ring-drop rule reads these. *)
+  Metrics.counter_fn metrics ~help:"trace events dropped (ring full)"
+    "trace_dropped_events" (fun () -> Trace.dropped tracer);
+  Metrics.counter_fn metrics ~help:"span hop events dropped (ring full)"
+    "span_dropped_events" (fun () -> Span.dropped spans);
+  let timeline =
+    if config.Config.timeline_interval_ns <= 0 then None
+    else begin
+      let interval_ns = config.Config.timeline_interval_ns in
+      let tl =
+        Timeline.create ~interval_ns
+          ~capacity:config.Config.timeline_capacity ~metrics ()
+      in
+      Array.iter (timeline_add_core tl ~role:"fp" ~interval_ns) fp_cores;
+      timeline_add_core tl ~role:"sp" ~interval_ns sp_core;
+      let ft = Fast_path.flows fp in
+      Timeline.set_shard_probe tl (fun () ->
+          Array.init (Flow_table.num_shards ft) (fun i ->
+              (Flow_table.shard_stats ft i).Tas_shard.Flow_shards.flows));
+      (match Slow_path.arena sp with
+      | Some arena ->
+        Timeline.set_arena_probe tl (fun () ->
+            Some (Flow_arena.live arena, Flow_arena.capacity arena))
+      | None -> ());
+      ignore
+        (Tas_engine.Sim.periodic sim interval_ns (fun () ->
+             Timeline.capture tl ~ts:(Tas_engine.Sim.now sim)));
+      Some tl
+    end
+  in
+  { sim; config; fp; sp; fp_cores; sp_core; metrics; tracer; spans; timeline;
     next_app = 0 }
 
 let fast_path t = t.fp
@@ -83,6 +123,7 @@ let sp_core t = t.sp_core
 let metrics t = t.metrics
 let trace t = t.tracer
 let span t = t.spans
+let timeline t = t.timeline
 
 let app t ~app_cores ~api =
   let lt = Libtas.create t.sim ~fast_path:t.fp ~slow_path:t.sp ~app_cores ~api () in
@@ -91,9 +132,13 @@ let app t ~app_cores ~api =
   Libtas.register lt t.metrics ~labels:[ ("app", string_of_int idx) ] ();
   Array.iteri
     (fun i core ->
-      register_core_breakdown t.metrics
-        ~role:(Printf.sprintf "app%d_%d" idx i)
-        core)
+      let role = Printf.sprintf "app%d_%d" idx i in
+      register_core_breakdown t.metrics ~role core;
+      match t.timeline with
+      | Some tl ->
+        timeline_add_core tl ~role
+          ~interval_ns:t.config.Config.timeline_interval_ns core
+      | None -> ())
     app_cores;
   lt
 

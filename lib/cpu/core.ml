@@ -31,6 +31,8 @@ type t = {
   mutable busy_until : int;
   mutable busy_ns : int;
   busy_by : int array;  (* ns per category, indexed by cat_index *)
+  mutable util_interval : int;  (* 0 = per-interval accounting off *)
+  mutable util_buckets : int array;  (* busy ns per interval, growable *)
 }
 
 let create sim ?(freq_ghz = 2.1) ~id () =
@@ -41,7 +43,45 @@ let create sim ?(freq_ghz = 2.1) ~id () =
     busy_until = 0;
     busy_ns = 0;
     busy_by = Array.make (List.length categories) 0;
+    util_interval = 0;
+    util_buckets = [||];
   }
+
+let enable_util_buckets t ~interval_ns =
+  if interval_ns <= 0 then invalid_arg "Core.enable_util_buckets: interval <= 0";
+  t.util_interval <- interval_ns;
+  if Array.length t.util_buckets = 0 then t.util_buckets <- Array.make 64 0
+
+let util_interval_ns t = t.util_interval
+
+let util_busy_ns t ~bucket =
+  if bucket < 0 || bucket >= Array.length t.util_buckets then 0
+  else t.util_buckets.(bucket)
+
+(* Spread [dur] ns of busy time starting at [start] over the interval
+   buckets it occupies. [start] can be in the future (queueing backlog), so
+   attribution lands in the interval(s) the core actually spends busy. *)
+let account_util t ~start ~dur =
+  if t.util_interval > 0 && dur > 0 then begin
+    let iv = t.util_interval in
+    let last = (start + dur - 1) / iv in
+    let cap = Array.length t.util_buckets in
+    if last >= cap then begin
+      let cap' = max (last + 1) (cap * 2) in
+      let a = Array.make cap' 0 in
+      Array.blit t.util_buckets 0 a 0 cap;
+      t.util_buckets <- a
+    end;
+    let pos = ref start and left = ref dur in
+    while !left > 0 do
+      let b = !pos / iv in
+      let room = ((b + 1) * iv) - !pos in
+      let take = min room !left in
+      t.util_buckets.(b) <- t.util_buckets.(b) + take;
+      pos := !pos + take;
+      left := !left - take
+    done
+  end
 
 let id t = t.id
 let freq_ghz t = t.freq_ghz
@@ -56,6 +96,7 @@ let start_no_earlier_than t ~cat ready cycles f =
   t.busy_ns <- t.busy_ns + dur;
   let i = cat_index cat in
   t.busy_by.(i) <- t.busy_by.(i) + dur;
+  account_util t ~start ~dur;
   (* Handle-free: core dispatch is one event per packet-processing step and
      is never cancelled, so the queue entry can be recycled. *)
   Sim.post_at t.sim t.busy_until f
@@ -73,7 +114,8 @@ let charge t ~cat ~cycles =
   t.busy_until <- start + dur;
   t.busy_ns <- t.busy_ns + dur;
   let i = cat_index cat in
-  t.busy_by.(i) <- t.busy_by.(i) + dur
+  t.busy_by.(i) <- t.busy_by.(i) + dur;
+  account_util t ~start ~dur
 
 let run_after t ?(cat = Other) ~delay ~cycles f =
   start_no_earlier_than t ~cat (Sim.now t.sim + delay) cycles f

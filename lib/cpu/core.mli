@@ -56,6 +56,23 @@ val breakdown : t -> (category * int) list
 (** Per-category busy nanoseconds, in {!categories} order; sums to
     {!busy_ns}. *)
 
+val enable_util_buckets : t -> interval_ns:int -> unit
+(** Turn on per-interval busy-time accounting: from now on every charged
+    work item spreads its duration over fixed [interval_ns] buckets of sim
+    time (bucket [b] covers [[b*interval, (b+1)*interval)]). Work queued
+    behind a backlog is attributed to the interval(s) it actually occupies,
+    so a bucket never exceeds [interval_ns] — utilization of interval [b]
+    is exactly [util_busy_ns ~bucket:b / interval_ns], the signal the
+    workload-proportionality controller thresholds (1.25/0.2 idle cores)
+    are defined over.
+    @raise Invalid_argument when [interval_ns <= 0]. *)
+
+val util_interval_ns : t -> int
+(** The configured interval, 0 when per-interval accounting is off. *)
+
+val util_busy_ns : t -> bucket:int -> int
+(** Busy nanoseconds attributed to interval [bucket]; 0 out of range. *)
+
 val busy_until : t -> Tas_engine.Time_ns.t
 (** Completion time of the last queued item ([now] when idle). *)
 

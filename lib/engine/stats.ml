@@ -113,6 +113,33 @@ module Hist = struct
       if !found < 0 then t.max_v else value_of_bucket !found
     end
 
+  let buckets t =
+    let out = ref [] in
+    for b = bucket_count - 1 downto 0 do
+      if t.counts.(b) > 0 then out := (b, t.counts.(b)) :: !out
+    done;
+    !out
+
+  let of_buckets ?sum ?max_v pairs =
+    let t = create () in
+    List.iter
+      (fun (b, c) ->
+        if b < 0 || b >= bucket_count then
+          invalid_arg (Printf.sprintf "Hist.of_buckets: bucket %d out of range" b);
+        if c < 0 then
+          invalid_arg (Printf.sprintf "Hist.of_buckets: negative count in bucket %d" b);
+        t.counts.(b) <- t.counts.(b) + c;
+        t.n <- t.n + c;
+        t.sum <- t.sum +. (float_of_int c *. value_of_bucket b);
+        let top = value_of_bucket b in
+        if top > t.max_v then t.max_v <- top)
+      pairs;
+    (match sum with Some s -> t.sum <- s | None -> ());
+    (match max_v with Some m -> t.max_v <- m | None -> ());
+    t
+
+  let bucket_mid = value_of_bucket
+
   let cdf_points t ?(points = 200) () =
     ignore points;
     if t.n = 0 then []

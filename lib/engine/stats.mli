@@ -44,6 +44,23 @@ module Hist : sig
 
   val cdf_points : t -> ?points:int -> unit -> (float * float) list
   (** [(value, cumulative_fraction)] pairs suitable for plotting a CDF. *)
+
+  val buckets : t -> (int * int) list
+  (** Sparse raw buckets: [(bucket index, count)] for every non-empty
+      bucket, ascending by index. Together with {!of_buckets} this is a
+      lossless transport of the distribution (up to bucket quantization),
+      so merged quantiles computed from summed buckets are exactly what one
+      histogram over all samples would report. *)
+
+  val of_buckets : ?sum:float -> ?max_v:float -> (int * int) list -> t
+  (** Reconstruct a histogram from sparse buckets (as {!buckets} emits).
+      [sum] restores the exact mean, [max_v] the exact maximum; quantile
+      queries on the result are bucket-exact.
+      @raise Invalid_argument on an out-of-range index or negative count. *)
+
+  val bucket_mid : int -> float
+  (** The representative value (geometric midpoint) of a bucket index —
+      what {!percentile} reports when that bucket holds the target rank. *)
 end
 
 (** Time-stamped samples. *)

@@ -38,7 +38,7 @@ let wire_endpoint span (ep : Topology.endpoint) =
   Port.set_span ep.Topology.uplink span;
   Port.set_span ep.Topology.downlink span
 
-let client_tas sim ~nic ~span ~trace =
+let client_tas sim ~nic ~span ~trace ~timeline_ns =
   let config =
     {
       Config.default with
@@ -46,6 +46,7 @@ let client_tas sim ~nic ~span ~trace =
       rx_buf_size = 16384;
       tx_buf_size = 16384;
       trace_enabled = trace;
+      timeline_interval_ns = timeline_ns;
     }
   in
   let tas = Tas.create sim ~nic ~config ~span () in
@@ -57,7 +58,7 @@ let client_tas sim ~nic ~span ~trace =
   (tas, transport)
 
 let build ?(sample_every = 16) ?(capacity = 65536) ?(n_conns = 8)
-    ?(msg_size = 64) ?(pipeline = 4) ?(trace = false) () =
+    ?(msg_size = 64) ?(pipeline = 4) ?(trace = false) ?(timeline_ns = 0) () =
   let sim = Sim.create () in
   let net = Topology.star sim ~n_clients:1 ~queues_per_nic:8 () in
   let span = Span.create ~enabled:true ~sample_every ~capacity () in
@@ -66,7 +67,7 @@ let build ?(sample_every = 16) ?(capacity = 65536) ?(n_conns = 8)
   Switch.set_span net.Topology.switch span;
   let server =
     Scenario.build_server sim ~nic:net.Topology.server.Topology.nic
-      ~kind:Scenario.Tas_so ~total_cores:4 ~span
+      ~kind:Scenario.Tas_so ~total_cores:4 ~span ~timeline_ns
       ~tas_patch:(fun c -> { c with Config.trace_enabled = trace })
       ()
   in
@@ -78,6 +79,7 @@ let build ?(sample_every = 16) ?(capacity = 65536) ?(n_conns = 8)
   in
   let client_tas, client_transport =
     client_tas sim ~nic:net.Topology.clients.(0).Topology.nic ~span ~trace
+      ~timeline_ns
   in
   let stats = Rpc_echo.make_stats () in
   Rpc_echo.closed_loop_clients sim client_transport ~n:n_conns

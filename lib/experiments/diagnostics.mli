@@ -21,12 +21,15 @@ val build :
   ?msg_size:int ->
   ?pipeline:int ->
   ?trace:bool ->
+  ?timeline_ns:int ->
   unit ->
   t
 (** Defaults: sample 1 packet in 16 per origin, 65536-event ring, 8
     connections of 64-byte pipelined (depth 4) echo RPCs. [trace] enables
-    both hosts' structured trace rings (default off). Deterministic: same
-    parameters, same event stream. *)
+    both hosts' structured trace rings (default off); [timeline_ns]
+    (default 0 = off) turns on both hosts' timeline flight recorders at
+    that frame interval. Deterministic: same parameters, same event
+    stream. *)
 
 val run : t -> duration_ns:Tas_engine.Time_ns.t -> unit
 

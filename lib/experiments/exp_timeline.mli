@@ -1,0 +1,8 @@
+(** "tl": timeline flight-recorder validation — a ramp + flash-crowd +
+    trough RPC schedule recorded at 1 ms frames, checking same-seed
+    byte-identity, serial-vs-parallel merge identity, health-watchdog
+    silence on the clean baseline and retransmit-storm detection under
+    injected loss + a link blackout, and that per-core utilization tracks
+    the load shape. *)
+
+val run : ?quick:bool -> Format.formatter -> unit

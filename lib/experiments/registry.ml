@@ -58,6 +58,8 @@ let all =
       run = Exp_sharding.run };
     { id = "ar"; title = "Arena differential: off-heap flow arena vs boxed records";
       run = (fun ?quick fmt -> Exp_arena.run ?quick fmt) };
+    { id = "tl"; title = "Timeline: flight recorder under ramp + flash crowd + chaos";
+      run = Exp_timeline.run };
   ]
 
 let find id = List.find_opt (fun e -> String.lowercase_ascii id = e.id) all
@@ -91,6 +93,31 @@ let write_artifact e ~quick ~timing body =
   close_out oc;
   path
 
+(* Timelines get their own artifact next to BENCH_<id>.json: frames are
+   bulky and fully deterministic, so keeping them out of the BENCH body
+   leaves the cut-at-"timing" diff contract untouched. *)
+let write_timelines e timelines =
+  let j =
+    J.Obj
+      [
+        ("experiment", J.Str e.id);
+        ( "timelines",
+          J.List
+            (List.map
+               (fun (name, tl) ->
+                 J.Obj [ ("name", J.Str name); ("timeline", tl) ])
+               timelines) );
+      ]
+  in
+  let path =
+    Filename.concat (bench_dir ()) (Printf.sprintf "TIMELINE_%s.json" e.id)
+  in
+  let oc = open_out path in
+  output_string oc (J.to_string ~pretty:true j);
+  output_char oc '\n';
+  close_out oc;
+  path
+
 (* Run one experiment with its text output buffered and its artifact
    captured. Self-contained (no shared mutable state beyond the
    domain-local artifact), so it can run on any pool domain. *)
@@ -98,12 +125,14 @@ let run_captured ?quick e =
   let buf = Buffer.create 4096 in
   let bfmt = Format.formatter_of_buffer buf in
   Report.Artifact.start ();
+  ignore (Report.Artifact.take_timelines ());
   let t0 = Unix.gettimeofday () in
   e.run ?quick bfmt;
   let elapsed = Unix.gettimeofday () -. t0 in
   Format.pp_print_flush bfmt ();
   let body = Report.Artifact.finish () in
-  (Buffer.contents buf, body, elapsed)
+  let timelines = Report.Artifact.take_timelines () in
+  (Buffer.contents buf, body, timelines, elapsed)
 
 let timing_json ~elapsed ~jobs ~run_wall ~serial_estimate =
   let speedup = if run_wall > 0.0 then serial_estimate /. run_wall else 1.0 in
@@ -116,16 +145,22 @@ let timing_json ~elapsed ~jobs ~run_wall ~serial_estimate =
       ("speedup", J.Float speedup);
     ]
 
-let emit_result ?quick fmt e ~timing (text, body, _elapsed) =
+let emit_result ?quick fmt e ~timing (text, body, timelines, _elapsed) =
   Format.fprintf fmt "%s" text;
   (try
      let path = write_artifact e ~quick:(quick = Some true) ~timing body in
      Format.fprintf fmt "  # artifact: %s@." path
    with Sys_error msg ->
-     Format.fprintf fmt "  # BENCH_%s.json not written: %s@." e.id msg)
+     Format.fprintf fmt "  # BENCH_%s.json not written: %s@." e.id msg);
+  if timelines <> [] then
+    try
+      let path = write_timelines e timelines in
+      Format.fprintf fmt "  # timeline: %s@." path
+    with Sys_error msg ->
+      Format.fprintf fmt "  # TIMELINE_%s.json not written: %s@." e.id msg
 
 let run_entry ?quick e fmt =
-  let ((_, _, elapsed) as r) = run_captured ?quick e in
+  let ((_, _, _, elapsed) as r) = run_captured ?quick e in
   let timing =
     timing_json ~elapsed ~jobs:1 ~run_wall:elapsed ~serial_estimate:elapsed
   in
@@ -145,13 +180,13 @@ let run_selection ?quick ?(jobs = 1) entries fmt =
   in
   let run_wall = Unix.gettimeofday () -. t0 in
   let serial_estimate =
-    Array.fold_left (fun acc (_, _, e) -> acc +. e) 0.0 results
+    Array.fold_left (fun acc (_, _, _, e) -> acc +. e) 0.0 results
   in
   (* Deterministic merge: emit in submission order regardless of which
      domain finished first. *)
   Array.iteri
     (fun i e ->
-      let ((_, _, elapsed) as r) = results.(i) in
+      let ((_, _, _, elapsed) as r) = results.(i) in
       let timing = timing_json ~elapsed ~jobs ~run_wall ~serial_estimate in
       emit_result ?quick fmt e ~timing r;
       Format.fprintf fmt "  (%.1fs)@." elapsed)

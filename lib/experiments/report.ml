@@ -27,9 +27,26 @@ module Artifact = struct
       J.List (List.rev a.rev)
 
   let attach name j = add (J.Obj [ (name, j) ])
+
+  (* Timelines are kept out of the BENCH body: they can be large and have
+     their own artifact file (TIMELINE_<id>.json). Same domain-local
+     discipline as the main artifact. *)
+  let tl_key : (string * J.t) list ref Domain.DLS.key =
+    Domain.DLS.new_key (fun () -> ref [])
+
+  let add_timeline ~name j =
+    let c = Domain.DLS.get tl_key in
+    c := (name, j) :: !c
+
+  let take_timelines () =
+    let c = Domain.DLS.get tl_key in
+    let tls = List.rev !c in
+    c := [];
+    tls
 end
 
 let attach = Artifact.attach
+let add_timeline = Artifact.add_timeline
 
 let section fmt title =
   Artifact.add (J.Obj [ ("section", J.Str title) ]);

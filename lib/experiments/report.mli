@@ -19,10 +19,22 @@ module Artifact : sig
   val attach : string -> Tas_telemetry.Json.t -> unit
   (** Add a raw named JSON item (e.g. a metrics snapshot) to the open
       artifact. No-op when none is open. *)
+
+  val add_timeline : name:string -> Tas_telemetry.Json.t -> unit
+  (** Stage a named timeline document ({!Tas_telemetry.Timeline.to_json})
+      for the run's [TIMELINE_<id>.json] artifact — kept out of the BENCH
+      body because frames can dwarf the rest of the output. Domain-local
+      like the artifact itself. *)
+
+  val take_timelines : unit -> (string * Tas_telemetry.Json.t) list
+  (** Drain the staged timelines (registration order), clearing the slot. *)
 end
 
 val attach : string -> Tas_telemetry.Json.t -> unit
 (** Alias for {!Artifact.attach}. *)
+
+val add_timeline : name:string -> Tas_telemetry.Json.t -> unit
+(** Alias for {!Artifact.add_timeline}. *)
 
 val section : Format.formatter -> string -> unit
 (** Header naming the paper table/figure being reproduced. *)

@@ -16,3 +16,8 @@ let trace_capacity ~default = Option.value !trace_capacity_override ~default
 let jobs_setting = ref 1
 let set_jobs n = jobs_setting := max 1 n
 let jobs () = !jobs_setting
+
+let timeline_interval_override = ref None
+let set_timeline_interval_ns n = timeline_interval_override := Some n
+let timeline_interval_ns ~default =
+  Option.value !timeline_interval_override ~default

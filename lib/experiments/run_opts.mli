@@ -24,3 +24,10 @@ val jobs : unit -> int
     independent sub-runs (chaos schedules, stats batches) fan out over
     their own domain pool of this size; the deterministic merge keeps
     their output byte-identical to a serial run. *)
+
+val set_timeline_interval_ns : int -> unit
+(** Record the CLI's [--interval] timeline sampling override (ns). *)
+
+val timeline_interval_ns : default:int -> int
+(** CLI override if set, else [default]. Experiments that record timelines
+    consult this for their frame cadence. *)

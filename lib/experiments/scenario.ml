@@ -57,7 +57,8 @@ let core_split kind ~total ~app_cycles =
     end
 
 let build_server sim ~nic ~kind ~total_cores ?(app_cycles = 680)
-    ?(buf_size = 16384) ?(tas_patch = fun c -> c) ?split ?span () =
+    ?(buf_size = 16384) ?(tas_patch = fun c -> c) ?split ?span
+    ?(timeline_ns = 0) () =
   let app_n, stack_n =
     match split with
     | Some s -> s
@@ -76,6 +77,7 @@ let build_server sim ~nic ~kind ~total_cores ?(app_cycles = 680)
           Config.max_fast_path_cores = max 1 stack_n;
           rx_buf_size = buf_size;
           tx_buf_size = buf_size;
+          timeline_interval_ns = timeline_ns;
         }
     in
     let tas = Tas.create sim ~nic ~config ?span () in

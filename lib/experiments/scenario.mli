@@ -32,12 +32,15 @@ val build_server :
   ?tas_patch:(Tas_core.Config.t -> Tas_core.Config.t) ->
   ?split:int * int ->
   ?span:Tas_telemetry.Span.t ->
+  ?timeline_ns:int ->
   unit ->
   server
 (** [buf_size] sets both per-connection buffer sizes (default 16 KB; shrink
     for 100 K-connection runs). [app_cycles] (default 680) informs the core
     split. [span] attaches a latency-span collector to TAS-kind servers
-    (ignored for baseline stacks). *)
+    (ignored for baseline stacks). [timeline_ns] (default 0 = off) turns on
+    the timeline flight recorder at that frame interval for TAS-kind
+    servers. *)
 
 val client_transport :
   Tas_engine.Sim.t -> Tas_netsim.Topology.endpoint -> ?buf_size:int -> unit ->

@@ -17,9 +17,13 @@ type entry = {
 type t = {
   tbl : (string * labels, entry) Hashtbl.t;
   mutable rev_order : entry list;  (* insertion order, for iteration *)
+  q_points : float list;  (* percentile points for hist summaries *)
 }
 
-let create () = { tbl = Hashtbl.create 64; rev_order = [] }
+let default_quantiles = [ 50.0; 90.0; 99.0; 99.9 ]
+
+let create ?(quantiles = default_quantiles) () =
+  { tbl = Hashtbl.create 64; rev_order = []; q_points = quantiles }
 
 let norm_labels labels =
   List.sort (fun (a, _) (b, _) -> String.compare a b) labels
@@ -79,10 +83,19 @@ type hist_summary = {
   count : int;
   mean : float;
   max_v : float;
-  p50 : float;
-  p90 : float;
-  p99 : float;
+  quantiles : (float * float) list;
+  buckets : (int * int) list;
 }
+
+let hist_of_summary h =
+  Stats.Hist.of_buckets
+    ~sum:(h.mean *. float_of_int h.count)
+    ~max_v:h.max_v h.buckets
+
+let quantile h p =
+  match List.assoc_opt p h.quantiles with
+  | Some v -> v
+  | None -> Stats.Hist.percentile (hist_of_summary h) p
 
 type value =
   | Counter of int
@@ -96,19 +109,19 @@ type sample = {
   s_value : value;
 }
 
-let read = function
+let summarize ~points h =
+  {
+    count = Stats.Hist.count h;
+    mean = Stats.Hist.mean h;
+    max_v = Stats.Hist.max_v h;
+    quantiles = List.map (fun p -> (p, Stats.Hist.percentile h p)) points;
+    buckets = Stats.Hist.buckets h;
+  }
+
+let read ~points = function
   | Counter_fn f -> Counter (f ())
   | Gauge_fn f -> Gauge (f ())
-  | Histogram h ->
-    Hist
-      {
-        count = Stats.Hist.count h;
-        mean = Stats.Hist.mean h;
-        max_v = Stats.Hist.max_v h;
-        p50 = Stats.Hist.percentile h 50.0;
-        p90 = Stats.Hist.percentile h 90.0;
-        p99 = Stats.Hist.percentile h 99.0;
-      }
+  | Histogram h -> Hist (summarize ~points h)
 
 let compare_entry a b =
   match String.compare a.name b.name with
@@ -123,27 +136,22 @@ let snapshot t =
            s_name = e.name;
            s_labels = e.labels;
            s_help = e.help;
-           s_value = read e.instrument;
+           s_value = read ~points:t.q_points e.instrument;
          })
 
 (* --- Cross-registry merge ----------------------------------------------- *)
 
+(* Exact merge: sum the raw buckets, rebuild a histogram, and re-query the
+   quantile points of the first summary on the combined distribution. *)
 let merge_hist a b =
-  let n = a.count + b.count in
-  if n = 0 then a
+  if a.count + b.count = 0 then a
   else begin
-    let wa = float_of_int a.count and wb = float_of_int b.count in
-    let wavg x y = ((x *. wa) +. (y *. wb)) /. (wa +. wb) in
-    {
-      count = n;
-      mean = wavg a.mean b.mean;
-      max_v = Float.max a.max_v b.max_v;
-      (* Count-weighted quantile average: an approximation (exact merged
-         quantiles need the raw buckets), adequate for batch summaries. *)
-      p50 = wavg a.p50 b.p50;
-      p90 = wavg a.p90 b.p90;
-      p99 = wavg a.p99 b.p99;
-    }
+    let h = Stats.Hist.merge (hist_of_summary a) (hist_of_summary b) in
+    let points =
+      if a.quantiles <> [] then List.map fst a.quantiles
+      else List.map fst b.quantiles
+    in
+    summarize ~points h
   end
 
 let merge_value a b =
@@ -231,9 +239,9 @@ let to_prometheus t =
             (Printf.sprintf "%s%s %s\n" s.s_name (prom_labels labels)
                (Json.float_repr v))
         in
-        q "0.5" h.p50;
-        q "0.9" h.p90;
-        q "0.99" h.p99;
+        List.iter
+          (fun (p, v) -> q (Printf.sprintf "%g" (p /. 100.0)) v)
+          h.quantiles;
         Buffer.add_string b
           (Printf.sprintf "%s_count%s %d\n" s.s_name ls h.count);
         Buffer.add_string b
@@ -253,18 +261,31 @@ let sample_to_json s =
     | Counter v -> [ ("type", Json.Str "counter"); ("value", Json.Int v) ]
     | Gauge v -> [ ("type", Json.Str "gauge"); ("value", Json.Float v) ]
     | Hist h ->
+      (* 50. -> "p50", 99.9 -> "p999": drop the decimal point so quantile
+         keys stay bare identifiers. *)
+      let pkey p =
+        "p"
+        ^ String.concat ""
+            (String.split_on_char '.' (Printf.sprintf "%g" p))
+      in
+      let qs = List.map (fun (p, v) -> (pkey p, Json.Float v)) h.quantiles in
+      let bks =
+        Json.List
+          (List.map
+             (fun (i, c) -> Json.List [ Json.Int i; Json.Int c ])
+             h.buckets)
+      in
       [
         ("type", Json.Str "histogram");
         ( "value",
           Json.Obj
-            [
-              ("count", Json.Int h.count);
-              ("mean", Json.Float h.mean);
-              ("max", Json.Float h.max_v);
-              ("p50", Json.Float h.p50);
-              ("p90", Json.Float h.p90);
-              ("p99", Json.Float h.p99);
-            ] );
+            ([
+               ("count", Json.Int h.count);
+               ("mean", Json.Float h.mean);
+               ("max", Json.Float h.max_v);
+             ]
+            @ qs
+            @ [ ("buckets", bks) ]) );
       ]
   in
   Json.Obj (base @ value)

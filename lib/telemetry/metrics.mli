@@ -21,7 +21,14 @@ type t
 type labels = (string * string) list
 (** Label sets are normalized (sorted by key) at registration. *)
 
-val create : unit -> t
+val default_quantiles : float list
+(** [[50.; 90.; 99.; 99.9]] — the percentile points histogram summaries
+    report unless overridden at {!create}. *)
+
+val create : ?quantiles:float list -> unit -> t
+(** [quantiles] sets the percentile points (in [0,100]) that every
+    histogram summary of this registry reports; defaults to
+    {!default_quantiles}. *)
 
 val counter_fn : t -> ?labels:labels -> ?help:string -> string -> (unit -> int) -> unit
 (** Register a monotonic counter read through a closure.
@@ -44,10 +51,17 @@ type hist_summary = {
   count : int;
   mean : float;
   max_v : float;
-  p50 : float;
-  p90 : float;
-  p99 : float;
+  quantiles : (float * float) list;
+      (** [(percentile point, value)] pairs in the registry's quantile
+          order, e.g. [(50., v50); ...; (99.9, v999)]. *)
+  buckets : (int * int) list;
+      (** Sparse raw histogram buckets ([Stats.Hist.buckets]): the lossless
+          transport that makes merged quantiles exact. *)
 }
+
+val quantile : hist_summary -> float -> float
+(** [quantile h p] returns the reported value at percentile point [p],
+    recomputing from [h.buckets] when [p] is not among [h.quantiles]. *)
 
 type value = Counter of int | Gauge of float | Hist of hist_summary
 
@@ -64,11 +78,12 @@ val snapshot : t -> sample list
 val merge : sample list list -> sample list
 (** Aggregate snapshots from several registries (e.g. one per domain of a
     parallel batch) into one: samples sharing (name, labels) combine —
-    counters and gauges sum; histogram summaries merge with summed counts,
-    count-weighted means/quantiles (an approximation; exact merged
-    quantiles would need the raw buckets) and max-of-max. Output is sorted
-    by (name, labels) like {!snapshot}, so merging is deterministic and
-    independent of input order up to equal keys.
+    counters sum, gauges sum, and histogram summaries merge {e exactly}:
+    raw buckets are summed and the quantile points re-queried on the
+    combined distribution, so the merged summary equals what one histogram
+    over all samples would report (no count-weighted approximation).
+    Output is sorted by (name, labels) like {!snapshot}, so merging is
+    deterministic and independent of input order up to equal keys.
     @raise Invalid_argument when the same key carries different sample
     types in different snapshots. *)
 
@@ -76,7 +91,8 @@ val merge : sample list list -> sample list
 
 val to_prometheus : t -> string
 (** Prometheus text exposition format; histograms export as summaries with
-    0.5/0.9/0.99 quantiles plus [_count] and [_max] series. *)
+    one quantile series per configured point (default
+    0.5/0.9/0.99/0.999) plus [_count] and [_max] series. *)
 
 val sample_to_json : sample -> Json.t
 (** One snapshot (or merged) sample as the same JSON shape {!to_json}

@@ -21,6 +21,11 @@ type kind =
   | Csum_drop
   | Rst_tx
   | Shard_migrate
+  | Health_rexmit_storm
+  | Health_arena_pressure
+  | Health_shard_imbalance
+  | Health_backlog_growth
+  | Health_ring_drops
 
 let kind_name = function
   | Rx_data -> "rx_data"
@@ -43,13 +48,20 @@ let kind_name = function
   | Csum_drop -> "csum_drop"
   | Rst_tx -> "rst_tx"
   | Shard_migrate -> "shard_migrate"
+  | Health_rexmit_storm -> "health_rexmit_storm"
+  | Health_arena_pressure -> "health_arena_pressure"
+  | Health_shard_imbalance -> "health_shard_imbalance"
+  | Health_backlog_growth -> "health_backlog_growth"
+  | Health_ring_drops -> "health_ring_drops"
 
 let all_kinds =
   [
     Rx_data; Rx_ack; Tx_data; Ack_tx; Ooo_store; Payload_drop; Fast_rexmit;
     Timeout_rexmit; Conn_setup; Conn_teardown; Exception_fwd; Core_scale;
     Fault_drop; Fault_dup; Fault_corrupt; Fault_hold; Malformed_drop;
-    Csum_drop; Rst_tx; Shard_migrate;
+    Csum_drop; Rst_tx; Shard_migrate; Health_rexmit_storm;
+    Health_arena_pressure; Health_shard_imbalance; Health_backlog_growth;
+    Health_ring_drops;
   ]
 
 type event = {

@@ -20,6 +20,7 @@ let () =
       ("cc_properties", Test_cc_properties.suite);
       ("stats_properties", Test_stats_properties.suite);
       ("telemetry", Test_telemetry.suite);
+      ("timeline", Test_timeline.suite);
       ("wrap_edges", Test_wrap_edges.suite);
       ("determinism", Test_determinism.suite);
       ("parallel", Test_parallel.suite);
