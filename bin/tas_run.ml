@@ -9,7 +9,8 @@
      tas_run trace         write a Chrome trace (chrome://tracing, Perfetto)
      tas_run top           periodic text dashboard replayed from the timeline
      tas_run timeline      per-series sparklines from a TIMELINE_* artifact
-     tas_run health        run the watchdog rules over a recorded timeline *)
+     tas_run health        run the watchdog rules over a recorded timeline
+     tas_run autoscale     elastic-controller decision history + cores chart *)
 
 module Registry = Tas_experiments.Registry
 module Perf_bench = Tas_experiments.Perf_bench
@@ -433,6 +434,129 @@ let health_cmd duration_ms interval_us conns =
   Format.pp_print_flush fmt ();
   if server_ok && client_ok then 0 else 1
 
+(* --- autoscale ----------------------------------------------------------- *)
+
+(* JSON field coercions for replaying the el experiment's "autoscale"
+   attachment. Missing or mistyped fields degrade to neutral defaults —
+   the artifact is ours, so mismatches mean version skew, not attacks. *)
+let j_get name j = Option.value (Json.member name j) ~default:Json.Null
+let j_float name j = Option.value (Json.to_float_opt (j_get name j)) ~default:0.0
+let j_int name j = match j_get name j with Json.Int i -> i | _ -> 0
+let j_bool name j = match j_get name j with Json.Bool b -> b | _ -> false
+let j_str name j = match j_get name j with Json.Str s -> s | _ -> ""
+let j_list name j = match j_get name j with Json.List l -> l | _ -> []
+
+let yesno b = if b then "yes" else "no"
+
+let print_policy ~decisions_n p =
+  let name = j_str "policy" p in
+  let ctl = j_get "controller" p in
+  Printf.printf "\n%s\n" name;
+  Printf.printf
+    "  tracks load: %-3s  day %.2f  flash %.2f  trough %.2f cores (mean)\n"
+    (yesno (j_bool "tracks_load" p))
+    (j_float "day_cores" p) (j_float "flash_cores" p)
+    (j_float "trough_cores" p);
+  Printf.printf
+    "  ctl: ticks %d  ups %d  downs %d  denied-cooldown %d  held-confirm %d  \
+     target %d\n"
+    (j_int "ticks" ctl) (j_int "scale_ups" ctl) (j_int "scale_downs" ctl)
+    (j_int "denied_cooldown" ctl) (j_int "held_confirm" ctl)
+    (j_int "target_cores" ctl);
+  Printf.printf "  scale-down p99 blip: %.1f us over %d mid-load shrinks\n"
+    (j_float "scale_down_blip_p99_us" p)
+    (j_int "scale_downs_observed" p);
+  let cores =
+    List.filter_map
+      (function
+        | Json.List [ _; v ] -> Json.to_float_opt v
+        | _ -> None)
+      (j_list "cores_series_ms" p)
+  in
+  (match cores with
+  | [] -> ()
+  | _ ->
+    let lo = List.fold_left min (List.hd cores) cores in
+    let hi = List.fold_left max (List.hd cores) cores in
+    Printf.printf "  cores %.0f..%.0f  %s\n" lo hi (sparkline ~width:60 cores));
+  let tail = j_list "decisions_tail" p in
+  let tail_n = List.length tail in
+  let skip = max 0 (tail_n - decisions_n) in
+  if tail_n > 0 then begin
+    Printf.printf "  last %d decisions:\n" (min decisions_n tail_n);
+    Printf.printf "    %8s  %-13s  %-15s %s\n" "t_ms" "active->target"
+      "verdict" "reason";
+    List.iteri
+      (fun i d ->
+        if i >= skip then
+          Printf.printf "    %8.1f  %5d -> %-5d  %-15s %s\n"
+            (float_of_int (j_int "ts" d) /. 1e6)
+            (j_int "active" d) (j_int "target" d) (j_str "verdict" d)
+            (j_str "reason" d))
+      tail
+  end
+
+let autoscale_cmd quick json_flag decisions_n bench_dir =
+  apply_opts bench_dir None;
+  match Registry.find "el" with
+  | None ->
+    Printf.eprintf "experiment 'el' not registered\n";
+    1
+  | Some e ->
+    ignore (Registry.run_entry ~quick e null_formatter);
+    let path = Filename.concat (Run_opts.bench_dir ()) "BENCH_el.json" in
+    if not (Sys.file_exists path) then begin
+      Printf.eprintf "BENCH_el.json not written\n";
+      1
+    end
+    else begin
+      let doc =
+        Json.of_string (In_channel.with_open_text path In_channel.input_all)
+      in
+      let attach =
+        match Json.member "output" doc with
+        | Some (Json.List items) ->
+          List.find_map (fun item -> Json.member "autoscale" item) items
+        | _ -> None
+      in
+      match attach with
+      | None ->
+        Printf.eprintf "no 'autoscale' attachment in %s\n" path;
+        1
+      | Some a when json_flag ->
+        print_string (Json.to_string ~pretty:true a);
+        print_newline ();
+        0
+      | Some a ->
+        Printf.printf
+          "elastic controller: diurnal autoscaling (el%s)\n"
+          (if quick then ", quick" else "");
+        Printf.printf
+          "  timeline %dus frames, scale check every %dus, SLO target %.0fus\n"
+          (j_int "interval_ns" a / 1000)
+          (j_int "scale_check_ns" a / 1000)
+          (j_float "slo_target_us" a);
+        Printf.printf
+          "  determinism: same-seed identical %s | serial vs -j%d identical \
+           %s\n"
+          (yesno (j_bool "same_seed_identical" a))
+          (j_int "parallel_jobs" a)
+          (yesno (j_bool "parallel_identical" a));
+        Printf.printf
+          "  watchdog (damped policies): %d violations | paper core-flap \
+           frames: %d\n"
+          (j_int "health_violations" a)
+          (j_int "paper_core_flap_frames" a);
+        Printf.printf
+          "  scale-down blip: paper %.1fus vs hysteresis %.1fus (hysteresis \
+           smaller: %s)\n"
+          (j_float "blip_paper_us" a)
+          (j_float "blip_hysteresis_us" a)
+          (yesno (j_bool "blip_smaller_under_hysteresis" a));
+        List.iter (print_policy ~decisions_n) (j_list "policies" a);
+        0
+    end
+
 (* --- cmdliner wiring ---------------------------------------------------- *)
 
 open Cmdliner
@@ -709,13 +833,42 @@ let health_cmd_v =
     (Cmd.info "health" ~doc ~man)
     Term.(const health_cmd $ duration_arg 40 $ interval_us $ conns)
 
+let autoscale_cmd_v =
+  let doc = "run the el experiment and chart the controller's decisions" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Runs the elastic-controller diurnal experiment (el), reads back \
+         the 'autoscale' section of BENCH_el.json, and renders it: the \
+         determinism and watchdog gates, then one block per policy \
+         (paper_threshold, hysteresis, slo) with its controller counters, \
+         an active-cores sparkline over the run, and the tail of its \
+         decision history — each decision with the verdict (grow / shrink \
+         / hold / denied-cooldown / held-confirm) and the signal values \
+         that drove it. $(b,--json) dumps the raw attachment instead.";
+    ]
+  in
+  let json_flag =
+    let doc = "Print the raw 'autoscale' JSON attachment to stdout." in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let decisions_n =
+    let doc = "Number of trailing controller decisions to print per policy." in
+    Arg.(value & opt int 10 & info [ "decisions"; "n" ] ~docv:"N" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "autoscale" ~doc ~man)
+    Term.(
+      const autoscale_cmd $ quick $ json_flag $ decisions_n $ bench_dir_arg)
+
 let cmd =
   let doc = "reproduce the TAS (EuroSys'19) evaluation" in
   let info = Cmd.info "tas_run" ~doc in
   Cmd.group ~default:run_term info
     [
       run_cmd_v; list_cmd_v; perf_cmd_v; flows_cmd_v; stats_cmd_v;
-      trace_cmd_v; top_cmd_v; timeline_cmd_v; health_cmd_v;
+      trace_cmd_v; top_cmd_v; timeline_cmd_v; health_cmd_v; autoscale_cmd_v;
     ]
 
 let () = exit (Cmd.eval' cmd)

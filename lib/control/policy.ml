@@ -1,0 +1,307 @@
+module Json = Tas_telemetry.Json
+
+type signals = {
+  s_ts : int;
+  s_active : int;
+  s_max_cores : int;
+  s_idle_cores : float;
+  s_core_idle : float array;
+  s_sp_backlog_ns : int;
+  s_flows : int;
+  s_arena_occupancy : float;
+  s_shard_imbalance : float;
+  s_p99_us : float;
+}
+
+type spec =
+  | Paper_threshold of { up_idle : float; down_idle : float }
+  | Hysteresis of {
+      up_idle : float;
+      down_idle : float;
+      up_cooldown_ticks : int;
+      down_cooldown_ticks : int;
+      up_step : int;
+      down_confirm_ticks : int;
+    }
+  | Slo of {
+      p99_target_us : float;
+      headroom : float;
+      up_cooldown_ticks : int;
+      down_cooldown_ticks : int;
+      min_idle_to_shrink : float;
+      down_confirm_ticks : int;
+    }
+
+let paper_default = Paper_threshold { up_idle = 0.2; down_idle = 1.25 }
+
+let hysteresis_default =
+  Hysteresis
+    {
+      up_idle = 0.2;
+      down_idle = 1.25;
+      up_cooldown_ticks = 1;
+      down_cooldown_ticks = 10;
+      up_step = 2;
+      down_confirm_ticks = 3;
+    }
+
+let slo_default ~p99_target_us =
+  Slo
+    {
+      p99_target_us;
+      headroom = 0.5;
+      up_cooldown_ticks = 2;
+      down_cooldown_ticks = 8;
+      min_idle_to_shrink = 0.8;
+      down_confirm_ticks = 3;
+    }
+
+let name = function
+  | Paper_threshold _ -> "paper_threshold"
+  | Hysteresis _ -> "hysteresis"
+  | Slo _ -> "slo"
+
+let spec_to_json spec =
+  match spec with
+  | Paper_threshold p ->
+    Json.Obj
+      [
+        ("policy", Json.Str "paper_threshold");
+        ("up_idle", Json.Float p.up_idle);
+        ("down_idle", Json.Float p.down_idle);
+      ]
+  | Hysteresis p ->
+    Json.Obj
+      [
+        ("policy", Json.Str "hysteresis");
+        ("up_idle", Json.Float p.up_idle);
+        ("down_idle", Json.Float p.down_idle);
+        ("up_cooldown_ticks", Json.Int p.up_cooldown_ticks);
+        ("down_cooldown_ticks", Json.Int p.down_cooldown_ticks);
+        ("up_step", Json.Int p.up_step);
+        ("down_confirm_ticks", Json.Int p.down_confirm_ticks);
+      ]
+  | Slo p ->
+    Json.Obj
+      [
+        ("policy", Json.Str "slo");
+        ("p99_target_us", Json.Float p.p99_target_us);
+        ("headroom", Json.Float p.headroom);
+        ("up_cooldown_ticks", Json.Int p.up_cooldown_ticks);
+        ("down_cooldown_ticks", Json.Int p.down_cooldown_ticks);
+        ("min_idle_to_shrink", Json.Float p.min_idle_to_shrink);
+        ("down_confirm_ticks", Json.Int p.down_confirm_ticks);
+      ]
+
+let slo_target_cores ~p99_target_us ~headroom ~active ~p99_us =
+  if p99_us < 0.0 then active
+  else if p99_us > p99_target_us then active + 1
+  else if p99_us < headroom *. p99_target_us then active - 1
+  else active
+
+type verdict = Grow | Shrink | Hold | Denied_cooldown | Held_confirm
+
+let verdict_name = function
+  | Grow -> "grow"
+  | Shrink -> "shrink"
+  | Hold -> "hold"
+  | Denied_cooldown -> "denied_cooldown"
+  | Held_confirm -> "held_confirm"
+
+let verdict_code = function
+  | Grow -> 0
+  | Shrink -> 1
+  | Hold -> 2
+  | Denied_cooldown -> 3
+  | Held_confirm -> 4
+
+type decision = {
+  d_ts : int;
+  d_active : int;
+  d_target : int;
+  d_verdict : verdict;
+  d_reason : string;
+  d_signals : signals;
+}
+
+let decision_to_json d =
+  Json.Obj
+    [
+      ("ts", Json.Int d.d_ts);
+      ("active", Json.Int d.d_active);
+      ("target", Json.Int d.d_target);
+      ("verdict", Json.Str (verdict_name d.d_verdict));
+      ("reason", Json.Str d.d_reason);
+      ("idle_cores", Json.Float d.d_signals.s_idle_cores);
+      ("sp_backlog_ns", Json.Int d.d_signals.s_sp_backlog_ns);
+      ("flows", Json.Int d.d_signals.s_flows);
+      ("p99_us", Json.Float d.d_signals.s_p99_us);
+    ]
+
+(* Cooldown/confirmation bookkeeping. [tick] counts decide calls;
+   [last_grow]/[last_shrink] remember when the last action in each
+   direction fired (very negative so the first action is never denied). *)
+type state = {
+  mutable tick : int;
+  mutable last_grow : int;
+  mutable last_shrink : int;
+  mutable high_idle_streak : int;
+  mutable low_p99_streak : int;
+}
+
+let never = min_int / 2
+
+let create_state () =
+  {
+    tick = 0;
+    last_grow = never;
+    last_shrink = never;
+    high_idle_streak = 0;
+    low_p99_streak = 0;
+  }
+
+(* The legacy inline scaler, verbatim: shrink checked first, both
+   conditions strict, one core per tick, no memory. *)
+let decide_paper ~up_idle ~down_idle s =
+  if s.s_idle_cores > down_idle && s.s_active > 1 then
+    ( s.s_active - 1,
+      Shrink,
+      Printf.sprintf "idle %.2f > %.2f" s.s_idle_cores down_idle )
+  else if s.s_idle_cores < up_idle && s.s_active < s.s_max_cores then
+    ( s.s_active + 1,
+      Grow,
+      Printf.sprintf "idle %.2f < %.2f" s.s_idle_cores up_idle )
+  else (s.s_active, Hold, Printf.sprintf "idle %.2f in band" s.s_idle_cores)
+
+let decide_hysteresis ~up_idle ~down_idle ~up_cooldown_ticks
+    ~down_cooldown_ticks ~up_step ~down_confirm_ticks st s =
+  if s.s_idle_cores < up_idle && s.s_active < s.s_max_cores then begin
+    (* Up-fast: a saturated fast path bleeds latency every tick we wait. *)
+    st.high_idle_streak <- 0;
+    if st.tick - st.last_grow >= up_cooldown_ticks then begin
+      st.last_grow <- st.tick;
+      let target = min (s.s_active + max 1 up_step) s.s_max_cores in
+      ( target,
+        Grow,
+        Printf.sprintf "idle %.2f < %.2f: +%d" s.s_idle_cores up_idle
+          (target - s.s_active) )
+    end
+    else
+      ( s.s_active,
+        Denied_cooldown,
+        Printf.sprintf "grow cooldown %d/%d ticks" (st.tick - st.last_grow)
+          up_cooldown_ticks )
+  end
+  else if s.s_idle_cores > down_idle && s.s_active > 1 then begin
+    (* Down-slow: require the idle signal to persist, then rate-limit. *)
+    st.high_idle_streak <- st.high_idle_streak + 1;
+    if st.high_idle_streak < down_confirm_ticks then
+      ( s.s_active,
+        Held_confirm,
+        Printf.sprintf "idle high %d/%d ticks" st.high_idle_streak
+          down_confirm_ticks )
+    else if st.tick - st.last_shrink >= down_cooldown_ticks then begin
+      st.last_shrink <- st.tick;
+      st.high_idle_streak <- 0;
+      ( s.s_active - 1,
+        Shrink,
+        Printf.sprintf "idle %.2f > %.2f for %d ticks" s.s_idle_cores down_idle
+          down_confirm_ticks )
+    end
+    else
+      ( s.s_active,
+        Denied_cooldown,
+        Printf.sprintf "shrink cooldown %d/%d ticks" (st.tick - st.last_shrink)
+          down_cooldown_ticks )
+  end
+  else begin
+    st.high_idle_streak <- 0;
+    (s.s_active, Hold, Printf.sprintf "idle %.2f in band" s.s_idle_cores)
+  end
+
+let decide_slo ~p99_target_us ~headroom ~up_cooldown_ticks
+    ~down_cooldown_ticks ~min_idle_to_shrink ~down_confirm_ticks st s =
+  if s.s_p99_us < 0.0 then begin
+    st.low_p99_streak <- 0;
+    (s.s_active, Hold, "p99 unavailable")
+  end
+  else begin
+    let mapped =
+      slo_target_cores ~p99_target_us ~headroom ~active:s.s_active
+        ~p99_us:s.s_p99_us
+    in
+    if mapped > s.s_active && s.s_active < s.s_max_cores then begin
+      st.low_p99_streak <- 0;
+      if st.tick - st.last_grow >= up_cooldown_ticks then begin
+        st.last_grow <- st.tick;
+        ( min mapped s.s_max_cores,
+          Grow,
+          Printf.sprintf "p99 %.0fus > target %.0fus" s.s_p99_us p99_target_us
+        )
+      end
+      else
+        ( s.s_active,
+          Denied_cooldown,
+          Printf.sprintf "grow cooldown %d/%d ticks" (st.tick - st.last_grow)
+            up_cooldown_ticks )
+    end
+    else if
+      mapped < s.s_active && s.s_active > 1
+      && s.s_idle_cores > min_idle_to_shrink
+    then begin
+      st.low_p99_streak <- st.low_p99_streak + 1;
+      if st.low_p99_streak < down_confirm_ticks then
+        ( s.s_active,
+          Held_confirm,
+          Printf.sprintf "p99 low %d/%d ticks" st.low_p99_streak
+            down_confirm_ticks )
+      else if st.tick - st.last_shrink >= down_cooldown_ticks then begin
+        st.last_shrink <- st.tick;
+        st.low_p99_streak <- 0;
+        ( s.s_active - 1,
+          Shrink,
+          Printf.sprintf "p99 %.0fus < %.0f%% of target, idle %.2f" s.s_p99_us
+            (headroom *. 100.0) s.s_idle_cores )
+      end
+      else
+        ( s.s_active,
+          Denied_cooldown,
+          Printf.sprintf "shrink cooldown %d/%d ticks"
+            (st.tick - st.last_shrink) down_cooldown_ticks )
+    end
+    else begin
+      (* Inside the suppression band (or at a bound): flap suppression. *)
+      st.low_p99_streak <- 0;
+      ( s.s_active,
+        Hold,
+        Printf.sprintf "p99 %.0fus in [%.0f, %.0f]us band" s.s_p99_us
+          (headroom *. p99_target_us) p99_target_us )
+    end
+  end
+
+let decide spec st s =
+  st.tick <- st.tick + 1;
+  match spec with
+  | Paper_threshold { up_idle; down_idle } -> decide_paper ~up_idle ~down_idle s
+  | Hysteresis
+      {
+        up_idle;
+        down_idle;
+        up_cooldown_ticks;
+        down_cooldown_ticks;
+        up_step;
+        down_confirm_ticks;
+      } ->
+    decide_hysteresis ~up_idle ~down_idle ~up_cooldown_ticks
+      ~down_cooldown_ticks ~up_step ~down_confirm_ticks st s
+  | Slo
+      {
+        p99_target_us;
+        headroom;
+        up_cooldown_ticks;
+        down_cooldown_ticks;
+        min_idle_to_shrink;
+        down_confirm_ticks;
+      } ->
+    decide_slo ~p99_target_us ~headroom ~up_cooldown_ticks ~down_cooldown_ticks
+      ~min_idle_to_shrink ~down_confirm_ticks st s

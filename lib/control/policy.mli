@@ -1,0 +1,123 @@
+(** Pluggable autoscaling policies for the elastic core controller.
+
+    A policy is a pure decision table plus a small mutable confirmation /
+    cooldown state: given the per-interval {!signals} the controller
+    gathered, it proposes a target fast-path core count and explains the
+    verdict. Policies never actuate anything themselves — the
+    {!Controller} clamps the target and drives
+    [Fast_path.set_active_cores]. *)
+
+(** Per-interval observations handed to a policy on every controller tick.
+    Everything here is already aggregated by the caller (one snapshot per
+    tick), so a decision is a pure function of this record plus the
+    policy's own cooldown state. *)
+type signals = {
+  s_ts : int;  (** sim time of the tick (ns) *)
+  s_active : int;  (** fast-path cores currently active *)
+  s_max_cores : int;  (** configured ceiling ([Config.max_fast_path_cores]) *)
+  s_idle_cores : float;
+      (** summed idle fraction over the active cores in the last check
+          window — the paper's §3.4 workload-proportionality signal *)
+  s_core_idle : float array;
+      (** per-core idle fraction in the window (all configured cores;
+          inactive cores read 1.0) *)
+  s_sp_backlog_ns : int;  (** work queued behind the slow-path core *)
+  s_flows : int;  (** flows installed in the fast-path flow table *)
+  s_arena_occupancy : float;  (** live/capacity of the flow arena, 0 when unbacked *)
+  s_shard_imbalance : float;  (** max/mean per-shard flows, 1.0 when balanced or unknown *)
+  s_p99_us : float;
+      (** windowed p99 application latency (us); negative when no latency
+          probe is wired (the controller substitutes its probe, if any) *)
+}
+
+(** Policy specifications (pure data, so configs stay comparable and
+    printable). *)
+type spec =
+  | Paper_threshold of { up_idle : float; down_idle : float }
+      (** The paper's §3.4 rule, verbatim: shrink one core when the summed
+          idle over active cores exceeds [down_idle] (1.25), grow one when
+          it falls below [up_idle] (0.2). No damping — reproduces the
+          legacy inline scaler exactly, F15 latency blip included. *)
+  | Hysteresis of {
+      up_idle : float;
+      down_idle : float;
+      up_cooldown_ticks : int;  (** min ticks between grow actions *)
+      down_cooldown_ticks : int;  (** min ticks between shrink actions *)
+      up_step : int;  (** cores added per grow (shrink is always 1) *)
+      down_confirm_ticks : int;
+          (** consecutive high-idle ticks required before a shrink *)
+    }
+      (** Asymmetric damping: grow fast (optionally multiple cores, short
+          cooldown), shrink slow (confirmation window + long cooldown) so
+          scale-down happens after load has genuinely receded — tuned to
+          shrink the F15 scale-down latency blip. *)
+  | Slo of {
+      p99_target_us : float;  (** grow whenever windowed p99 exceeds this *)
+      headroom : float;
+          (** shrink only when p99 < headroom * target (e.g. 0.5) — the
+          flap-suppression band between grow and shrink triggers *)
+      up_cooldown_ticks : int;
+      down_cooldown_ticks : int;
+      min_idle_to_shrink : float;
+          (** additionally require this much summed idle before shrinking *)
+      down_confirm_ticks : int;
+    }
+      (** Latency-target mode: map the windowed p99 to a core count via
+          {!slo_target_cores}. Holds (never shrinks) while the latency
+          probe has no samples. *)
+
+val paper_default : spec
+(** [Paper_threshold { up_idle = 0.2; down_idle = 1.25 }] — the paper's
+    thresholds and the [Config.default] scaling policy. *)
+
+val hysteresis_default : spec
+val slo_default : p99_target_us:float -> spec
+
+val name : spec -> string
+(** ["paper_threshold" | "hysteresis" | "slo"]. *)
+
+val spec_to_json : spec -> Tas_telemetry.Json.t
+
+val slo_target_cores :
+  p99_target_us:float -> headroom:float -> active:int -> p99_us:float -> int
+(** The SLO core-count mapping: [active + 1] when p99 exceeds the target,
+    [active - 1] when p99 is below [headroom * target], [active] inside
+    the suppression band (or when [p99_us] is negative / unavailable). *)
+
+type verdict =
+  | Grow  (** target > active; the controller actuated a scale-up *)
+  | Shrink  (** target < active; scale-down *)
+  | Hold  (** signals inside the policy's dead band *)
+  | Denied_cooldown  (** a scale action was due but its cooldown hasn't expired *)
+  | Held_confirm  (** shrink signal present but the confirmation window is still filling *)
+
+val verdict_name : verdict -> string
+
+val verdict_code : verdict -> int
+(** Stable small-int encoding ([Grow] = 0 …) — the [flow] field of
+    [Ctl_scale] trace events (events are fixed-shape int records). *)
+
+(** One controller tick, fully auditable: what was observed, what the
+    policy said, what the controller did. *)
+type decision = {
+  d_ts : int;
+  d_active : int;  (** cores before the tick *)
+  d_target : int;  (** cores after (clamped); equals [d_active] unless Grow/Shrink *)
+  d_verdict : verdict;
+  d_reason : string;  (** the policy's one-line reasoning *)
+  d_signals : signals;
+}
+
+val decision_to_json : decision -> Tas_telemetry.Json.t
+(** Compact: ts/active/target/verdict/reason plus the load-bearing signals
+    (idle, backlog, flows, p99). *)
+
+type state
+(** Mutable cooldown/confirmation bookkeeping, one per controller. *)
+
+val create_state : unit -> state
+
+val decide : spec -> state -> signals -> int * verdict * string
+(** [(raw_target, verdict, reason)]. The target is not yet clamped to the
+    controller's [min, max] bounds (policies already respect
+    [s_active]/[s_max_cores], the clamp is defense in depth). *)

@@ -19,8 +19,7 @@ type t = {
   context_queue_capacity : int;
   dynamic_scaling : bool;
   scale_check_interval_ns : int;
-  scale_down_idle_cores : float;
-  scale_up_idle_cores : float;
+  scale_policy : Tas_control.Policy.spec;
   idle_block_ns : int;
   wakeup_ns : int;
   fp_driver_cycles : int;
@@ -67,8 +66,7 @@ let default =
     context_queue_capacity = 4096;
     dynamic_scaling = false;
     scale_check_interval_ns = 500_000_000;
-    scale_down_idle_cores = 1.25;
-    scale_up_idle_cores = 0.2;
+    scale_policy = Tas_control.Policy.paper_default;
     idle_block_ns = 10_000_000;
     wakeup_ns = 5_000;
     (* Table 1: TAS spends 0.09 kc driver + 0.81 kc TCP per request (one

@@ -35,8 +35,10 @@ type t = {
   context_queue_capacity : int;
   dynamic_scaling : bool;  (** workload-proportional core scaling, §3.4 *)
   scale_check_interval_ns : int;
-  scale_down_idle_cores : float;  (** remove a core above this idle total *)
-  scale_up_idle_cores : float;  (** add a core below this idle total *)
+  scale_policy : Tas_control.Policy.spec;
+      (** autoscaling policy evaluated every [scale_check_interval_ns] by
+          the elastic controller; default {!Tas_control.Policy.paper_default}
+          (the paper's 1.25/0.2 idle-core thresholds) *)
   idle_block_ns : int;  (** fast-path thread blocks after this idle time *)
   wakeup_ns : int;  (** cost of waking a blocked fast-path thread *)
   (* Fast-path per-packet CPU costs (cycles), calibrated to Table 1. *)

@@ -58,6 +58,12 @@ type t = {
   contexts : (int, Context.t) Hashtbl.t;
   mutable next_context_id : int;
   mutable active : int;
+  (* Whether [set_active_cores] has pushed [active] into the NIC's RSS
+     table at least once. The fast path starts with [active] = core count
+     while the RSS table starts spread over all queues; the first
+     actuation must always apply even when the counts coincide, after
+     which unchanged counts are no-ops (no spurious nic_rss_rewrites). *)
+  mutable rss_synced : bool;
   mutable exception_handler : Packet.t -> unit;
   stats : stats;
   trace : Trace.t;
@@ -140,6 +146,7 @@ let create ?trace ?span sim ~nic ~cores ~config =
     contexts = Hashtbl.create 16;
     next_context_id = 0;
     active = n;
+    rss_synced = false;
     exception_handler = ignore;
     stats =
       {
@@ -241,8 +248,14 @@ let register t m =
 let set_active_cores t n =
   (* Bounded by both the configured cores and the NIC's RSS queues. *)
   let n = max 1 (min n (min (Array.length t.cores) (Nic.num_queues t.nic))) in
-  t.active <- n;
-  Nic.set_active_queues t.nic n
+  (* Idempotent after the first sync: repeated controller ticks with an
+     unchanged target must not rewrite the redirection table (every
+     [Rss_table.set_active] bumps nic_rss_rewrites). *)
+  if n <> t.active || not t.rss_synced then begin
+    t.active <- n;
+    t.rss_synced <- true;
+    Nic.set_active_queues t.nic n
+  end
 
 let fresh_context_id t =
   let id = t.next_context_id in
@@ -751,17 +764,26 @@ let reinject t pkt =
     Packet.retain pkt;
     Core.run core ~cat ~cycles:(rx_cost t pkt) (fun () -> process t pkt core)
 
+(* Per-core idle fraction over the window since the previous call, for
+   every configured core. Active cores report clamped [0,1] idle from
+   their busy-ns delta; inactive cores read 1.0 (their snapshot still
+   refreshes so reactivation starts clean). One consumer per instance:
+   each call advances the shared snapshots. *)
+let core_idle_fractions t ~window_ns =
+  Array.init (Array.length t.cores) (fun i ->
+      let busy = Core.busy_ns t.cores.(i) in
+      let delta = busy - t.busy_snapshot.(i) in
+      t.busy_snapshot.(i) <- busy;
+      if i < t.active then
+        max 0.0
+          (min 1.0 (1.0 -. (float_of_int delta /. float_of_int window_ns)))
+      else 1.0)
+
 let idle_core_total t ~window_ns =
+  let active = t.active in
+  let fractions = core_idle_fractions t ~window_ns in
   let total = ref 0.0 in
-  for i = 0 to t.active - 1 do
-    let busy = Core.busy_ns t.cores.(i) in
-    let delta = busy - t.busy_snapshot.(i) in
-    t.busy_snapshot.(i) <- busy;
-    let idle = 1.0 -. (float_of_int delta /. float_of_int window_ns) in
-    total := !total +. max 0.0 (min 1.0 idle)
-  done;
-  (* Refresh snapshots for inactive cores too, so reactivation starts clean. *)
-  for i = t.active to Array.length t.cores - 1 do
-    t.busy_snapshot.(i) <- Core.busy_ns t.cores.(i)
+  for i = 0 to active - 1 do
+    total := !total +. fractions.(i)
   done;
   !total

@@ -84,7 +84,9 @@ val active_cores : t -> int
 val set_active_cores : t -> int -> unit
 (** Scale the fast path up/down: updates the NIC RSS redirection table
     eagerly (§3.4). New work lands only on the first [n] cores; work already
-    queued on a deactivated core completes there. *)
+    queued on a deactivated core completes there. Idempotent after the
+    first call: a repeat with the unchanged (clamped) count is a no-op and
+    does not rewrite the redirection table. *)
 
 val core_of_flow : t -> Flow_state.t -> Tas_cpu.Core.t
 (** The core currently owning the flow (RSS steering). *)
@@ -136,7 +138,14 @@ val emit_fin : t -> Flow_state.t -> unit
 (** Send a FIN for a drained flow (slow-path teardown); consumes one
     sequence number. *)
 
+val core_idle_fractions : t -> window_ns:int -> float array
+(** Per-core idle fraction over the last [window_ns], one entry per
+    configured core (inactive cores read 1.0) — the elastic controller's
+    per-core signal. Advances the shared per-core busy snapshots, so one
+    consumer per instance: {!idle_core_total} is a sum over this. *)
+
 val idle_core_total : t -> window_ns:int -> float
-(** Aggregate idle cores over the last [window_ns]: the input to the
+(** Aggregate idle cores over the last [window_ns] (sum of
+    {!core_idle_fractions} over the active cores): the input to the
     workload-proportionality controller. Uses per-core busy time since the
     previous call. *)

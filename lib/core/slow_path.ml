@@ -104,6 +104,8 @@ type t = {
   mutable flows_reaped : int;
   mutable arena_refusals : int;
   mutable scale_observer : Tas_engine.Time_ns.t -> int -> unit;
+  mutable controller : Tas_control.Controller.t option;
+      (* the elastic core controller; [Some] iff [Config.dynamic_scaling] *)
 }
 
 (* Connection lifecycle log: a bounded FIFO of (timestamp, event, tuple).
@@ -147,6 +149,7 @@ let flows_reaped t = t.flows_reaped
 let arena_refusals t = t.arena_refusals
 let arena t = t.arena
 let set_scale_observer t f = t.scale_observer <- f
+let controller t = t.controller
 
 (* The slow path shares the fast path's trace ring: one totally-ordered
    event stream per TAS instance. *)
@@ -752,23 +755,53 @@ let control_tick t =
 
 (* --- Workload proportionality -------------------------------------------- *)
 
-let scale_tick t =
+(* All dynamic scaling routes through the elastic controller
+   (lib/control): this tick only gathers the per-interval signals; the
+   policy decides and the controller actuates via the closure wired in
+   [create] (Fast_path.set_active_cores -> RSS rewrite -> migration). *)
+let scale_tick t ctl =
   let window = t.config.Config.scale_check_interval_ns in
-  let idle = Fast_path.idle_core_total t.fp ~window_ns:window in
+  let core_idle = Fast_path.core_idle_fractions t.fp ~window_ns:window in
   let active = Fast_path.active_cores t.fp in
-  if idle > t.config.Config.scale_down_idle_cores && active > 1 then begin
-    Fast_path.set_active_cores t.fp (active - 1);
-    trace_ev t Trace.Core_scale ~flow:(-1);
-    t.scale_observer (Sim.now t.sim) (active - 1)
-  end
-  else if
-    idle < t.config.Config.scale_up_idle_cores
-    && active < t.config.Config.max_fast_path_cores
-  then begin
-    Fast_path.set_active_cores t.fp (active + 1);
-    trace_ev t Trace.Core_scale ~flow:(-1);
-    t.scale_observer (Sim.now t.sim) (active + 1)
-  end
+  let idle = ref 0.0 in
+  for i = 0 to active - 1 do
+    idle := !idle +. core_idle.(i)
+  done;
+  let ft = Fast_path.flows t.fp in
+  let arena_occupancy =
+    match t.arena with
+    | Some a when Flow_arena.capacity a > 0 ->
+      float_of_int (Flow_arena.live a) /. float_of_int (Flow_arena.capacity a)
+    | _ -> 0.0
+  in
+  let flows = Flow_table.count ft in
+  let shard_imbalance =
+    let n = Flow_table.num_shards ft in
+    if n <= 1 || flows = 0 then 1.0
+    else begin
+      let max_s = ref 0 in
+      for i = 0 to n - 1 do
+        let s = (Flow_table.shard_stats ft i).Tas_shard.Flow_shards.flows in
+        if s > !max_s then max_s := s
+      done;
+      float_of_int !max_s /. (float_of_int flows /. float_of_int n)
+    end
+  in
+  let signals =
+    {
+      Tas_control.Policy.s_ts = Sim.now t.sim;
+      s_active = active;
+      s_max_cores = t.config.Config.max_fast_path_cores;
+      s_idle_cores = !idle;
+      s_core_idle = core_idle;
+      s_sp_backlog_ns = Core.backlog_ns t.core;
+      s_flows = flows;
+      s_arena_occupancy = arena_occupancy;
+      s_shard_imbalance = shard_imbalance;
+      s_p99_us = -1.0 (* substituted by the controller's probe, if wired *);
+    }
+  in
+  ignore (Tas_control.Controller.tick ctl signals)
 
 (* --- Construction -------------------------------------------------------- *)
 
@@ -799,6 +832,7 @@ let create sim ~fast_path ~core ~config =
       flows_reaped = 0;
       arena_refusals = 0;
       scale_observer = (fun _ _ -> ());
+      controller = None;
     }
   in
   Fast_path.set_exception_handler t.fp (fun pkt ->
@@ -816,10 +850,22 @@ let create sim ~fast_path ~core ~config =
     | None -> config.Config.control_interval_min_ns
   in
   ignore (Sim.periodic sim tick_interval (fun () -> control_tick t));
-  if config.Config.dynamic_scaling then
+  if config.Config.dynamic_scaling then begin
+    let ctl =
+      Tas_control.Controller.create ~policy:config.Config.scale_policy
+        ~trace:(Fast_path.trace fast_path) ~min_cores:1
+        ~max_cores:config.Config.max_fast_path_cores
+        ~actuate:(fun n ->
+          Fast_path.set_active_cores t.fp n;
+          trace_ev t Trace.Core_scale ~flow:(-1);
+          t.scale_observer (Sim.now t.sim) n)
+        ()
+    in
+    t.controller <- Some ctl;
     ignore
       (Sim.periodic sim config.Config.scale_check_interval_ns (fun () ->
-           scale_tick t));
+           scale_tick t ctl))
+  end;
   t
 
 let listen t ~port accept_fn = Hashtbl.replace t.listeners port accept_fn

@@ -104,5 +104,11 @@ val register : t -> Tas_telemetry.Metrics.t -> unit
 val set_scale_observer : t -> (Tas_engine.Time_ns.t -> int -> unit) -> unit
 (** Observe fast-path core count changes (for the Fig. 14/15 series). *)
 
+val controller : t -> Tas_control.Controller.t option
+(** The elastic core controller driving all dynamic scaling
+    ([Config.scale_policy] evaluated every [scale_check_interval_ns]);
+    [None] unless [Config.dynamic_scaling]. Exposes the decision audit
+    trail and accepts a p99 latency probe for the [Slo] policy. *)
+
 val kick_control_loop : t -> unit
 (** Force an immediate control-loop pass (testing). *)

@@ -79,6 +79,10 @@ let create sim ~nic ~config ?span ?(freq_ghz = 2.1) () =
   let metrics = Metrics.create () in
   Fast_path.register fp metrics;
   Slow_path.register sp metrics;
+  (* Controller audit counters, present iff dynamic scaling. *)
+  (match Slow_path.controller sp with
+  | Some ctl -> Tas_control.Controller.register ctl metrics
+  | None -> ());
   Tas_netsim.Nic.register nic metrics ();
   Array.iter (register_core_breakdown metrics ~role:"fp") fp_cores;
   register_core_breakdown metrics ~role:"sp" sp_core;

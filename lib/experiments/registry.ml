@@ -60,6 +60,8 @@ let all =
       run = (fun ?quick fmt -> Exp_arena.run ?quick fmt) };
     { id = "tl"; title = "Timeline: flight recorder under ramp + flash crowd + chaos";
       run = Exp_timeline.run };
+    { id = "el"; title = "Elastic controller: diurnal autoscaling across policies";
+      run = Exp_elastic.run };
   ]
 
 let find id = List.find_opt (fun e -> String.lowercase_ascii id = e.id) all

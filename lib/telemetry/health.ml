@@ -4,6 +4,7 @@ type rule =
   | Shard_imbalance
   | Backlog_growth
   | Ring_drops
+  | Core_flap
 
 let rule_name = function
   | Rexmit_storm -> "rexmit_storm"
@@ -11,9 +12,13 @@ let rule_name = function
   | Shard_imbalance -> "shard_imbalance"
   | Backlog_growth -> "backlog_growth"
   | Ring_drops -> "ring_drops"
+  | Core_flap -> "core_flap"
 
 let all_rules =
-  [ Rexmit_storm; Arena_pressure; Shard_imbalance; Backlog_growth; Ring_drops ]
+  [
+    Rexmit_storm; Arena_pressure; Shard_imbalance; Backlog_growth; Ring_drops;
+    Core_flap;
+  ]
 
 let trace_kind = function
   | Rexmit_storm -> Trace.Health_rexmit_storm
@@ -21,6 +26,7 @@ let trace_kind = function
   | Shard_imbalance -> Trace.Health_shard_imbalance
   | Backlog_growth -> Trace.Health_backlog_growth
   | Ring_drops -> Trace.Health_ring_drops
+  | Core_flap -> Trace.Health_core_flap
 
 type thresholds = {
   retransmit_burst : int;
@@ -30,6 +36,8 @@ type thresholds = {
   backlog_frames : int;
   backlog_min_ns : int;
   ring_drops : int;
+  flap_window : int;
+  flap_changes : int;
 }
 
 let default_thresholds =
@@ -41,6 +49,8 @@ let default_thresholds =
     backlog_frames = 3;
     backlog_min_ns = 1_000_000;
     ring_drops = 1;
+    flap_window = 16;
+    flap_changes = 3;
   }
 
 type violation = {
@@ -66,11 +76,39 @@ let delta_sum (f : Timeline.frame) name =
     (fun acc (n, _, d) -> if n = name then acc + d else acc)
     0 f.Timeline.counters
 
+(* Sum of every gauge series named [name] in the frame; [None] when the
+   frame carries no such gauge (frames from instances without that
+   component must not feed the rule a phantom zero). *)
+let gauge_sum (f : Timeline.frame) name =
+  List.fold_left
+    (fun acc (n, _, v) ->
+      if n = name then Some (Option.value acc ~default:0.0 +. v) else acc)
+    None f.Timeline.gauges
+
+(* Direction reversals in a chronological series: deltas between
+   consecutive readings, zeros ignored, count sign changes between
+   consecutive nonzero moves. A monotonic ramp has zero reversals. *)
+let count_reversals chrono =
+  let rec deltas acc = function
+    | a :: (b :: _ as rest) ->
+      let d = b - a in
+      deltas (if d = 0 then acc else d :: acc) rest
+    | _ -> List.rev acc
+  in
+  let rec flips acc = function
+    | a :: (b :: _ as rest) ->
+      flips (if (a > 0) <> (b > 0) then acc + 1 else acc) rest
+    | _ -> acc
+  in
+  flips 0 (deltas [] chrono)
+
 let check ?(thresholds = default_thresholds) ?trace frames =
   let th = thresholds in
   let violations = ref [] in
   (* Recent slow-path backlog readings, newest first, for growth tracking. *)
   let sp_backlogs = ref [] in
+  (* Recent active-core counts, newest first, for flap detection. *)
+  let core_counts = ref [] in
   let fire (f : Timeline.frame) rule ~value ~limit detail =
     let v =
       {
@@ -154,7 +192,26 @@ let check ?(thresholds = default_thresholds) ?trace frames =
       if drops >= th.ring_drops then
         fire f Ring_drops ~value:(float_of_int drops)
           ~limit:(float_of_int th.ring_drops)
-          (Printf.sprintf "%d trace/span events dropped in one interval" drops))
+          (Printf.sprintf "%d trace/span events dropped in one interval" drops);
+      (* Core flapping: the active-core count reversing direction too often
+         inside a trailing window — the controller is oscillating instead
+         of converging. Monotonic ramps never fire. *)
+      (match gauge_sum f "fp_active_cores" with
+      | None -> ()
+      | Some active ->
+        core_counts :=
+          int_of_float (Float.round active)
+          :: List.filteri (fun i _ -> i < th.flap_window - 1) !core_counts;
+        let reversals = count_reversals (List.rev !core_counts) in
+        if reversals >= th.flap_changes then begin
+          fire f Core_flap
+            ~value:(float_of_int reversals)
+            ~limit:(float_of_int th.flap_changes)
+            (Printf.sprintf "core count reversed direction %d times in %d frames"
+               reversals (List.length !core_counts));
+          (* Restart the window so one oscillation episode fires once. *)
+          core_counts := []
+        end))
     frames;
   let violations = List.rev !violations in
   let by_rule =

@@ -18,7 +18,12 @@
       [backlog_frames] (3) consecutive frames ending ≥ [backlog_min_ns]
       (1 ms) — the precursor of slow-path convoy collapse.
     - {b Ring drops}: trace/span rings dropped ≥ [ring_drops] (1) events
-      in a frame — the flight recorder itself is losing data. *)
+      in a frame — the flight recorder itself is losing data.
+    - {b Core flap}: the summed [fp_active_cores] gauge reversed direction
+      ≥ [flap_changes] (3) times within a trailing window of
+      [flap_window] (16) frames — the elastic controller is oscillating
+      instead of converging. Monotonic ramps never fire; each oscillation
+      episode fires once (the window restarts after a violation). *)
 
 type rule =
   | Rexmit_storm
@@ -26,6 +31,7 @@ type rule =
   | Shard_imbalance
   | Backlog_growth
   | Ring_drops
+  | Core_flap
 
 val rule_name : rule -> string
 val all_rules : rule list
@@ -38,6 +44,8 @@ type thresholds = {
   backlog_frames : int;
   backlog_min_ns : int;
   ring_drops : int;
+  flap_window : int;
+  flap_changes : int;
 }
 
 val default_thresholds : thresholds

@@ -21,11 +21,13 @@ type kind =
   | Csum_drop
   | Rst_tx
   | Shard_migrate
+  | Ctl_scale
   | Health_rexmit_storm
   | Health_arena_pressure
   | Health_shard_imbalance
   | Health_backlog_growth
   | Health_ring_drops
+  | Health_core_flap
 
 let kind_name = function
   | Rx_data -> "rx_data"
@@ -48,20 +50,22 @@ let kind_name = function
   | Csum_drop -> "csum_drop"
   | Rst_tx -> "rst_tx"
   | Shard_migrate -> "shard_migrate"
+  | Ctl_scale -> "ctl_scale"
   | Health_rexmit_storm -> "health_rexmit_storm"
   | Health_arena_pressure -> "health_arena_pressure"
   | Health_shard_imbalance -> "health_shard_imbalance"
   | Health_backlog_growth -> "health_backlog_growth"
   | Health_ring_drops -> "health_ring_drops"
+  | Health_core_flap -> "health_core_flap"
 
 let all_kinds =
   [
     Rx_data; Rx_ack; Tx_data; Ack_tx; Ooo_store; Payload_drop; Fast_rexmit;
     Timeout_rexmit; Conn_setup; Conn_teardown; Exception_fwd; Core_scale;
     Fault_drop; Fault_dup; Fault_corrupt; Fault_hold; Malformed_drop;
-    Csum_drop; Rst_tx; Shard_migrate; Health_rexmit_storm;
+    Csum_drop; Rst_tx; Shard_migrate; Ctl_scale; Health_rexmit_storm;
     Health_arena_pressure; Health_shard_imbalance; Health_backlog_growth;
-    Health_ring_drops;
+    Health_ring_drops; Health_core_flap;
   ]
 
 type event = {

@@ -31,11 +31,14 @@ type kind =
   | Csum_drop       (** NIC dropped a checksum-failing frame *)
   | Rst_tx          (** slow path generated an RST *)
   | Shard_migrate   (** RSS rewrite moved a flow group between shards *)
+  | Ctl_scale       (** elastic controller actuated a core-count change
+                        ([core] = new count, [flow] = verdict code) *)
   | Health_rexmit_storm    (** watchdog: retransmit burst above threshold *)
   | Health_arena_pressure  (** watchdog: flow arena near exhaustion *)
   | Health_shard_imbalance (** watchdog: shard occupancy skew above bound *)
   | Health_backlog_growth  (** watchdog: slow-path backlog growing frames in a row *)
   | Health_ring_drops      (** watchdog: trace/span ring dropped events *)
+  | Health_core_flap       (** watchdog: active-core count oscillating *)
 
 val kind_name : kind -> string
 val all_kinds : kind list

@@ -26,4 +26,5 @@ let () =
       ("parallel", Test_parallel.suite);
       ("shard", Test_shard.suite);
       ("arena", Test_arena.suite);
+      ("control", Test_control.suite);
     ]
