@@ -36,6 +36,7 @@ let microbenchmarks () =
             Tas_proto.Tcp_header.mss = None;
             wscale = None;
             timestamp = Some (42, 41);
+            sack = [];
           };
       }
     in

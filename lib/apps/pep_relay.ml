@@ -1,0 +1,130 @@
+type stats = {
+  mutable accepted : int;
+  mutable active : int;
+  mutable c2s_in : int;
+  mutable c2s_out : int;
+  mutable s2c_in : int;
+  mutable s2c_out : int;
+  mutable peak_buffered : int;
+  mutable closed_pairs : int;
+}
+
+let conserved s = s.c2s_in = s.c2s_out && s.s2c_in = s.s2c_out
+
+(* One direction of a relayed pair: bytes from the source connection are
+   parked here until the destination accepts them. [off] marks the consumed
+   prefix of [q]; the buffer is recycled whenever it fully drains, so a
+   pump that keeps up stays at zero retained bytes. *)
+type pump = {
+  q : Buffer.t;
+  mutable off : int;
+  mutable dst : Transport.conn option;  (* None until the leg is connected *)
+  mutable src_done : bool;  (* source peer closed: drain, then close dst *)
+  mutable dst_closed : bool;
+  count_out : int -> unit;
+}
+
+let buffered p = Buffer.length p.q - p.off
+
+let make_pump ?dst count_out =
+  { q = Buffer.create 4096; off = 0; dst; src_done = false;
+    dst_closed = false; count_out }
+
+(* Push what the destination will take; park the rest for [on_sendable].
+   Once the source is done and the queue is dry, propagate the close. *)
+let rec flush p =
+  match p.dst with
+  | None -> ()
+  | Some dst ->
+    if p.dst_closed then begin
+      (* Destination went away first: any parked bytes are undeliverable;
+         drop them so the pair can tear down (counted via peak_buffered). *)
+      Buffer.clear p.q;
+      p.off <- 0
+    end
+    else begin
+      let avail = buffered p in
+      if avail = 0 then begin
+        if Buffer.length p.q > 0 then begin
+          Buffer.clear p.q;
+          p.off <- 0
+        end;
+        if p.src_done then begin
+          p.src_done <- false;
+          Transport.close dst
+        end
+      end
+      else begin
+        let n_try = min avail 16384 in
+        let chunk = Bytes.of_string (Buffer.sub p.q p.off n_try) in
+        let n = Transport.send dst chunk in
+        if n > 0 then begin
+          p.off <- p.off + n;
+          p.count_out n;
+          flush p
+        end
+      end
+    end
+
+let feed st p data =
+  Buffer.add_bytes p.q data;
+  if buffered p > st.peak_buffered then st.peak_buffered <- buffered p;
+  flush p
+
+let src_closed p =
+  p.src_done <- true;
+  flush p
+
+let attach ~front ~listen_port ~back ~dst_ip ~dst_port () =
+  let st =
+    { accepted = 0; active = 0; c2s_in = 0; c2s_out = 0; s2c_in = 0;
+      s2c_out = 0; peak_buffered = 0; closed_pairs = 0 }
+  in
+  Transport.listen front ~port:listen_port (fun client ->
+      st.accepted <- st.accepted + 1;
+      st.active <- st.active + 1;
+      let c2s = make_pump (fun n -> st.c2s_out <- st.c2s_out + n) in
+      let s2c =
+        make_pump ~dst:client (fun n -> st.s2c_out <- st.s2c_out + n)
+      in
+      (* Each side that fully closes retires half the pair. *)
+      let halves_down = ref 0 in
+      let half_down () =
+        incr halves_down;
+        if !halves_down = 2 then begin
+          st.active <- st.active - 1;
+          st.closed_pairs <- st.closed_pairs + 1
+        end
+      in
+      Transport.connect back ~dst_ip ~dst_port (fun server ->
+          {
+            Transport.on_connected =
+              (fun server ->
+                c2s.dst <- Some server;
+                flush c2s);
+            on_data =
+              (fun _ d ->
+                st.s2c_in <- st.s2c_in + Bytes.length d;
+                feed st s2c d);
+            on_sendable = (fun _ -> flush c2s);
+            on_peer_closed = (fun _ -> src_closed s2c);
+            on_closed =
+              (fun _ ->
+                c2s.dst_closed <- true;
+                ignore server;
+                half_down ());
+          });
+      {
+        Transport.on_connected = (fun _ -> ());
+        on_data =
+          (fun _ d ->
+            st.c2s_in <- st.c2s_in + Bytes.length d;
+            feed st c2s d);
+        on_sendable = (fun _ -> flush s2c);
+        on_peer_closed = (fun _ -> src_closed c2s);
+        on_closed =
+          (fun _ ->
+            s2c.dst_closed <- true;
+            half_down ());
+      });
+  st

@@ -168,6 +168,7 @@ let emit c ?(flags = Tcp_header.ack_flags) ?(payload = Bytes.empty)
           Tcp_header.mss = mss_opt;
           wscale = (if flags.Tcp_header.syn then Some t.config.wscale else None);
           timestamp = Some (now_us t land 0xFFFF_FFFF, c.ts_recent);
+          sack = [];
         };
     }
   in

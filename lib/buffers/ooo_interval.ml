@@ -1,6 +1,17 @@
 module Seq32 = Tas_proto.Seq32
 
-type t = { mutable start : Seq32.t; mutable len : int }
+type range = {
+  mutable r_start : Seq32.t;
+  mutable r_len : int;
+  mutable r_touch : int;  (* stamp of the last update; SACK block order *)
+}
+
+type t = {
+  mutable ranges : range list;
+      (* ascending sequence order, pairwise disjoint and non-adjacent *)
+  max_ranges : int;
+  mutable stamp : int;
+}
 
 type verdict =
   | Deliver of { write_at : Seq32.t; write_len : int; advance : int }
@@ -8,10 +19,40 @@ type verdict =
   | Duplicate
   | Drop
 
-let create () = { start = 0; len = 0 }
-let is_empty t = t.len = 0
-let interval t = if t.len = 0 then None else Some (t.start, t.len)
-let reset t = t.len <- 0
+let create ?(max_ranges = 1) () =
+  if max_ranges < 1 then invalid_arg "Ooo_interval.create: max_ranges < 1";
+  { ranges = []; max_ranges; stamp = 0 }
+
+let is_empty t = t.ranges = []
+
+let interval t =
+  match t.ranges with [] -> None | r :: _ -> Some (r.r_start, r.r_len)
+
+let ranges t = List.map (fun r -> (r.r_start, r.r_len)) t.ranges
+
+let reset t = t.ranges <- []
+
+let sack_blocks t ~limit =
+  (* Most recently updated first (RFC 2018's ordering hint), capped at the
+     option-space limit. *)
+  let by_recency =
+    List.sort (fun a b -> compare b.r_touch a.r_touch) t.ranges
+  in
+  let rec take n = function
+    | r :: rest when n > 0 ->
+      (r.r_start, Seq32.add r.r_start r.r_len) :: take (n - 1) rest
+    | _ -> []
+  in
+  take limit by_recency
+
+let range_end r = Seq32.add r.r_start r.r_len
+
+let insert_sorted r ranges =
+  let rec go = function
+    | r' :: rest when Seq32.lt r'.r_start r.r_start -> r' :: go rest
+    | rest -> r :: rest
+  in
+  go ranges
 
 let handle t ~exp ~window ~seg_start ~seg_len =
   (* Trim any prefix that duplicates already-delivered data. *)
@@ -28,18 +69,17 @@ let handle t ~exp ~window ~seg_start ~seg_len =
     let l = min l window in
     if l = 0 then Drop
     else begin
-      let new_exp = Seq32.add exp l in
-      if t.len > 0 && Seq32.geq new_exp t.start then begin
-        (* The gap closed: deliver through the end of the stored interval. *)
-        let int_end = Seq32.add t.start t.len in
-        let advance =
-          if Seq32.gt int_end new_exp then Seq32.diff int_end exp
-          else l
-        in
-        t.len <- 0;
-        Deliver { write_at = s; write_len = l; advance }
-      end
-      else Deliver { write_at = s; write_len = l; advance = l }
+      (* The stream advances through every stored range the new edge
+         touches (gap closed): deliver the whole contiguous run. *)
+      let new_exp = ref (Seq32.add exp l) in
+      let rec consume = function
+        | r :: rest when Seq32.geq !new_exp r.r_start ->
+          if Seq32.gt (range_end r) !new_exp then new_exp := range_end r;
+          consume rest
+        | rest -> rest
+      in
+      t.ranges <- consume t.ranges;
+      Deliver { write_at = s; write_len = l; advance = Seq32.diff !new_exp exp }
     end
   end
   else begin
@@ -48,25 +88,72 @@ let handle t ~exp ~window ~seg_start ~seg_len =
     if offset >= window then Drop
     else begin
       let l = min l (window - offset) in
-      if t.len = 0 then begin
-        t.start <- s;
-        t.len <- l;
+      let seg_end = Seq32.add s l in
+      (* Ranges the segment overlaps or abuts merge with it (the paper's
+         "segments of the same interval"); merging can chain several
+         stored ranges into one. *)
+      let touching, others =
+        List.partition
+          (fun r ->
+            not (Seq32.gt s (range_end r) || Seq32.gt r.r_start seg_end))
+          t.ranges
+      in
+      match touching with
+      | _ :: _ ->
+        let ns =
+          List.fold_left
+            (fun acc r -> if Seq32.lt r.r_start acc then r.r_start else acc)
+            s touching
+        in
+        let ne =
+          List.fold_left
+            (fun acc r ->
+              if Seq32.gt (range_end r) acc then range_end r else acc)
+            seg_end touching
+        in
+        t.stamp <- t.stamp + 1;
+        t.ranges <-
+          insert_sorted
+            { r_start = ns; r_len = Seq32.diff ne ns; r_touch = t.stamp }
+            others;
         Store { write_at = s; write_len = l }
-      end
-      else begin
-        let int_end = Seq32.add t.start t.len in
-        let seg_end = Seq32.add s l in
-        (* Accept only segments of the same interval: overlapping or
-           adjacent (paper: "accepts out-of-order segments of the same
-           interval if they fit in the receive buffer"). *)
-        if Seq32.gt s int_end || Seq32.gt t.start seg_end then Drop
-        else begin
-          let new_start = if Seq32.lt s t.start then s else t.start in
-          let new_end = if Seq32.gt seg_end int_end then seg_end else int_end in
-          t.start <- new_start;
-          t.len <- Seq32.diff new_end new_start;
+      | [] ->
+        if List.length t.ranges < t.max_ranges then begin
+          t.stamp <- t.stamp + 1;
+          t.ranges <-
+            insert_sorted
+              { r_start = s; r_len = l; r_touch = t.stamp }
+              t.ranges;
           Store { write_at = s; write_len = l }
         end
-      end
+        else if t.max_ranges >= 2 then begin
+          (* Multi-range mode, table full: evict the range furthest from
+             the expected edge when the new segment sits closer (the
+             evicted data is still covered by the sender's
+             retransmission machinery); otherwise drop the newcomer.
+             Single-interval mode keeps the paper's drop-only rule. *)
+          let furthest =
+            List.fold_left
+              (fun acc r ->
+                match acc with
+                | None -> Some r
+                | Some m ->
+                  if Seq32.diff r.r_start exp > Seq32.diff m.r_start exp then
+                    Some r
+                  else acc)
+              None t.ranges
+          in
+          match furthest with
+          | Some f when Seq32.diff f.r_start exp > offset ->
+            t.ranges <- List.filter (fun r -> r != f) t.ranges;
+            t.stamp <- t.stamp + 1;
+            t.ranges <-
+              insert_sorted
+                { r_start = s; r_len = l; r_touch = t.stamp }
+                t.ranges;
+            Store { write_at = s; write_len = l }
+          | _ -> Drop
+        end
+        else Drop
     end
   end

@@ -1,12 +1,19 @@
-(** Single-interval out-of-order receive tracking (paper §3.1, Exceptions).
+(** Out-of-order receive tracking (paper §3.1, Exceptions).
 
-    The TAS fast path keeps exactly one interval of out-of-order data per
-    flow ([ooo_start|len] in Table 3). A new out-of-order segment is accepted
-    only if it fits the receive window and touches (overlaps or abuts) the
-    tracked interval — or if no interval exists yet. Anything else is
-    dropped, and the sender recovers via duplicate ACKs / retransmission.
-    When the in-order stream reaches the interval, the entire run is
-    delivered as one big segment and the interval resets. *)
+    The TAS fast path keeps a bounded set of out-of-order intervals per
+    flow. In the paper's (default) configuration the bound is one —
+    [ooo_start|len] in Table 3: a new out-of-order segment is accepted
+    only if it fits the receive window and touches (overlaps or abuts) a
+    tracked interval — or a table slot is free. When the in-order stream
+    reaches the lowest interval, the whole contiguous run is delivered as
+    one big segment.
+
+    With [max_ranges > 1] (the SACK receiver configuration) several
+    disjoint intervals are tracked; they double as the flow's SACK blocks
+    ({!sack_blocks}), and a full table evicts the interval furthest from
+    the expected edge when a closer segment arrives (the sender's
+    retransmission machinery re-covers evicted data). [max_ranges = 1]
+    preserves the paper's drop-only semantics exactly. *)
 
 type t
 
@@ -17,18 +24,29 @@ type verdict =
       (** In-order (possibly after trimming a duplicated prefix): deposit
           [write_len] bytes at [write_at] and advance the contiguous stream
           by [advance] bytes — [advance >= write_len] when the segment
-          bridges the gap to the stored interval. *)
+          bridges the gap to stored interval(s). *)
   | Store of { write_at : Tas_proto.Seq32.t; write_len : int }
       (** Out-of-order but buffered: deposit without advancing the stream. *)
   | Duplicate  (** Entirely old data: just (re-)acknowledge. *)
   | Drop  (** Unbufferable out-of-order data: drop, triggering dup-ACKs. *)
 
-val create : unit -> t
+val create : ?max_ranges:int -> unit -> t
+(** [max_ranges] (default 1) bounds the tracked intervals.
+    @raise Invalid_argument if [max_ranges < 1]. *)
 
 val is_empty : t -> bool
 
 val interval : t -> (Tas_proto.Seq32.t * int) option
-(** The tracked [(start, length)] interval, if any. *)
+(** The lowest tracked [(start, length)] interval, if any (the Table-3
+    shadow field). *)
+
+val ranges : t -> (Tas_proto.Seq32.t * int) list
+(** Every tracked [(start, length)] interval, ascending. *)
+
+val sack_blocks :
+  t -> limit:int -> (Tas_proto.Seq32.t * Tas_proto.Seq32.t) list
+(** Up to [limit] [(start, end)] blocks, most recently updated first —
+    the RFC 2018 ordering for the ACK's SACK option. *)
 
 val handle :
   t ->
@@ -42,4 +60,4 @@ val handle :
     receive-buffer bytes starting at [exp]. Updates the interval state. *)
 
 val reset : t -> unit
-(** Forget any stored interval (connection reset / reassignment). *)
+(** Forget any stored intervals (connection reset / reassignment). *)

@@ -16,6 +16,10 @@ type t = {
   fin_rto_ns : int;
   dead_flow_timeout_ns : int option;
   rx_ooo_enabled : bool;
+  recovery_policy : Tas_recovery.Policy.kind;
+  sack_max_ranges : int;
+  rack_reo_wnd_ns : int;
+  tlp_pto_ns : int;
   context_queue_capacity : int;
   dynamic_scaling : bool;
   scale_check_interval_ns : int;
@@ -63,6 +67,16 @@ let default =
     fin_rto_ns = 20_000_000;
     dead_flow_timeout_ns = None;
     rx_ooo_enabled = true;
+    (* Loss recovery: [Reno] is the paper's dup-ACK go-back-N machinery,
+       byte-identical to the seed; [Sack] / [Rack_tlp] grow the receiver
+       to [sack_max_ranges] out-of-order intervals (advertised as SACK
+       blocks, at most 3 on the wire) and drive the sender scoreboard.
+       [rack_reo_wnd_ns] / [tlp_pto_ns] of 0 mean RTT-derived defaults
+       (srtt/4 and 2*srtt). *)
+    recovery_policy = Tas_recovery.Policy.Reno;
+    sack_max_ranges = 4;
+    rack_reo_wnd_ns = 0;
+    tlp_pto_ns = 0;
     context_queue_capacity = 4096;
     dynamic_scaling = false;
     scale_check_interval_ns = 500_000_000;

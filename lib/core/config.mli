@@ -32,6 +32,21 @@ type t = {
   rx_ooo_enabled : bool;
       (** receiver out-of-order interval tracking; [false] = the "simple
           go-back-N recovery" ablation of Fig. 7 *)
+  recovery_policy : Tas_recovery.Policy.kind;
+      (** loss-recovery policy for both flow directions: [Reno] (default)
+          is the paper's triple-dup-ACK go-back-N, byte-identical to the
+          seed; [Sack] adds receiver SACK blocks + a sender scoreboard
+          with selective retransmit; [Rack_tlp] adds time-based loss
+          detection and tail-loss probes on top of [Sack] *)
+  sack_max_ranges : int;
+      (** out-of-order intervals tracked per flow under a SACK-class
+          policy (default 4; at most 3 are advertised per ACK beside the
+          timestamp option). [Reno] always keeps the paper's single
+          interval *)
+  rack_reo_wnd_ns : int;
+      (** RACK reordering window; 0 (default) = srtt/4 *)
+  tlp_pto_ns : int;
+      (** tail-loss-probe timeout; 0 (default) = 2*srtt *)
   context_queue_capacity : int;
   dynamic_scaling : bool;  (** workload-proportional core scaling, §3.4 *)
   scale_check_interval_ns : int;

@@ -12,6 +12,7 @@ module Buf_pool = Tas_buffers.Buf_pool
 module Metrics = Tas_telemetry.Metrics
 module Trace = Tas_telemetry.Trace
 module Span = Tas_telemetry.Span
+module Rec = Tas_recovery
 
 type stats = {
   mutable rx_data_packets : int;
@@ -25,6 +26,19 @@ type stats = {
   mutable malformed_drops : int;
   mutable rx_bursts : int;
   mutable rx_burst_packets : int;
+}
+
+(* Loss-recovery subsystem counters, live only under a SACK-class policy
+   ([Config.recovery_policy] <> [Reno]); all zero — and their metrics not
+   even registered — under the default Reno policy, keeping the seed's
+   telemetry byte-identical. *)
+type rec_stats = {
+  mutable rec_episodes : int;
+  mutable rec_sacked_segments : int;
+  mutable rec_lost_marked : int;
+  mutable rec_selective_retransmits : int;
+  mutable rec_tlp_probes : int;
+  mutable rec_reo_timeouts : int;
 }
 
 (* Per-core receive backlog: packets accepted from the NIC queue but not
@@ -66,6 +80,7 @@ type t = {
   mutable rss_synced : bool;
   mutable exception_handler : Packet.t -> unit;
   stats : stats;
+  rec_stats : rec_stats;
   trace : Trace.t;
   span : Span.t;
   mutable busy_snapshot : int array;
@@ -162,6 +177,15 @@ let create ?trace ?span sim ~nic ~cores ~config =
         rx_bursts = 0;
         rx_burst_packets = 0;
       };
+    rec_stats =
+      {
+        rec_episodes = 0;
+        rec_sacked_segments = 0;
+        rec_lost_marked = 0;
+        rec_selective_retransmits = 0;
+        rec_tlp_probes = 0;
+        rec_reo_timeouts = 0;
+      };
     trace = (match trace with Some tr -> tr | None -> Trace.disabled ());
     span = (match span with Some sp -> sp | None -> Span.disabled ());
     busy_snapshot = Array.make n 0;
@@ -200,6 +224,7 @@ let create ?trace ?span sim ~nic ~cores ~config =
 
 let flows t = t.flows
 let stats t = t.stats
+let rec_stats t = t.rec_stats
 let config t = t.config
 let nic t = t.nic
 let trace t = t.trace
@@ -243,6 +268,24 @@ let register t m =
     (fun () -> Flow_table.lock_cycles t.flows);
   c "fp_flow_migrations" "flows moved between shards by RSS rewrites"
     (fun () -> Flow_table.migrated_flows t.flows);
+  (* Recovery-subsystem counters exist only when a SACK-class policy is
+     configured; under the default Reno policy the registry output stays
+     byte-identical to the pre-recovery seed. *)
+  if t.config.Config.recovery_policy <> Rec.Policy.Reno then begin
+    let r = t.rec_stats in
+    c "rec_episodes" "SACK/RACK recovery episodes entered" (fun () ->
+        r.rec_episodes);
+    c "rec_sacked_segments" "segments newly marked sacked by ACK blocks"
+      (fun () -> r.rec_sacked_segments);
+    c "rec_lost_marked" "segments marked lost (dupthresh + RACK rules)"
+      (fun () -> r.rec_lost_marked);
+    c "rec_selective_retransmits" "lost segments selectively retransmitted"
+      (fun () -> r.rec_selective_retransmits);
+    c "rec_tlp_probes" "tail-loss probes transmitted" (fun () ->
+        r.rec_tlp_probes);
+    c "rec_reo_timeouts" "RACK reordering timers that marked losses"
+      (fun () -> r.rec_reo_timeouts)
+  end;
   Flow_table.register t.flows m ()
 
 let set_active_cores t n =
@@ -289,7 +332,7 @@ let now_us t = Sim.now t.sim / 1000
 
 (* --- Packet construction ---------------------------------------------- *)
 
-let build_packet t flow ~(flags : Tcp_header.flags) ~seq ~payload =
+let build_packet ?(sack = []) t flow ~(flags : Tcp_header.flags) ~seq ~payload =
   let tcp =
     {
       Tcp_header.src_port = Flow_state.local_port flow;
@@ -305,6 +348,7 @@ let build_packet t flow ~(flags : Tcp_header.flags) ~seq ~payload =
           wscale = None;
           timestamp =
             Some (now_us t land 0xFFFF_FFFF, Flow_state.ts_recent flow);
+          sack;
         };
     }
   in
@@ -335,8 +379,18 @@ let send_ack t flow ~ece =
     Trace.record t.trace ~ts:(Sim.now t.sim) ~kind:Trace.Ack_tx
       ~core:(Core.id (core_of_flow t flow))
       ~flow:(Flow_state.opaque flow);
+  (* Under a SACK-class policy advertise the out-of-order intervals (at
+     most 3 blocks beside the 10-byte timestamp option); Reno flows emit
+     no SACK bytes and the ACK stays byte-identical to the seed. *)
+  let sack =
+    match Flow_state.recovery_kind flow with
+    | Rec.Policy.Reno -> []
+    | Rec.Policy.Sack | Rec.Policy.Rack_tlp ->
+      Ooo.sack_blocks (Flow_state.ooo flow) ~limit:3
+  in
   Nic.transmit t.nic
-    (build_packet t flow ~flags ~seq:(Flow_state.seq flow) ~payload:Bytes.empty)
+    (build_packet ~sack t flow ~flags ~seq:(Flow_state.seq flow)
+       ~payload:Bytes.empty)
 
 let fin_ack_flags = { Tcp_header.ack_flags with Tcp_header.fin = true }
 
@@ -349,6 +403,15 @@ let emit_fin t flow =
 (* --- Transmission ------------------------------------------------------ *)
 
 let tx_cycles t = t.config.Config.fp_driver_cycles + t.config.Config.fp_tx_cycles
+
+(* Scoreboard bookkeeping for fresh transmissions: only SACK-class flows
+   track per-segment state; Reno pays one variant test. *)
+let rec_on_transmit t flow ~seq ~len =
+  let st = Flow_state.recovery flow in
+  match st.Rec.State.kind with
+  | Rec.Policy.Reno -> ()
+  | Rec.Policy.Sack | Rec.Policy.Rack_tlp ->
+    Rec.Scoreboard.on_transmit st.Rec.State.sb ~seq ~len ~now_ns:(Sim.now t.sim)
 
 (* Drain the flow's bucket: segment and transmit as much buffered payload as
    congestion/flow control allows; in rate mode arm a pacing timer when the
@@ -380,6 +443,7 @@ let rec maybe_send t flow core =
         let seq = Flow_state.seq flow in
         Flow_state.set_seq flow (Seq32.add seq granted);
         Flow_state.set_tx_sent flow (Flow_state.tx_sent flow + granted);
+        rec_on_transmit t flow ~seq ~len:granted;
         t.stats.tx_data_packets <- t.stats.tx_data_packets + 1;
         trace_ev t Trace.Tx_data ~core:(Core.id core)
           ~flow:(Flow_state.opaque flow);
@@ -418,20 +482,203 @@ and arm_pacing_timer t flow core ~want =
     end
   end
 
+(* --- SACK / RACK-TLP recovery engine ----------------------------------- *)
+
+(* Re-read a still-unacked segment out of the transmit buffer and emit it
+   without rewinding [seq]/[tx_sent] — the selective retransmission the
+   Reno path cannot do. Bypasses the rate bucket: recovery traffic replaces
+   segments whose tokens were already spent, so re-pacing it would only
+   delay repair (the slow path still sees the episode via cnt_frexmits and
+   cuts the rate). *)
+let send_segment t flow core ~seq ~len =
+  let tx_buf = Flow_state.tx_buf flow in
+  let off = Seq32.diff seq (Flow_state.snd_una flow) in
+  if len > 0 && off >= 0 && off + len <= Ring.used tx_buf then begin
+    let payload = Buf_pool.take (Buf_pool.local ()) len in
+    Ring.read_at tx_buf ~pos:(Ring.tail tx_buf + off) ~dst:payload ~dst_off:0
+      ~len;
+    t.stats.tx_data_packets <- t.stats.tx_data_packets + 1;
+    trace_ev t Trace.Tx_data ~core:(Core.id core)
+      ~flow:(Flow_state.opaque flow);
+    let pkt = build_packet t flow ~flags:Tcp_header.data_flags ~seq ~payload in
+    if len >= Buf_pool.min_len then Packet.mark_pooled pkt;
+    let idx = core_index t core in
+    backlog_push t.tx_queues.(idx) pkt;
+    Core.run core ~cat:Core.Tx ~cycles:(tx_cycles t) t.tx_thunks.(idx);
+    true
+  end
+  else false
+
+(* Retransmit every segment the scoreboard currently marks lost, lowest
+   first. [on_retransmit] clears the marking (and refreshes the RACK
+   timestamp) before the send, so the scan always terminates. *)
+let retransmit_lost t flow core =
+  let st = Flow_state.recovery flow in
+  let sb = st.Rec.State.sb in
+  let continue = ref true in
+  while !continue do
+    match Rec.Scoreboard.next_lost sb with
+    | None -> continue := false
+    | Some (seq, len) ->
+      ignore (Rec.Scoreboard.on_retransmit sb ~seq ~now_ns:(Sim.now t.sim));
+      if send_segment t flow core ~seq ~len then begin
+        t.rec_stats.rec_selective_retransmits <-
+          t.rec_stats.rec_selective_retransmits + 1;
+        trace_ev t Trace.Rec_retransmit ~core:(Core.id core)
+          ~flow:(Flow_state.opaque flow)
+      end
+      else continue := false
+  done
+
+let reo_wnd_of t flow =
+  Rec.Rack_tlp.reo_wnd_ns ~srtt_ns:(Flow_state.rtt_est flow)
+    ~configured:t.config.Config.rack_reo_wnd_ns
+
+(* Tail-loss probe: one PTO hangs over the connection while data is in
+   flight; on expiry the highest unsacked segment is re-sent to
+   manufacture the ACK/SACK feedback RACK needs. Timers are fire-and-
+   forget [Sim.post] events validated against the flow's recovery
+   generation — cumulative progress or an RTO rewind bumps [gen] and the
+   stale timer dissolves without touching the flow. *)
+let rec arm_tlp t flow core =
+  let st = Flow_state.recovery flow in
+  if
+    st.Rec.State.kind = Rec.Policy.Rack_tlp
+    && (not st.Rec.State.tlp_armed)
+    && Flow_state.tx_sent flow > 0
+  then begin
+    st.Rec.State.tlp_armed <- true;
+    let gen = st.Rec.State.gen in
+    let pto =
+      (* Before the first RTT sample the 2*srtt formula would collapse to
+         its 1 ms floor and probe ahead of the genuine first ACK; fall
+         back to the handshake RTO until the estimator warms up. *)
+      let srtt = Flow_state.rtt_est flow in
+      if srtt = 0 && t.config.Config.tlp_pto_ns = 0 then
+        t.config.Config.handshake_rto_ns
+      else Rec.Rack_tlp.pto_ns ~srtt_ns:srtt ~configured:t.config.Config.tlp_pto_ns
+    in
+    Sim.post t.sim pto (fun () ->
+        if st.Rec.State.gen = gen then begin
+          st.Rec.State.tlp_armed <- false;
+          if Flow_state.tx_sent flow > 0 then fire_tlp t flow core
+        end)
+  end
+
+and fire_tlp t flow core =
+  let st = Flow_state.recovery flow in
+  (match Rec.Scoreboard.last_unsacked st.Rec.State.sb with
+  | Some (seq, len) ->
+    t.rec_stats.rec_tlp_probes <- t.rec_stats.rec_tlp_probes + 1;
+    trace_ev t Trace.Rec_tlp_probe ~core:(Core.id core)
+      ~flow:(Flow_state.opaque flow);
+    if send_segment t flow core ~seq ~len then
+      ignore
+        (Rec.Scoreboard.on_retransmit st.Rec.State.sb ~seq
+           ~now_ns:(Sim.now t.sim))
+  | None -> ());
+  arm_tlp t flow core
+
+(* RACK reordering timer: loss evidence exists (something above the hole
+   was sacked) but the reordering window has not elapsed yet; wake up when
+   the oldest candidate crosses it and mark whatever still qualifies. *)
+let arm_reo t flow core =
+  let st = Flow_state.recovery flow in
+  if st.Rec.State.kind = Rec.Policy.Rack_tlp && not st.Rec.State.reo_armed
+  then
+    match Rec.Scoreboard.oldest_unsacked_tx st.Rec.State.sb with
+    | None -> ()
+    | Some tx ->
+      st.Rec.State.reo_armed <- true;
+      let gen = st.Rec.State.gen in
+      let srtt = max 1 (Flow_state.rtt_est flow) in
+      let due = tx + reo_wnd_of t flow + srtt in
+      let delay = max 1 (due - Sim.now t.sim) in
+      Sim.post t.sim delay (fun () ->
+          if st.Rec.State.gen = gen then begin
+            st.Rec.State.reo_armed <- false;
+            let srtt = Flow_state.rtt_est flow in
+            let n =
+              Rec.Rack_tlp.on_reo_timer st ~now_ns:(Sim.now t.sim)
+                ~reo_wnd:(reo_wnd_of t flow) ~srtt_ns:srtt
+            in
+            if n > 0 then begin
+              t.rec_stats.rec_reo_timeouts <- t.rec_stats.rec_reo_timeouts + 1;
+              t.rec_stats.rec_lost_marked <- t.rec_stats.rec_lost_marked + n;
+              trace_ev t Trace.Rec_reo_timeout ~core:(Core.id core)
+                ~flow:(Flow_state.opaque flow);
+              retransmit_lost t flow core
+            end
+          end)
+
+(* Digest one ACK through the configured recovery engine and act on the
+   verdict: mirror the episode flag into the Table-3 record, signal the
+   slow path's rate cut once per episode (cnt_frexmits, like Reno), and
+   selectively retransmit whatever was marked lost. *)
+let recovery_on_ack t flow core ~una ~blocks ~dup_acks =
+  let st = Flow_state.recovery flow in
+  let snd_nxt = Flow_state.seq flow in
+  let newly_sacked, newly_lost, entered, exited =
+    match st.Rec.State.kind with
+    | Rec.Policy.Reno -> (0, 0, false, false)
+    | Rec.Policy.Sack ->
+      let o = Rec.Sack.on_ack st ~una ~snd_nxt ~blocks ~dup_acks in
+      (o.Rec.Sack.newly_sacked, o.Rec.Sack.newly_lost, o.Rec.Sack.entered,
+       o.Rec.Sack.exited)
+    | Rec.Policy.Rack_tlp ->
+      let o =
+        Rec.Rack_tlp.on_ack st ~una ~snd_nxt ~blocks ~dup_acks
+          ~reo_wnd:(reo_wnd_of t flow)
+      in
+      (o.Rec.Rack_tlp.newly_sacked, o.Rec.Rack_tlp.newly_lost,
+       o.Rec.Rack_tlp.entered, o.Rec.Rack_tlp.exited)
+  in
+  Flow_state.set_in_recovery flow st.Rec.State.in_rec;
+  if exited then
+    trace_ev t Trace.Rec_exit ~core:(Core.id core)
+      ~flow:(Flow_state.opaque flow);
+  if entered then begin
+    (* One rate-cut signal per episode: the slow path reads cnt_frexmits
+       exactly as it does for Reno fast retransmits. *)
+    Flow_state.set_cnt_frexmits flow (Flow_state.cnt_frexmits flow + 1);
+    t.stats.fast_retransmits <- t.stats.fast_retransmits + 1;
+    t.rec_stats.rec_episodes <- t.rec_stats.rec_episodes + 1;
+    trace_ev t Trace.Rec_enter ~core:(Core.id core)
+      ~flow:(Flow_state.opaque flow)
+  end;
+  if newly_sacked > 0 then
+    t.rec_stats.rec_sacked_segments <-
+      t.rec_stats.rec_sacked_segments + newly_sacked;
+  if newly_lost > 0 then begin
+    t.rec_stats.rec_lost_marked <- t.rec_stats.rec_lost_marked + newly_lost;
+    trace_ev t Trace.Rec_mark_lost ~core:(Core.id core)
+      ~flow:(Flow_state.opaque flow)
+  end;
+  retransmit_lost t flow core
+
 let notify_tx t flow =
   let core = core_of_flow t flow in
   (* The TX command costs a few cycles of fast-path attention. *)
-  Core.run core ~cat:Core.Tx ~cycles:50 (fun () -> maybe_send t flow core)
+  Core.run core ~cat:Core.Tx ~cycles:50 (fun () ->
+      maybe_send t flow core;
+      arm_tlp t flow core)
 
 let trigger_retransmit t flow =
   let core = core_of_flow t flow in
   Core.run core ~cat:Core.Tx ~cycles:100 (fun () ->
+      (* RTO-class rewind: forget the scoreboard (segments re-register as
+         they are re-sent) and invalidate pending RACK/TLP timers. *)
+      (match Flow_state.recovery_kind flow with
+      | Rec.Policy.Reno -> ()
+      | Rec.Policy.Sack | Rec.Policy.Rack_tlp ->
+        Rec.State.reset (Flow_state.recovery flow));
       (* Reset sender state as if the unacked segments were never sent. *)
       Flow_state.set_seq flow (Flow_state.snd_una flow);
       Flow_state.set_tx_sent flow 0;
       Flow_state.set_dupack_cnt flow 0;
       Flow_state.set_in_recovery flow false;
-      maybe_send t flow core)
+      maybe_send t flow core;
+      arm_tlp t flow core)
 
 (* --- Receive processing ------------------------------------------------ *)
 
@@ -445,7 +692,12 @@ let sample_rtt t flow (tcp : Tcp_header.t) =
          else ((7 * Flow_state.rtt_est flow) + rtt) / 8)
   | _ -> ()
 
-let process_ack t flow pkt core =
+(* The seed's ACK processing, verbatim: cumulative advance plus the
+   triple-duplicate-ACK go-back-N rewind (§3.1 exception 1). The dup-ACK
+   counting/threshold decision lives in {!Tas_recovery.Reno} — extracted,
+   not changed; telemetry and packet behaviour are byte-identical to the
+   pre-extraction fast path. *)
+let process_ack_reno t flow pkt core =
   let tcp = pkt.Packet.tcp in
   let acked = Seq32.diff tcp.Tcp_header.ack (Flow_state.snd_una flow) in
   Flow_state.set_window flow
@@ -486,9 +738,13 @@ let process_ack t flow pkt core =
     && Flow_state.tx_sent flow > 0
     && Bytes.length pkt.Packet.payload = 0
   then begin
-    Flow_state.set_dupack_cnt flow (Flow_state.dupack_cnt flow + 1);
-    if Flow_state.dupack_cnt flow >= 3 && not (Flow_state.in_recovery flow)
-    then begin
+    match
+      Rec.Reno.on_dup_ack ~dupack_cnt:(Flow_state.dupack_cnt flow)
+        ~in_recovery:(Flow_state.in_recovery flow)
+    with
+    | Rec.Reno.Count cnt -> Flow_state.set_dupack_cnt flow cnt
+    | Rec.Reno.Enter_recovery ->
+      Flow_state.set_dupack_cnt flow (Flow_state.dupack_cnt flow + 1);
       Flow_state.set_in_recovery flow true;
       (* Fast recovery: rewind the sender as if the segments beyond the
          duplicate ACK had not been sent (§3.1 exception 1); the slow path
@@ -501,8 +757,69 @@ let process_ack t flow pkt core =
       Flow_state.set_tx_sent flow 0;
       Flow_state.set_dupack_cnt flow 0;
       maybe_send t flow core
+  end
+
+(* ACK processing for SACK-class policies: same cumulative machinery, but
+   duplicate ACKs and SACK blocks feed the scoreboard engine instead of
+   triggering a go-back-N rewind, and losses are repaired selectively. *)
+let process_ack_modern t flow pkt core =
+  let tcp = pkt.Packet.tcp in
+  let st = Flow_state.recovery flow in
+  let acked = Seq32.diff tcp.Tcp_header.ack (Flow_state.snd_una flow) in
+  Flow_state.set_window flow
+    (tcp.Tcp_header.window lsl Flow_state.peer_wscale flow);
+  let blocks = tcp.Tcp_header.options.Tcp_header.sack in
+  if acked > 0 then begin
+    if acked <= Ring.used (Flow_state.tx_buf flow) then begin
+      Ring.advance_tail (Flow_state.tx_buf flow) acked;
+      if acked >= Flow_state.tx_sent flow then begin
+        Flow_state.set_seq flow tcp.Tcp_header.ack;
+        Flow_state.set_tx_sent flow 0
+      end
+      else Flow_state.set_tx_sent flow (Flow_state.tx_sent flow - acked);
+      Flow_state.set_dupack_cnt flow 0;
+      Flow_state.set_cnt_ackb flow (Flow_state.cnt_ackb flow + acked);
+      if tcp.Tcp_header.flags.Tcp_header.ece then
+        Flow_state.set_cnt_ecnb flow (Flow_state.cnt_ecnb flow + acked);
+      sample_rtt t flow tcp;
+      (* Cumulative progress restarts the probe/reorder clocks: bump the
+         generation so pending timers dissolve, then re-arm below. *)
+      Rec.State.bump_gen st;
+      st.Rec.State.tlp_armed <- false;
+      st.Rec.State.reo_armed <- false;
+      recovery_on_ack t flow core ~una:tcp.Tcp_header.ack ~blocks ~dup_acks:0;
+      (if Flow_state.tx_interest flow then begin
+         Flow_state.set_tx_interest flow false;
+         match find_context t (Flow_state.context flow) with
+         | Some ctx -> Context.post_writable ctx flow
+         | None -> () (* application exited; flow teardown in progress *)
+       end);
+      maybe_send t flow core;
+      arm_tlp t flow core;
+      arm_reo t flow core
+    end
+    else begin
+      (* ACK beyond what the fast path sent (e.g. of a slow-path FIN). *)
+      t.stats.exceptions_forwarded <- t.stats.exceptions_forwarded + 1;
+      t.exception_handler pkt
     end
   end
+  else if
+    acked = 0
+    && Flow_state.tx_sent flow > 0
+    && Bytes.length pkt.Packet.payload = 0
+  then begin
+    Flow_state.set_dupack_cnt flow (Flow_state.dupack_cnt flow + 1);
+    recovery_on_ack t flow core ~una:(Flow_state.snd_una flow) ~blocks
+      ~dup_acks:(Flow_state.dupack_cnt flow);
+    arm_tlp t flow core;
+    arm_reo t flow core
+  end
+
+let process_ack t flow pkt core =
+  match Flow_state.recovery_kind flow with
+  | Rec.Policy.Reno -> process_ack_reno t flow pkt core
+  | Rec.Policy.Sack | Rec.Policy.Rack_tlp -> process_ack_modern t flow pkt core
 
 let process_data t flow pkt core =
   let tcp = pkt.Packet.tcp in

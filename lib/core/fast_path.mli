@@ -8,7 +8,14 @@
     from the flow's transmit buffer. It handles exactly two exceptions
     inline — duplicate-ACK fast recovery and a single out-of-order receive
     interval — and forwards everything else (SYN/FIN/RST, unknown flows) to
-    the slow path. *)
+    the slow path.
+
+    Loss recovery is pluggable ([Config.recovery_policy]): the default
+    [Reno] policy is the paper's go-back-N machinery, byte-identical to
+    the seed; [Sack] and [Rack_tlp] flows instead advertise SACK blocks on
+    their ACKs, feed a sender scoreboard ({!Tas_recovery.Scoreboard}) and
+    repair losses selectively — plus, for [Rack_tlp], time-based loss
+    marking and tail-loss probes on fire-and-forget simulator timers. *)
 
 type t
 
@@ -29,6 +36,20 @@ type stats = {
       (** packets that went through a vector pass; [/ rx_bursts] is the
           achieved mean burst depth *)
 }
+
+type rec_stats = {
+  mutable rec_episodes : int;  (** SACK/RACK recovery episodes entered *)
+  mutable rec_sacked_segments : int;
+  mutable rec_lost_marked : int;
+      (** segments marked lost by the dupthresh / RACK rules *)
+  mutable rec_selective_retransmits : int;
+  mutable rec_tlp_probes : int;
+  mutable rec_reo_timeouts : int;
+      (** RACK reordering timers that fired and marked losses *)
+}
+(** All zero under the default [Reno] policy (and the [rec_*] metrics are
+    not registered then — the registry output stays identical to the
+    pre-recovery seed). *)
 
 val create :
   ?trace:Tas_telemetry.Trace.t ->
@@ -69,6 +90,7 @@ val set_exception_handler : t -> (Tas_proto.Packet.t -> unit) -> unit
 
 val flows : t -> Flow_table.t
 val stats : t -> stats
+val rec_stats : t -> rec_stats
 val config : t -> Config.t
 val nic : t -> Tas_netsim.Nic.t
 val trace : t -> Tas_telemetry.Trace.t

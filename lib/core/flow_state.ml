@@ -47,11 +47,17 @@ type t = {
   ooo : Tas_buffers.Ooo_interval.t;
   mutable bucket : Rate_bucket.t;
   mutable store : store;
+  (* Loss-recovery companion (policy kind + sender scoreboard): boxed in
+     both backings, like the rings and the out-of-order interval — the
+     recovery subsystem's documented boxed side-table. Reno never grows
+     it beyond the kind tag. *)
+  rec_state : Tas_recovery.State.t;
 }
 
 exception Arena_exhausted
 
-let create ?arena ~opaque ~context ~bucket ~rx_buf_size ~tx_buf_size
+let create ?arena ?(recovery = Tas_recovery.Policy.Reno) ?(ooo_ranges = 1)
+    ~opaque ~context ~bucket ~rx_buf_size ~tx_buf_size
     ~local_port ~peer_ip ~peer_port ~peer_mac ~tx_iss ~rx_next ~window
     ~peer_wscale () =
   let store =
@@ -103,9 +109,10 @@ let create ?arena ~opaque ~context ~bucket ~rx_buf_size ~tx_buf_size
   {
     rx_buf = Ring.create rx_buf_size;
     tx_buf = Ring.create tx_buf_size;
-    ooo = Tas_buffers.Ooo_interval.create ();
+    ooo = Tas_buffers.Ooo_interval.create ~max_ranges:ooo_ranges ();
     bucket;
     store;
+    rec_state = Tas_recovery.State.create recovery;
   }
 
 let is_arena_backed t = match t.store with Slot _ -> true | Boxed _ -> false
@@ -325,6 +332,8 @@ let tx_buf t = t.tx_buf
 let ooo t = t.ooo
 let bucket t = t.bucket
 let set_bucket t b = t.bucket <- b
+let recovery t = t.rec_state
+let recovery_kind t = t.rec_state.Tas_recovery.State.kind
 
 (* --- Derived views ------------------------------------------------------ *)
 
@@ -386,7 +395,7 @@ let to_json t =
       J.Obj [ ("start", J.Int start); ("len", J.Int len) ]
   in
   J.Obj
-    [
+    ([
       ("opaque", J.Int (opaque t));
       ("context", J.Int (context t));
       ("peer", J.Str
@@ -414,3 +423,11 @@ let to_json t =
       ("fin_received", J.Bool (fin_received t));
       ("fin_sent", J.Bool (fin_sent t));
     ]
+    @
+    (* The recovery object appears only for SACK-class flows: Reno flows
+       keep the seed's exact JSON shape (the arena-vs-boxed differential
+       battery and the seed digests compare this output verbatim). *)
+    (match t.rec_state.Tas_recovery.State.kind with
+    | Tas_recovery.Policy.Reno -> []
+    | Tas_recovery.Policy.Sack | Tas_recovery.Policy.Rack_tlp ->
+      [ ("recovery", Tas_recovery.State.to_json t.rec_state) ]))

@@ -30,6 +30,8 @@ exception Arena_exhausted
 
 val create :
   ?arena:Flow_arena.t ->
+  ?recovery:Tas_recovery.Policy.kind ->
+  ?ooo_ranges:int ->
   opaque:int ->
   context:int ->
   bucket:Rate_bucket.t ->
@@ -47,7 +49,10 @@ val create :
   t
 (** [tx_iss] is the sequence number of the first data byte to send (stream
     offset 0 of [tx_buf]); [rx_next] the first expected data byte. With
-    [?arena] the record occupies an arena slot; without, a boxed record. *)
+    [?arena] the record occupies an arena slot; without, a boxed record.
+    [?recovery] selects the loss-recovery policy (default [Reno], the
+    paper's go-back-N); [?ooo_ranges] sizes the receiver's out-of-order
+    interval set (default 1, the paper's single interval). *)
 
 val release : t -> unit
 (** Return the arena slot (no-op for boxed flows); the handle transparently
@@ -177,6 +182,12 @@ val tx_buf : t -> Tas_buffers.Ring_buffer.t
 val ooo : t -> Tas_buffers.Ooo_interval.t
 val bucket : t -> Rate_bucket.t
 val set_bucket : t -> Rate_bucket.t -> unit
+
+val recovery : t -> Tas_recovery.State.t
+(** Loss-recovery companion: policy kind, episode flag, and (for SACK-class
+    policies) the sender scoreboard. *)
+
+val recovery_kind : t -> Tas_recovery.Policy.kind
 
 (** {2 Derived views} *)
 

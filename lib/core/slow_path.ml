@@ -201,6 +201,7 @@ let build t ~tuple ~(flags : Tcp_header.flags) ~seq ~ack_no ~window ~with_mss
           wscale =
             (if flags.Tcp_header.syn then Some t.config.Config.wscale else None);
           timestamp = Some (now_us t land 0xFFFF_FFFF, ts_ecr);
+          sack = [];
         };
     }
   in
@@ -312,8 +313,14 @@ let establish t p =
   else begin
     let bucket, cc = make_bucket t in
     let flow =
-      Flow_state.create ?arena:t.arena ~opaque:p.p_opaque ~context:p.p_context
-        ~bucket
+      Flow_state.create ?arena:t.arena
+        ~recovery:t.config.Config.recovery_policy
+        ~ooo_ranges:
+          (match t.config.Config.recovery_policy with
+          | Tas_recovery.Policy.Reno -> 1
+          | Tas_recovery.Policy.Sack | Tas_recovery.Policy.Rack_tlp ->
+            max 1 t.config.Config.sack_max_ranges)
+        ~opaque:p.p_opaque ~context:p.p_context ~bucket
         ~rx_buf_size:t.config.Config.rx_buf_size
         ~tx_buf_size:t.config.Config.tx_buf_size
         ~local_port:p.p_tuple.Addr.Four_tuple.local_port

@@ -228,6 +228,9 @@ let flows ?shard t =
   Json.Obj
     [
       ("now_ns", Json.Int (Tas_engine.Sim.now t.sim));
+      ( "recovery_policy",
+        Json.Str
+          (Tas_recovery.Policy.name t.config.Config.recovery_policy) );
       ("count", Json.Int (Flow_table.count ft));
       ("shards", shard_summary ft);
       ("flows", Flow_table.dump ?shard ft);
@@ -243,8 +246,10 @@ let pp_flows fmt t =
         compare (Flow_state.opaque a) (Flow_state.opaque b))
       !rows
   in
-  Format.fprintf fmt "@[<v>%d flows at t=%dns@," (List.length rows)
-    (Tas_engine.Sim.now t.sim);
+  Format.fprintf fmt "@[<v>%d flows at t=%dns (recovery: %s)@,"
+    (List.length rows)
+    (Tas_engine.Sim.now t.sim)
+    (Tas_recovery.Policy.name t.config.Config.recovery_policy);
   List.iter
     (fun (tuple, fl) ->
       let module Ring = Tas_buffers.Ring_buffer in
@@ -258,9 +263,19 @@ let pp_flows fmt t =
         | Rate_bucket.Rate bps -> Printf.sprintf "rate %.1fMbps" (bps /. 1e6)
         | Rate_bucket.Window w -> Printf.sprintf "cwnd %dB" w
       in
+      let scoreboard =
+        match Flow_state.recovery_kind fl with
+        | Tas_recovery.Policy.Reno -> ""
+        | Sack | Rack_tlp ->
+          let sb = (Flow_state.recovery fl).Tas_recovery.State.sb in
+          Printf.sprintf "  sb live %d sacked %d lost %d"
+            (Tas_recovery.Scoreboard.live_segs sb)
+            (Tas_recovery.Scoreboard.live_sacked sb)
+            (Tas_recovery.Scoreboard.live_lost sb)
+      in
       Format.fprintf fmt
         "%-8s %a  txq %d/%d inflight %d rxq %d  wnd %d  %s  rtt %dus \
-         dupacks %d frexmits %d@,"
+         dupacks %d frexmits %d%s@,"
         state Tas_proto.Addr.Four_tuple.pp tuple
         (Ring.used (Flow_state.tx_buf fl))
         (Ring.capacity (Flow_state.tx_buf fl))
@@ -268,7 +283,7 @@ let pp_flows fmt t =
         (Ring.used (Flow_state.rx_buf fl))
         (Flow_state.window fl) rate
         (Flow_state.rtt_est fl / 1000)
-        (Flow_state.dupack_cnt fl) (Flow_state.cnt_frexmits fl))
+        (Flow_state.dupack_cnt fl) (Flow_state.cnt_frexmits fl) scoreboard)
     rows;
   Format.fprintf fmt "@]"
 

@@ -1,0 +1,13 @@
+(** WAN loss-recovery experiment ([wan]): sweeps the pluggable recovery
+    policies (Reno go-back-N, SACK scoreboard, RACK-TLP) across an RTT x
+    loss-rate x burstiness grid between two TAS hosts, measures tail-loss
+    repair with a deterministic last-segment drop, and runs a split-TCP
+    performance-enhancing proxy ({!Tas_apps.Pep_relay}) on a WAN+LAN path
+    checking byte conservation and clean teardown through the relay.
+
+    The artifact carries a gateable "wan" verdict object: SACK goodput at
+    least Reno's at every grid point, RACK-TLP strictly improving tail
+    completion under the seeded tail loss, and zero conservation
+    violations through the PEP. *)
+
+val run : ?quick:bool -> Format.formatter -> unit

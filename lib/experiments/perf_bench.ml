@@ -140,7 +140,8 @@ let wire ~quick =
       flags = Tcp_header.data_flags;
       window = 1024;
       options =
-        { Tcp_header.mss = None; wscale = None; timestamp = Some (1, 2) };
+        { Tcp_header.mss = None; wscale = None; timestamp = Some (1, 2);
+          sack = [] };
     }
   in
   let pkt =
@@ -271,7 +272,8 @@ let burst ~quick =
               flags = Tcp_header.data_flags;
               window = 65535;
               options =
-                { Tcp_header.mss = None; wscale = None; timestamp = Some (1, 1) };
+                { Tcp_header.mss = None; wscale = None;
+                  timestamp = Some (1, 1); sack = [] };
             }
           ~payload:(Bytes.create 1448) ())
   in

@@ -62,6 +62,8 @@ let all =
       run = Exp_timeline.run };
     { id = "el"; title = "Elastic controller: diurnal autoscaling across policies";
       run = Exp_elastic.run };
+    { id = "wan"; title = "WAN: recovery policies, tail loss, split-TCP PEP";
+      run = Exp_wan.run };
   ]
 
 let find id = List.find_opt (fun e -> String.lowercase_ascii id = e.id) all

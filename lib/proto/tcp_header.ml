@@ -12,6 +12,7 @@ type options = {
   mss : int option;
   wscale : int option;
   timestamp : (int * int) option;
+  sack : (Seq32.t * Seq32.t) list;
 }
 
 type t = {
@@ -28,7 +29,7 @@ let no_flags =
   { syn = false; ack = false; fin = false; rst = false; psh = false;
     ece = false; cwr = false }
 
-let no_options = { mss = None; wscale = None; timestamp = None }
+let no_options = { mss = None; wscale = None; timestamp = None; sack = [] }
 let data_flags = { no_flags with ack = true; psh = true }
 let ack_flags = { no_flags with ack = true }
 
@@ -37,6 +38,7 @@ let options_size opts =
     (match opts.mss with Some _ -> 4 | None -> 0)
     + (match opts.wscale with Some _ -> 3 | None -> 0)
     + (match opts.timestamp with Some _ -> 10 | None -> 0)
+    + (match opts.sack with [] -> 0 | bs -> 2 + (8 * List.length bs))
   in
   (* Pad to a 4-byte boundary with NOPs. *)
   (n + 3) / 4 * 4
@@ -110,6 +112,18 @@ let write t buf ~off =
     set32 buf (!p + 6) (ts_ecr land 0xFFFF_FFFF);
     p := !p + 10
   | None -> ());
+  (match t.options.sack with
+  | [] -> ()
+  | blocks ->
+    Bytes.set buf !p '\x05';
+    Bytes.set buf (!p + 1) (Char.chr (2 + (8 * List.length blocks)));
+    p := !p + 2;
+    List.iter
+      (fun (bs, be) ->
+        set32 buf !p (bs land 0xFFFF_FFFF);
+        set32 buf (!p + 4) (be land 0xFFFF_FFFF);
+        p := !p + 8)
+      blocks);
   while !p < off + hdr_size do
     Bytes.set buf !p '\x01' (* NOP padding *);
     incr p
@@ -141,6 +155,13 @@ let read buf ~off =
            opts :=
              { !opts with
                timestamp = Some (get32 buf (!p + 2), get32 buf (!p + 6)) }
+         | 5 when len >= 10 && (len - 2) mod 8 = 0 ->
+           let n = (len - 2) / 8 in
+           let blocks =
+             List.init n (fun i ->
+                 (get32 buf (!p + 2 + (8 * i)), get32 buf (!p + 6 + (8 * i))))
+           in
+           opts := { !opts with sack = blocks }
          | _ -> () (* unknown option: skipped *));
          p := !p + len
      done

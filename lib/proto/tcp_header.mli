@@ -1,6 +1,7 @@
 (** TCP header with the options TAS uses: MSS (on SYN), window scale (on
-    SYN), and timestamps (every segment; the fast path uses them for RTT
-    estimation feeding congestion control, §3.1). *)
+    SYN), timestamps (every segment; the fast path uses them for RTT
+    estimation feeding congestion control, §3.1), and SACK blocks (on ACKs
+    of receivers running a SACK-class recovery policy). *)
 
 type flags = {
   syn : bool;
@@ -16,6 +17,11 @@ type options = {
   mss : int option;
   wscale : int option;
   timestamp : (int * int) option;  (** (ts_val, ts_ecr). *)
+  sack : (Seq32.t * Seq32.t) list;
+      (** RFC 2018 blocks, [(start, end)] half-open in sequence space,
+          most recently updated first. At most 3 fit beside the timestamp
+          option (the standard 40-byte option budget); [\[\]] adds zero
+          wire bytes, so non-SACK stacks are byte-identical. *)
 }
 
 type t = {

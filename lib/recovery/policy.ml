@@ -1,0 +1,12 @@
+type kind = Reno | Sack | Rack_tlp
+
+let name = function Reno -> "reno" | Sack -> "sack" | Rack_tlp -> "rack-tlp"
+
+let of_string s =
+  match String.lowercase_ascii s with
+  | "reno" -> Some Reno
+  | "sack" -> Some Sack
+  | "rack" | "rack-tlp" | "rack_tlp" -> Some Rack_tlp
+  | _ -> None
+
+let all = [ Reno; Sack; Rack_tlp ]

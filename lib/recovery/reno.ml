@@ -1,0 +1,7 @@
+type verdict = Count of int | Enter_recovery
+
+let dupthresh = 3
+
+let on_dup_ack ~dupack_cnt ~in_recovery =
+  let cnt = dupack_cnt + 1 in
+  if cnt >= dupthresh && not in_recovery then Enter_recovery else Count cnt

@@ -1,0 +1,25 @@
+(** Reno-style duplicate-ACK fast retransmit — the paper's §3.1
+    exception 1, extracted verbatim from the fast path as the reference
+    recovery policy.
+
+    The decision is stateless over the flow's two recovery scalars
+    (Table 3's [dupack_cnt] and the in-recovery flag): the third duplicate
+    ACK outside recovery triggers exactly one go-back-N rewind; every
+    other duplicate ACK just counts. The caller applies the rewind
+    ([seq <- snd_una], [tx_sent <- 0]) and its accounting; byte-identical
+    behaviour to the pre-extraction fast path is pinned by the seed
+    digests in [test/test_recovery.ml]. *)
+
+type verdict =
+  | Count of int  (** store the new duplicate-ACK count; nothing else *)
+  | Enter_recovery
+      (** third duplicate ACK outside recovery: rewind the sender to
+          [snd_una], zero [tx_sent] and [dupack_cnt], mark the flow
+          in-recovery, and count one fast retransmit *)
+
+val dupthresh : int
+(** 3, the classic threshold (shared with the SACK scoreboard rules). *)
+
+val on_dup_ack : dupack_cnt:int -> in_recovery:bool -> verdict
+(** Decide what one duplicate ACK does, given the flow's current count of
+    prior duplicate ACKs and its recovery flag. *)

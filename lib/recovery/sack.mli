@@ -1,0 +1,27 @@
+(** SACK-based recovery engine (RFC 2018 blocks + RFC 6675 loss rules).
+
+    Pure decision logic over {!State}/{!Scoreboard}: the fast path feeds
+    every ACK (cumulative edge, SACK blocks, duplicate-ACK count) through
+    {!on_ack} and then retransmits whatever the scoreboard marks lost —
+    selectively, without rewinding the send sequence. Episodes are
+    bracketed by [recovery_point]: one rate-cut signal per episode, ended
+    when the cumulative ACK passes the [snd_nxt] recorded at entry. *)
+
+type outcome = {
+  newly_sacked : int;  (** segments first marked sacked by this ACK *)
+  newly_lost : int;  (** segments first marked lost by this ACK *)
+  entered : bool;  (** a new recovery episode began *)
+  exited : bool;  (** the previous episode completed *)
+}
+
+val on_ack :
+  State.t ->
+  una:Tas_proto.Seq32.t ->
+  snd_nxt:Tas_proto.Seq32.t ->
+  blocks:(Tas_proto.Seq32.t * Tas_proto.Seq32.t) list ->
+  dup_acks:int ->
+  outcome
+(** Digest one ACK: advance the scoreboard to [una], apply [blocks], run
+    the dupthresh loss rule (plus the front-hole rule once [dup_acks]
+    reaches {!Reno.dupthresh} without SACK evidence above the hole), and
+    maintain the episode bracket against [snd_nxt]. *)

@@ -1,0 +1,190 @@
+module Seq32 = Tas_proto.Seq32
+module J = Tas_telemetry.Json
+
+type seg = {
+  mutable s_seq : Seq32.t;
+  mutable s_len : int;
+  mutable s_tx_ns : int;
+  mutable s_sacked : bool;
+  mutable s_lost : bool;
+  mutable s_retx : int;
+}
+
+type t = {
+  mutable segs : seg list;  (* ascending sequence order, disjoint *)
+  mutable high_sacked : Seq32.t;  (* end of the highest sacked segment *)
+  mutable any_sacked : bool;  (* [high_sacked] is meaningful *)
+  mutable c_sacked : int;
+  mutable c_lost : int;
+  mutable c_retx : int;
+}
+
+let create () =
+  {
+    segs = [];
+    high_sacked = 0;
+    any_sacked = false;
+    c_sacked = 0;
+    c_lost = 0;
+    c_retx = 0;
+  }
+
+let reset t =
+  t.segs <- [];
+  t.any_sacked <- false
+
+let is_empty t = t.segs = []
+let seg_end s = Seq32.add s.s_seq s.s_len
+
+(* O(in-flight) append: the list is short (send-window bound) and the sim
+   charges far more per packet elsewhere. *)
+let on_transmit t ~seq ~len ~now_ns =
+  t.segs <-
+    t.segs
+    @ [
+        {
+          s_seq = seq;
+          s_len = len;
+          s_tx_ns = now_ns;
+          s_sacked = false;
+          s_lost = false;
+          s_retx = 0;
+        };
+      ]
+
+let on_retransmit t ~seq ~now_ns =
+  match List.find_opt (fun s -> s.s_seq = seq) t.segs with
+  | Some s ->
+    s.s_tx_ns <- now_ns;
+    s.s_lost <- false;
+    s.s_retx <- s.s_retx + 1;
+    t.c_retx <- t.c_retx + 1;
+    true
+  | None -> false
+
+let ack_to t ~una =
+  let tx_max = ref (-1) in
+  let rec go = function
+    | s :: rest when Seq32.leq (seg_end s) una ->
+      if s.s_retx = 0 && s.s_tx_ns > !tx_max then tx_max := s.s_tx_ns;
+      go rest
+    | s :: rest when Seq32.lt s.s_seq una ->
+      (* Partially-acked straddler: keep the unacked suffix. *)
+      let cut = Seq32.diff una s.s_seq in
+      s.s_seq <- una;
+      s.s_len <- s.s_len - cut;
+      s :: rest
+    | rest -> rest
+  in
+  t.segs <- go t.segs;
+  if t.segs = [] then t.any_sacked <- false;
+  !tx_max
+
+let apply_sacks t ~blocks =
+  let newly = ref 0 and tx_max = ref (-1) in
+  List.iter
+    (fun (bs, be) ->
+      if Seq32.lt bs be then
+        List.iter
+          (fun s ->
+            if
+              (not s.s_sacked)
+              && Seq32.geq s.s_seq bs
+              && Seq32.leq (seg_end s) be
+            then begin
+              s.s_sacked <- true;
+              s.s_lost <- false;
+              incr newly;
+              t.c_sacked <- t.c_sacked + 1;
+              if s.s_retx = 0 && s.s_tx_ns > !tx_max then tx_max := s.s_tx_ns;
+              if (not t.any_sacked) || Seq32.gt (seg_end s) t.high_sacked then
+                t.high_sacked <- seg_end s;
+              t.any_sacked <- true
+            end)
+          t.segs)
+    blocks;
+  (!newly, !tx_max)
+
+let mark_lost_dupthresh t ~dupthresh =
+  (* Walk from the highest segment down, counting sacked segments above. *)
+  let newly = ref 0 in
+  let above = ref 0 in
+  List.iter
+    (fun s ->
+      if s.s_sacked then incr above
+      else if !above >= dupthresh && (not s.s_lost) && s.s_retx = 0 then begin
+        s.s_lost <- true;
+        incr newly;
+        t.c_lost <- t.c_lost + 1
+      end)
+    (List.rev t.segs);
+  !newly
+
+let mark_front_lost t =
+  match t.segs with
+  | s :: _ when (not s.s_sacked) && (not s.s_lost) && s.s_retx = 0 ->
+    s.s_lost <- true;
+    t.c_lost <- t.c_lost + 1;
+    1
+  | _ -> 0
+
+let mark_lost_older_than t ~threshold_ns =
+  if not t.any_sacked then 0
+  else begin
+    let newly = ref 0 in
+    List.iter
+      (fun s ->
+        if
+          (not s.s_sacked)
+          && (not s.s_lost)
+          && Seq32.lt s.s_seq t.high_sacked
+          && s.s_tx_ns <= threshold_ns
+        then begin
+          s.s_lost <- true;
+          incr newly;
+          t.c_lost <- t.c_lost + 1
+        end)
+      t.segs;
+    !newly
+  end
+
+let next_lost t =
+  match List.find_opt (fun s -> s.s_lost) t.segs with
+  | Some s -> Some (s.s_seq, s.s_len)
+  | None -> None
+
+let last_unsacked t =
+  List.fold_left
+    (fun acc s -> if s.s_sacked then acc else Some (s.s_seq, s.s_len))
+    None t.segs
+
+let oldest_unsacked_tx t =
+  if not t.any_sacked then None
+  else
+    List.fold_left
+      (fun acc s ->
+        if (not s.s_sacked) && (not s.s_lost) && Seq32.lt s.s_seq t.high_sacked
+        then
+          match acc with
+          | None -> Some s.s_tx_ns
+          | Some m -> Some (min m s.s_tx_ns)
+        else acc)
+      None t.segs
+
+let live_segs t = List.length t.segs
+let live_sacked t = List.length (List.filter (fun s -> s.s_sacked) t.segs)
+let live_lost t = List.length (List.filter (fun s -> s.s_lost) t.segs)
+let cum_sacked t = t.c_sacked
+let cum_lost t = t.c_lost
+let cum_retx t = t.c_retx
+
+let to_json t =
+  J.Obj
+    [
+      ("live_segs", J.Int (live_segs t));
+      ("live_sacked", J.Int (live_sacked t));
+      ("live_lost", J.Int (live_lost t));
+      ("sacked", J.Int t.c_sacked);
+      ("lost", J.Int t.c_lost);
+      ("retx", J.Int t.c_retx);
+    ]

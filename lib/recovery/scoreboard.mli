@@ -1,0 +1,92 @@
+(** Sender-side retransmission scoreboard (RFC 6675 / RFC 8985 flavour).
+
+    One record per in-flight segment: sequence range, last transmit
+    timestamp, and the sacked / lost / retransmitted markings that drive
+    selective retransmission. The segment list spans
+    [[snd_una, snd_nxt)] in transmit order; cumulative ACKs trim it from
+    the front, SACK blocks mark runs inside it.
+
+    Segments and markings live on the OCaml heap as a companion structure
+    of the flow (like the payload rings and the out-of-order interval),
+    identical for arena-backed and boxed flows — the documented boxed
+    side-table of the recovery subsystem. Operations are O(in-flight
+    segments); the in-flight count is bounded by the send window. *)
+
+type t
+
+val create : unit -> t
+
+val reset : t -> unit
+(** Forget every tracked segment (RTO rewind: the sender re-sends from
+    [snd_una], re-registering segments as they go out). Cumulative
+    counters survive. *)
+
+val is_empty : t -> bool
+
+(** {2 Transmit-side bookkeeping} *)
+
+val on_transmit : t -> seq:Tas_proto.Seq32.t -> len:int -> now_ns:int -> unit
+(** A fresh segment left the NIC: append it to the tracked tail. *)
+
+val on_retransmit : t -> seq:Tas_proto.Seq32.t -> now_ns:int -> bool
+(** A tracked segment (matched by its start sequence) was retransmitted:
+    refresh its transmit timestamp, clear its lost marking and count the
+    retransmission. [false] if no segment starts at [seq]. *)
+
+(** {2 ACK-side updates} *)
+
+val ack_to : t -> una:Tas_proto.Seq32.t -> int
+(** Advance the cumulative-ACK edge: drop fully-acked segments (clipping
+    one partially-acked straddler). Returns the latest transmit timestamp
+    among the fully-acked never-retransmitted segments — the RACK
+    delivery signal under Karn's rule — or [-1] when none qualify. *)
+
+val apply_sacks : t -> blocks:(Tas_proto.Seq32.t * Tas_proto.Seq32.t) list -> int * int
+(** Mark every tracked segment wholly inside a [(start, end)] block as
+    sacked. Returns [(newly_sacked_segments, tx_ns_max)] where
+    [tx_ns_max] is the latest transmit timestamp among the newly sacked
+    never-retransmitted segments ([-1] when none; Karn again). *)
+
+(** {2 Loss marking} *)
+
+val mark_lost_dupthresh : t -> dupthresh:int -> int
+(** RFC 6675: an unsacked, never-retransmitted segment with at least
+    [dupthresh] sacked segments above it is lost. Returns newly marked. *)
+
+val mark_front_lost : t -> int
+(** [dupthresh] duplicate ACKs arrived without enough SACK evidence above
+    the hole: mark the first unsacked segment lost (0 or 1 newly marked). *)
+
+val mark_lost_older_than : t -> threshold_ns:int -> int
+(** RACK: every unsacked segment below the highest sacked edge whose last
+    transmission is at or before [threshold_ns] is lost (retransmitted
+    segments included — their refreshed timestamp is what is compared).
+    No-op unless something has been sacked. Returns newly marked. *)
+
+(** {2 Retransmission scan} *)
+
+val next_lost : t -> (Tas_proto.Seq32.t * int) option
+(** Lowest segment currently marked lost, as [(seq, len)] — the next
+    selective retransmission. {!on_retransmit} clears the marking. *)
+
+val last_unsacked : t -> (Tas_proto.Seq32.t * int) option
+(** Highest in-flight segment not yet sacked — the tail-loss-probe
+    target. *)
+
+val oldest_unsacked_tx : t -> int option
+(** Earliest transmit timestamp among unsacked, unlost segments below the
+    highest sacked edge — the RACK reordering-timer anchor. *)
+
+(** {2 Observation} *)
+
+val live_segs : t -> int
+val live_sacked : t -> int
+val live_lost : t -> int
+
+val cum_sacked : t -> int
+(** Segments ever marked sacked (cumulative, survives {!reset}). *)
+
+val cum_lost : t -> int
+val cum_retx : t -> int
+
+val to_json : t -> Tas_telemetry.Json.t

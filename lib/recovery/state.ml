@@ -1,0 +1,40 @@
+module J = Tas_telemetry.Json
+
+type t = {
+  kind : Policy.kind;
+  sb : Scoreboard.t;
+  mutable recovery_point : Tas_proto.Seq32.t;
+  mutable in_rec : bool;
+  mutable rack_ts : int;
+  mutable reo_armed : bool;
+  mutable tlp_armed : bool;
+  mutable gen : int;
+}
+
+let create kind =
+  {
+    kind;
+    sb = Scoreboard.create ();
+    recovery_point = 0;
+    in_rec = false;
+    rack_ts = -1;
+    reo_armed = false;
+    tlp_armed = false;
+    gen = 0;
+  }
+
+let bump_gen t = t.gen <- t.gen + 1
+
+let reset t =
+  Scoreboard.reset t.sb;
+  t.in_rec <- false;
+  t.rack_ts <- -1;
+  bump_gen t
+
+let to_json t =
+  J.Obj
+    [
+      ("policy", J.Str (Policy.name t.kind));
+      ("in_episode", J.Bool t.in_rec);
+      ("scoreboard", Scoreboard.to_json t.sb);
+    ]

@@ -4,11 +4,17 @@
 
 type t
 
-val create : ?initial_rto_ns:int -> unit -> t
-(** Default initial RTO: 10 ms (datacenter-tuned, not the RFC's 1 s). *)
+val create : ?initial_rto_ns:int -> ?min_rto_ns:int -> unit -> t
+(** Default initial RTO: 10 ms (datacenter-tuned, not the RFC's 1 s).
+    [min_rto_ns] raises the RTO lower bound above the hard 1 ms floor
+    (WAN profiles use a higher floor so spurious timeouts do not defeat
+    time-based loss detection); values below the floor are ignored. *)
 
-val sample : t -> int -> unit
-(** [sample t rtt_ns] folds in a new RTT measurement. *)
+val sample : ?retransmitted:bool -> t -> int -> unit
+(** [sample t rtt_ns] folds in a new RTT measurement.
+    [~retransmitted:true] marks a round trip measured against a segment
+    that was retransmitted: per Karn's algorithm the sample is ambiguous
+    and is discarded entirely (estimator and RTO unchanged). *)
 
 val srtt_ns : t -> int
 (** Smoothed RTT; 0 before the first sample. *)

@@ -28,6 +28,12 @@ type kind =
   | Health_backlog_growth
   | Health_ring_drops
   | Health_core_flap
+  | Rec_enter
+  | Rec_exit
+  | Rec_mark_lost
+  | Rec_retransmit
+  | Rec_tlp_probe
+  | Rec_reo_timeout
 
 let kind_name = function
   | Rx_data -> "rx_data"
@@ -57,6 +63,12 @@ let kind_name = function
   | Health_backlog_growth -> "health_backlog_growth"
   | Health_ring_drops -> "health_ring_drops"
   | Health_core_flap -> "health_core_flap"
+  | Rec_enter -> "rec_enter"
+  | Rec_exit -> "rec_exit"
+  | Rec_mark_lost -> "rec_mark_lost"
+  | Rec_retransmit -> "rec_retransmit"
+  | Rec_tlp_probe -> "rec_tlp_probe"
+  | Rec_reo_timeout -> "rec_reo_timeout"
 
 let all_kinds =
   [
@@ -65,7 +77,8 @@ let all_kinds =
     Fault_drop; Fault_dup; Fault_corrupt; Fault_hold; Malformed_drop;
     Csum_drop; Rst_tx; Shard_migrate; Ctl_scale; Health_rexmit_storm;
     Health_arena_pressure; Health_shard_imbalance; Health_backlog_growth;
-    Health_ring_drops; Health_core_flap;
+    Health_ring_drops; Health_core_flap; Rec_enter; Rec_exit; Rec_mark_lost;
+    Rec_retransmit; Rec_tlp_probe; Rec_reo_timeout;
   ]
 
 type event = {

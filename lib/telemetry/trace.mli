@@ -39,6 +39,12 @@ type kind =
   | Health_backlog_growth  (** watchdog: slow-path backlog growing frames in a row *)
   | Health_ring_drops      (** watchdog: trace/span ring dropped events *)
   | Health_core_flap       (** watchdog: active-core count oscillating *)
+  | Rec_enter       (** SACK/RACK recovery episode began *)
+  | Rec_exit        (** recovery episode completed (cum. ACK past point) *)
+  | Rec_mark_lost   (** scoreboard marked one or more segments lost *)
+  | Rec_retransmit  (** selective retransmission of a lost segment *)
+  | Rec_tlp_probe   (** tail-loss probe fired *)
+  | Rec_reo_timeout (** RACK reordering timer fired and marked losses *)
 
 val kind_name : kind -> string
 val all_kinds : kind list

@@ -658,7 +658,8 @@ let mk_pkt st ~dst_port ~seq ~ack ~flags ~payload =
         ack;
         flags;
         window = 65535;
-        options = { Tcp.mss = None; wscale = None; timestamp = Some (1, 1) };
+        options =
+          { Tcp.mss = None; wscale = None; timestamp = Some (1, 1); sack = [] };
       }
     ~payload ()
 
@@ -833,7 +834,7 @@ let test_flows_json_shape () =
   in
   Alcotest.(check (list string))
     "Tas.flows top-level keys pinned"
-    [ "now_ns"; "count"; "shards"; "flows"; "lifecycle" ]
+    [ "now_ns"; "recovery_policy"; "count"; "shards"; "flows"; "lifecycle" ]
     (obj_keys (Tas.flows tas))
 
 let suite =

@@ -218,6 +218,95 @@ let test_ooo_partial_overlap_trim () =
     Alcotest.(check int) "advance" 50 advance
   | _ -> Alcotest.fail "expected trimmed Deliver"
 
+(* --- Multi-range OOO (the SACK receiver configuration) ----------------- *)
+
+let test_ooo_multi_disjoint_holes () =
+  let o = Ooo.create ~max_ranges:4 () in
+  (* Three disjoint holes all stored. *)
+  List.iter
+    (fun (s, l) ->
+      match Ooo.handle o ~exp:0 ~window:65536 ~seg_start:s ~seg_len:l with
+      | Ooo.Store _ -> ()
+      | _ -> Alcotest.failf "expected Store at %d" s)
+    [ (1000, 100); (3000, 100); (5000, 100) ];
+  Alcotest.(check (list (pair int int)))
+    "ranges ascending"
+    [ (1000, 100); (3000, 100); (5000, 100) ]
+    (Ooo.ranges o);
+  Alcotest.(check (option (pair int int)))
+    "interval is the lowest range" (Some (1000, 100)) (Ooo.interval o);
+  (* SACK blocks: most recently touched first, as (start, end). *)
+  Alcotest.(check (list (pair int int)))
+    "sack order most-recent-first"
+    [ (5000, 5100); (3000, 3100); (1000, 1100) ]
+    (Ooo.sack_blocks o ~limit:3);
+  Alcotest.(check int) "sack limit respected" 2
+    (List.length (Ooo.sack_blocks o ~limit:2))
+
+let test_ooo_adjacent_coalescing_across_ranges () =
+  let o = Ooo.create ~max_ranges:4 () in
+  ignore (Ooo.handle o ~exp:0 ~window:65536 ~seg_start:1000 ~seg_len:100);
+  ignore (Ooo.handle o ~exp:0 ~window:65536 ~seg_start:1200 ~seg_len:100);
+  (* The middle segment abuts both neighbours: one fused range remains. *)
+  (match Ooo.handle o ~exp:0 ~window:65536 ~seg_start:1100 ~seg_len:100 with
+  | Ooo.Store _ -> ()
+  | _ -> Alcotest.fail "expected Store for bridging segment");
+  Alcotest.(check (list (pair int int)))
+    "bridged into one range" [ (1000, 300) ] (Ooo.ranges o);
+  (* Gap fill delivers the whole fused run in one advance. *)
+  match Ooo.handle o ~exp:0 ~window:65536 ~seg_start:0 ~seg_len:1000 with
+  | Ooo.Deliver { advance; _ } ->
+    Alcotest.(check int) "advance through fused range" 1300 advance;
+    Alcotest.(check bool) "all consumed" true (Ooo.is_empty o)
+  | _ -> Alcotest.fail "expected Deliver"
+
+let test_ooo_seq_wraparound () =
+  let open Tas_proto in
+  let exp = Seq32.of_int 0xFFFF_FF80 in
+  (* 128 bytes below the wrap point. *)
+  let o = Ooo.create ~max_ranges:4 () in
+  (* A hole that straddles 2^32: starts below the wrap, ends above it. *)
+  let s1 = Seq32.add exp 256 in
+  (* 0xFFFF_FF80 + 256 wraps to 0x80 *)
+  (match Ooo.handle o ~exp ~window:65536 ~seg_start:s1 ~seg_len:512 with
+  | Ooo.Store { write_at; write_len } ->
+    Alcotest.(check int) "stored across wrap" (Seq32.add exp 256) write_at;
+    Alcotest.(check int) "full length kept" 512 write_len
+  | _ -> Alcotest.fail "expected Store across the wrap");
+  (* Extend it with a segment entirely past the wrap point. *)
+  (match
+     Ooo.handle o ~exp ~window:65536 ~seg_start:(Seq32.add exp 768) ~seg_len:64
+   with
+  | Ooo.Store _ -> ()
+  | _ -> Alcotest.fail "expected adjacent Store past the wrap");
+  Alcotest.(check (list (pair int int)))
+    "one range spanning the wrap"
+    [ (Seq32.add exp 256, 576) ]
+    (Ooo.ranges o);
+  (* Filling the gap delivers through the wrap in one go. *)
+  match Ooo.handle o ~exp ~window:65536 ~seg_start:exp ~seg_len:256 with
+  | Ooo.Deliver { write_at; advance; _ } ->
+    Alcotest.(check int) "write at pre-wrap exp" exp write_at;
+    Alcotest.(check int) "advance through wrapped range" 832 advance
+  | _ -> Alcotest.fail "expected Deliver through the wrap"
+
+let test_ooo_eviction_at_capacity () =
+  let o = Ooo.create ~max_ranges:2 () in
+  ignore (Ooo.handle o ~exp:0 ~window:1_000_000 ~seg_start:10_000 ~seg_len:100);
+  ignore (Ooo.handle o ~exp:0 ~window:1_000_000 ~seg_start:50_000 ~seg_len:100);
+  (* Table full. A *closer* hole evicts the range furthest from exp. *)
+  (match Ooo.handle o ~exp:0 ~window:1_000_000 ~seg_start:2_000 ~seg_len:100 with
+  | Ooo.Store _ -> ()
+  | _ -> Alcotest.fail "expected Store with eviction");
+  Alcotest.(check (list (pair int int)))
+    "furthest range evicted"
+    [ (2_000, 100); (10_000, 100) ]
+    (Ooo.ranges o);
+  (* A *further* hole than everything tracked is dropped, not stored. *)
+  match Ooo.handle o ~exp:0 ~window:1_000_000 ~seg_start:90_000 ~seg_len:100 with
+  | Ooo.Drop -> ()
+  | _ -> Alcotest.fail "expected Drop for furthest new hole at capacity"
+
 (* Property: a random segment arrival sequence through the OOO tracker always
    delivers a prefix of the stream, never duplicates or reorders delivered
    bytes, and advance >= write_len only when merging. *)
@@ -267,6 +356,14 @@ let suite =
     Alcotest.test_case "ooo window clipping" `Quick test_ooo_window_clip;
     Alcotest.test_case "ooo partial overlap trim" `Quick
       test_ooo_partial_overlap_trim;
+    Alcotest.test_case "ooo multi-range disjoint holes" `Quick
+      test_ooo_multi_disjoint_holes;
+    Alcotest.test_case "ooo adjacent coalescing across ranges" `Quick
+      test_ooo_adjacent_coalescing_across_ranges;
+    Alcotest.test_case "ooo 2^32 sequence wraparound" `Quick
+      test_ooo_seq_wraparound;
+    Alcotest.test_case "ooo eviction at capacity" `Quick
+      test_ooo_eviction_at_capacity;
     QCheck_alcotest.to_alcotest prop_ring_fifo;
     QCheck_alcotest.to_alcotest prop_spsc_conservation;
     QCheck_alcotest.to_alcotest prop_ooo_stream_consistency;

@@ -27,4 +27,5 @@ let () =
       ("shard", Test_shard.suite);
       ("arena", Test_arena.suite);
       ("control", Test_control.suite);
+      ("recovery", Test_recovery.suite);
     ]

@@ -171,6 +171,15 @@ let tcp_gen =
     let* mss = int_range 536 9000 in
     let* ts1 = int_bound 0xFFFFFFF and* ts2 = int_bound 0xFFFFFFF in
     let* ws = int_range 0 14 in
+    (* Up to two SACK blocks beside the other options (2 + 8n bytes stays
+       inside the 40-byte option budget even with mss + ws + ts). *)
+    let* n_sack = int_bound 2 in
+    let* sack =
+      list_repeat n_sack
+        (let* start = int_bound 0xFFFFFFFF in
+         let* len = int_range 1 65535 in
+         return (Seq32.of_int start, Seq32.add (Seq32.of_int start) len))
+    in
     return
       {
         Tcp.src_port;
@@ -184,6 +193,7 @@ let tcp_gen =
             Tcp.mss = (if with_mss then Some mss else None);
             wscale = (if with_ws then Some ws else None);
             timestamp = (if with_ts then Some (ts1, ts2) else None);
+            sack;
           };
       })
 
@@ -212,6 +222,49 @@ let prop_packet_wire_roundtrip =
       && Bytes.equal pkt'.Packet.payload pkt.Packet.payload
       && pkt'.Packet.ip = pkt.Packet.ip
       && pkt'.Packet.eth = pkt.Packet.eth)
+
+let test_sack_option_full_budget () =
+  (* Three SACK blocks (26 bytes) beside a timestamp (10 bytes) is the RFC
+     2018 maximum layout — it must fit the 40-byte option budget and
+     round-trip exactly, including a block spanning the 2^32 wrap. *)
+  let wrap_start = Seq32.of_int 0xFFFF_FF00 in
+  let sack =
+    [
+      (Seq32.of_int 9000, Seq32.of_int 10448);
+      (wrap_start, Seq32.add wrap_start 512);
+      (Seq32.of_int 4000, Seq32.of_int 5448);
+    ]
+  in
+  let h =
+    {
+      Tcp.src_port = 1; dst_port = 2; seq = 100; ack = 200;
+      flags = { Tcp.no_flags with Tcp.ack = true };
+      window = 65535;
+      options =
+        { Tcp.mss = None; wscale = None; timestamp = Some (7, 9); sack };
+    }
+  in
+  let buf = Bytes.make 64 '\x00' in
+  let n = Tcp.write h buf ~off:0 in
+  Alcotest.(check bool) "within the 60-byte header maximum" true (n <= 60);
+  let h', n' = Tcp.read buf ~off:0 in
+  Alcotest.(check int) "read length agrees" n n';
+  Alcotest.(check bool) "blocks and order preserved" true (h = h')
+
+let test_sack_empty_is_free () =
+  (* The default path advertises no SACK blocks; that must cost zero wire
+     bytes — the header encodes exactly as the seed did. *)
+  let base options =
+    let h =
+      {
+        Tcp.src_port = 1; dst_port = 2; seq = 1; ack = 2;
+        flags = Tcp.data_flags; window = 1000; options;
+      }
+    in
+    Tcp.write h (Bytes.make 64 '\x00') ~off:0
+  in
+  Alcotest.(check int) "no-options size unchanged" (base Tcp.no_options)
+    (base { Tcp.no_options with Tcp.sack = [] })
 
 let test_wire_checksum_detects_payload_corruption () =
   let tcp =
@@ -260,6 +313,10 @@ let suite =
     Alcotest.test_case "eth round-trip" `Quick test_eth_roundtrip;
     Alcotest.test_case "ipv4 header round-trip" `Quick test_ipv4_header_roundtrip;
     Alcotest.test_case "ecn codepoints" `Quick test_ecn_codepoints;
+    Alcotest.test_case "sack option at full budget" `Quick
+      test_sack_option_full_budget;
+    Alcotest.test_case "empty sack list costs no wire bytes" `Quick
+      test_sack_empty_is_free;
     Alcotest.test_case "wire checksum catches corruption" `Quick
       test_wire_checksum_detects_payload_corruption;
     Alcotest.test_case "flow hash symmetric" `Quick test_flow_hash_symmetric;

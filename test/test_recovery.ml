@@ -1,0 +1,595 @@
+(* The pluggable loss-recovery subsystem (lib/recovery): scoreboard and
+   engine units, the seed-equivalence differential battery (the extracted
+   Reno policy must reproduce the pre-extraction fast path byte for byte),
+   and end-to-end SACK / RACK-TLP behaviour under injected loss. *)
+
+module Sim = Tas_engine.Sim
+module Time_ns = Tas_engine.Time_ns
+module Rng = Tas_engine.Rng
+module Core = Tas_cpu.Core
+module Topology = Tas_netsim.Topology
+module Nic = Tas_netsim.Nic
+module Port = Tas_netsim.Port
+module Fault = Tas_netsim.Fault
+module Config = Tas_core.Config
+module Tas = Tas_core.Tas
+module Libtas = Tas_core.Libtas
+module Fast_path = Tas_core.Fast_path
+module Transport = Tas_apps.Transport
+module Packet = Tas_proto.Packet
+module Rec = Tas_recovery
+module Policy = Rec.Policy
+module Scoreboard = Rec.Scoreboard
+module State = Rec.State
+module Sack = Rec.Sack
+module Rack = Rec.Rack_tlp
+module Reno = Rec.Reno
+
+(* --- Policy / Reno units ------------------------------------------------ *)
+
+let test_policy_names () =
+  Alcotest.(check string) "reno" "reno" (Policy.name Policy.Reno);
+  Alcotest.(check string) "sack" "sack" (Policy.name Policy.Sack);
+  Alcotest.(check string) "rack" "rack-tlp" (Policy.name Policy.Rack_tlp);
+  List.iter
+    (fun (s, k) ->
+      Alcotest.(check bool) ("of_string " ^ s) true (Policy.of_string s = Some k))
+    [
+      ("reno", Policy.Reno);
+      ("sack", Policy.Sack);
+      ("rack", Policy.Rack_tlp);
+      ("rack-tlp", Policy.Rack_tlp);
+      ("rack_tlp", Policy.Rack_tlp);
+    ];
+  Alcotest.(check bool) "unknown rejected" true (Policy.of_string "cubic" = None)
+
+let test_reno_decision_table () =
+  (* Counting below the threshold. *)
+  (match Reno.on_dup_ack ~dupack_cnt:0 ~in_recovery:false with
+  | Reno.Count 1 -> ()
+  | _ -> Alcotest.fail "expected Count 1");
+  (match Reno.on_dup_ack ~dupack_cnt:1 ~in_recovery:false with
+  | Reno.Count 2 -> ()
+  | _ -> Alcotest.fail "expected Count 2");
+  (* Third duplicate triggers recovery... *)
+  (match Reno.on_dup_ack ~dupack_cnt:2 ~in_recovery:false with
+  | Reno.Enter_recovery -> ()
+  | _ -> Alcotest.fail "expected Enter_recovery");
+  (* ...but not while already recovering. *)
+  match Reno.on_dup_ack ~dupack_cnt:5 ~in_recovery:true with
+  | Reno.Count 6 -> ()
+  | _ -> Alcotest.fail "expected Count 6 while in recovery"
+
+(* --- Scoreboard units --------------------------------------------------- *)
+
+let fill_sb segs =
+  let sb = Scoreboard.create () in
+  List.iter (fun (seq, len, tx) -> Scoreboard.on_transmit sb ~seq ~len ~now_ns:tx) segs;
+  sb
+
+let test_scoreboard_ack_trim () =
+  let sb = fill_sb [ (1000, 100, 10); (1100, 100, 20); (1200, 100, 30) ] in
+  (* una = 1150: seg1 fully acked (karn-eligible tx 10), seg2 clipped. *)
+  Alcotest.(check int) "delivered tx" 10 (Scoreboard.ack_to sb ~una:1150);
+  Alcotest.(check int) "two live segs" 2 (Scoreboard.live_segs sb);
+  (match Scoreboard.last_unsacked sb with
+  | Some (seq, len) ->
+    Alcotest.(check int) "tail seq" 1200 seq;
+    Alcotest.(check int) "tail len" 100 len
+  | None -> Alcotest.fail "expected a live tail");
+  (* Retransmitted segments never feed the delivery clock (Karn). *)
+  Alcotest.(check bool) "retx found" true
+    (Scoreboard.on_retransmit sb ~seq:1150 ~now_ns:40);
+  Alcotest.(check int) "karn filters retx" (-1) (Scoreboard.ack_to sb ~una:1200);
+  (* ...but a clean tail still samples. *)
+  Alcotest.(check int) "clean tail samples" 30 (Scoreboard.ack_to sb ~una:1300);
+  Alcotest.(check bool) "drained" true (Scoreboard.is_empty sb)
+
+let test_scoreboard_sack_and_dupthresh () =
+  let sb =
+    fill_sb [ (0, 100, 1); (100, 100, 2); (200, 100, 3); (300, 100, 4); (400, 100, 5) ]
+  in
+  (* SACK 200-500: three segments above the front hole. *)
+  let newly, txmax = Scoreboard.apply_sacks sb ~blocks:[ (200, 500) ] in
+  Alcotest.(check int) "newly sacked" 3 newly;
+  Alcotest.(check int) "karn max tx" 5 txmax;
+  (* Re-applying the same blocks marks nothing new. *)
+  let again, _ = Scoreboard.apply_sacks sb ~blocks:[ (200, 500) ] in
+  Alcotest.(check int) "idempotent" 0 again;
+  (* dupthresh 3: both unsacked segments below have >= 3 sacked above. *)
+  Alcotest.(check int) "dupthresh marks holes" 2
+    (Scoreboard.mark_lost_dupthresh sb ~dupthresh:3);
+  (match Scoreboard.next_lost sb with
+  | Some (seq, _) -> Alcotest.(check int) "lowest hole first" 0 seq
+  | None -> Alcotest.fail "expected a lost segment");
+  (* A retransmission clears the marking and is skipped by the dup rule. *)
+  ignore (Scoreboard.on_retransmit sb ~seq:0 ~now_ns:50);
+  Alcotest.(check int) "retx not re-marked by dupthresh" 0
+    (Scoreboard.mark_lost_dupthresh sb ~dupthresh:3);
+  (match Scoreboard.next_lost sb with
+  | Some (seq, _) -> Alcotest.(check int) "second hole remains" 100 seq
+  | None -> Alcotest.fail "expected the second hole");
+  Alcotest.(check int) "cumulative lost counter" 2 (Scoreboard.cum_lost sb);
+  Alcotest.(check int) "cumulative retx counter" 1 (Scoreboard.cum_retx sb)
+
+let test_scoreboard_rack_time_rule () =
+  let sb = fill_sb [ (0, 100, 10); (100, 100, 20); (200, 100, 30) ] in
+  ignore (Scoreboard.apply_sacks sb ~blocks:[ (200, 300) ]);
+  (* Threshold 25: both unsacked holes (tx 10 and 20) are old enough. *)
+  Alcotest.(check int) "older-than marks both holes" 2
+    (Scoreboard.mark_lost_older_than sb ~threshold_ns:25);
+  Alcotest.(check int) "idempotent" 0
+    (Scoreboard.mark_lost_older_than sb ~threshold_ns:25);
+  (* The time rule re-detects a lost retransmission once its refreshed
+     timestamp ages past the threshold — dupthresh cannot. *)
+  ignore (Scoreboard.on_retransmit sb ~seq:0 ~now_ns:40);
+  Alcotest.(check int) "fresh retx not old enough" 0
+    (Scoreboard.mark_lost_older_than sb ~threshold_ns:35);
+  Alcotest.(check int) "aged retx re-marked" 1
+    (Scoreboard.mark_lost_older_than sb ~threshold_ns:45);
+  (* Reordering-timer anchor: oldest unsacked candidate below the edge. *)
+  let sb2 = fill_sb [ (0, 50, 7); (50, 50, 9); (100, 50, 11) ] in
+  Alcotest.(check bool) "no anchor before any sack" true
+    (Scoreboard.oldest_unsacked_tx sb2 = None);
+  ignore (Scoreboard.apply_sacks sb2 ~blocks:[ (100, 150) ]);
+  Alcotest.(check bool) "anchor is oldest candidate" true
+    (Scoreboard.oldest_unsacked_tx sb2 = Some 7)
+
+(* --- Engine units ------------------------------------------------------- *)
+
+let transmit_n st ~n ~len ~base_ts =
+  for i = 0 to n - 1 do
+    Scoreboard.on_transmit st.State.sb ~seq:(i * len) ~len ~now_ns:(base_ts + i)
+  done
+
+let test_sack_episode_bracket () =
+  let st = State.create Policy.Sack in
+  transmit_n st ~n:5 ~len:100 ~base_ts:10;
+  (* SACK evidence above the front hole accumulates over duplicates. *)
+  let o1 = Sack.on_ack st ~una:0 ~snd_nxt:500 ~blocks:[ (200, 300) ] ~dup_acks:1 in
+  Alcotest.(check bool) "no episode yet" false o1.Sack.entered;
+  let o2 =
+    Sack.on_ack st ~una:0 ~snd_nxt:500 ~blocks:[ (200, 400) ] ~dup_acks:2
+  in
+  Alcotest.(check bool) "still counting" false o2.Sack.entered;
+  let o3 =
+    Sack.on_ack st ~una:0 ~snd_nxt:500 ~blocks:[ (200, 500) ] ~dup_acks:3
+  in
+  Alcotest.(check bool) "dupthresh enters recovery" true o3.Sack.entered;
+  Alcotest.(check int) "both holes marked" 2 o3.Sack.newly_lost;
+  Alcotest.(check bool) "episode flag" true st.State.in_rec;
+  Alcotest.(check int) "recovery point at snd_nxt" 500 st.State.recovery_point;
+  (* More duplicates inside the episode do not re-enter (one rate cut). *)
+  let o4 =
+    Sack.on_ack st ~una:0 ~snd_nxt:500 ~blocks:[ (200, 500) ] ~dup_acks:4
+  in
+  Alcotest.(check bool) "no re-entry" false o4.Sack.entered;
+  (* Partial progress keeps the episode; reaching the point exits. *)
+  let o5 = Sack.on_ack st ~una:200 ~snd_nxt:500 ~blocks:[] ~dup_acks:0 in
+  Alcotest.(check bool) "partial ack stays in" false o5.Sack.exited;
+  let o6 = Sack.on_ack st ~una:500 ~snd_nxt:500 ~blocks:[] ~dup_acks:0 in
+  Alcotest.(check bool) "cumulative past point exits" true o6.Sack.exited;
+  Alcotest.(check bool) "flag cleared" false st.State.in_rec
+
+let test_sack_front_hole_rule () =
+  (* Small flight: three duplicate ACKs with no SACK evidence above still
+     pin the front segment (RFC 6675 at small flights). *)
+  let st = State.create Policy.Sack in
+  transmit_n st ~n:2 ~len:100 ~base_ts:10;
+  let o =
+    Sack.on_ack st ~una:0 ~snd_nxt:200 ~blocks:[] ~dup_acks:3
+  in
+  Alcotest.(check int) "front segment marked" 1 o.Sack.newly_lost;
+  Alcotest.(check bool) "entered" true o.Sack.entered
+
+let test_rack_defaults_and_clock () =
+  Alcotest.(check int) "reo_wnd = srtt/4" 2_500
+    (Rack.reo_wnd_ns ~srtt_ns:10_000 ~configured:0);
+  Alcotest.(check int) "reo_wnd floor" 1_000
+    (Rack.reo_wnd_ns ~srtt_ns:0 ~configured:0);
+  Alcotest.(check int) "reo_wnd configured wins" 77
+    (Rack.reo_wnd_ns ~srtt_ns:10_000 ~configured:77);
+  Alcotest.(check int) "pto = 2*srtt" 20_000_000
+    (Rack.pto_ns ~srtt_ns:10_000_000 ~configured:0);
+  Alcotest.(check int) "pto floor 1ms" 1_000_000
+    (Rack.pto_ns ~srtt_ns:1_000 ~configured:0);
+  let st = State.create Policy.Rack_tlp in
+  Scoreboard.on_transmit st.State.sb ~seq:0 ~len:100 ~now_ns:1_000;
+  Scoreboard.on_transmit st.State.sb ~seq:100 ~len:100 ~now_ns:200_000;
+  (* SACK of the late segment advances the delivery clock far enough past
+     the early hole that the time rule marks it without any dup count. *)
+  let o =
+    Rack.on_ack st ~una:0 ~snd_nxt:200 ~blocks:[ (100, 200) ] ~dup_acks:1
+      ~reo_wnd:10_000
+  in
+  Alcotest.(check int) "rack_ts from sacked tx" 200_000 st.State.rack_ts;
+  Alcotest.(check int) "time rule marked the hole" 1 o.Rack.rack_lost;
+  Alcotest.(check bool) "entered on rack loss" true o.Rack.entered
+
+let test_rack_reo_timer () =
+  let st = State.create Policy.Rack_tlp in
+  Scoreboard.on_transmit st.State.sb ~seq:0 ~len:100 ~now_ns:1_000;
+  Scoreboard.on_transmit st.State.sb ~seq:100 ~len:100 ~now_ns:2_000;
+  (* Evidence exists but the hole is too fresh for the window... *)
+  let o =
+    Rack.on_ack st ~una:0 ~snd_nxt:200 ~blocks:[ (100, 200) ] ~dup_acks:1
+      ~reo_wnd:5_000
+  in
+  Alcotest.(check int) "within reo_wnd: nothing marked" 0 o.Rack.newly_lost;
+  (* ...the reordering timer catches it once reo_wnd + srtt elapse. *)
+  Alcotest.(check int) "timer before expiry" 0
+    (Rack.on_reo_timer st ~now_ns:3_000 ~reo_wnd:5_000 ~srtt_ns:1_000);
+  Alcotest.(check int) "timer after expiry" 1
+    (Rack.on_reo_timer st ~now_ns:8_000 ~reo_wnd:5_000 ~srtt_ns:1_000)
+
+let test_state_reset () =
+  let st = State.create Policy.Rack_tlp in
+  transmit_n st ~n:3 ~len:100 ~base_ts:10;
+  ignore
+    (Rack.on_ack st ~una:0 ~snd_nxt:300 ~blocks:[ (100, 300) ] ~dup_acks:3
+       ~reo_wnd:1);
+  Alcotest.(check bool) "episode open" true st.State.in_rec;
+  let gen_before = st.State.gen in
+  State.reset st;
+  Alcotest.(check bool) "scoreboard cleared" true (Scoreboard.is_empty st.State.sb);
+  Alcotest.(check bool) "episode closed" false st.State.in_rec;
+  Alcotest.(check int) "rack clock reset" (-1) st.State.rack_ts;
+  Alcotest.(check bool) "timers invalidated" true (st.State.gen > gen_before);
+  Alcotest.(check bool) "cumulative counters survive" true
+    (Scoreboard.cum_lost st.State.sb > 0)
+
+(* --- Seed-equivalence differential battery ------------------------------ *)
+
+(* Digests captured from the seed (commit 570fea9, before the dup-ACK logic
+   was extracted into lib/recovery): md5 over the full printed report of the
+   chaos schedules, and the Fig. 7 goodputs at 9 decimal places. The
+   refactored fast path under the default Reno policy must reproduce every
+   one exactly — extraction, SACK header support, and the multi-range
+   out-of-order rewrite must be invisible at max_ranges = 1. *)
+
+let test_seed_chaos_digests () =
+  List.iter
+    (fun (only, expect) ->
+      let buf = Buffer.create 4096 in
+      let fmt = Format.formatter_of_buffer buf in
+      Tas_experiments.Exp_chaos.run ~quick:true ~only:[ only ] fmt;
+      Format.pp_print_flush fmt ();
+      Alcotest.(check string)
+        ("chaos schedule " ^ only)
+        expect
+        (Digest.to_hex (Digest.string (Buffer.contents buf))))
+    [
+      ("bursty-loss", "d40f890d5c5c4433f34a4725a09399b3");
+      ("hellscape", "69513b7f617d097bb8822349e4af0831");
+    ]
+
+let test_seed_f7_goodputs () =
+  List.iter
+    (fun (vname, v, sname, s, expect) ->
+      let g = Tas_experiments.Exp_loss.goodput_gbps v ~shape:s in
+      Alcotest.(check string)
+        (Printf.sprintf "f7 %s %s" vname sname)
+        expect
+        (Printf.sprintf "%.9f" g))
+    [
+      ("tas", Tas_experiments.Exp_loss.Tas_ooo, "none",
+       Tas_experiments.Exp_loss.No_loss, "9.399966667");
+      ("tas", Tas_experiments.Exp_loss.Tas_ooo, "uni1",
+       Tas_experiments.Exp_loss.Uniform 0.01, "9.306916000");
+      ("tas", Tas_experiments.Exp_loss.Tas_ooo, "ge1",
+       Tas_experiments.Exp_loss.Bursty 0.01, "9.304677333");
+      ("simple", Tas_experiments.Exp_loss.Tas_simple, "none",
+       Tas_experiments.Exp_loss.No_loss, "9.399966667");
+      ("simple", Tas_experiments.Exp_loss.Tas_simple, "uni1",
+       Tas_experiments.Exp_loss.Uniform 0.01, "9.049128667");
+      ("simple", Tas_experiments.Exp_loss.Tas_simple, "ge1",
+       Tas_experiments.Exp_loss.Bursty 0.01, "9.053800667");
+    ]
+
+(* --- End-to-end: two TAS hosts under injected loss ---------------------- *)
+
+let tas_pair ?control_interval_ns ?timeout_intervals sim net ~policy ~rate_bps =
+  let mk nic core_base =
+    let base =
+      {
+        Config.default with
+        Config.max_fast_path_cores = 2;
+        rx_buf_size = 131072;
+        tx_buf_size = 131072;
+        cc = Tas_tcp.Interval_cc.Fixed_rate;
+        initial_rate_bps = rate_bps;
+        recovery_policy = policy;
+      }
+    in
+    let config =
+      {
+        base with
+        Config.control_interval_fixed_ns =
+          (match control_interval_ns with
+          | None -> base.Config.control_interval_fixed_ns
+          | some -> some);
+        timeout_intervals =
+          (match timeout_intervals with
+          | None -> base.Config.timeout_intervals
+          | Some n -> n);
+      }
+    in
+    let tas = Tas.create sim ~nic ~config () in
+    let cores =
+      [|
+        Core.create sim ~id:core_base ();
+        Core.create sim ~id:(core_base + 1) ();
+      |]
+    in
+    let lt = Tas.app tas ~app_cores:cores ~api:Libtas.Sockets in
+    (tas, Transport.of_libtas lt ~ctx_of_conn:(fun i -> i mod 2))
+  in
+  let a = mk net.Topology.a.Topology.nic 500 in
+  let b = mk net.Topology.b.Topology.nic 600 in
+  (a, b)
+
+(* Bulk goodput under a symmetric loss shape, exp_loss-style but with the
+   recovery policy under test on both hosts. *)
+let goodput ~policy ~shape ~flows =
+  let sim = Sim.create () in
+  let rng = Rng.create 1234 in
+  let spec = Topology.link_10g ~ecn_threshold:65 () in
+  let net =
+    Topology.point_to_point sim ~spec ~fault_ab:shape ~fault_ba:shape ~rng
+      ~queues_per_nic:8 ()
+  in
+  let (_sender_tas, sender), (_recv_tas, receiver) =
+    tas_pair sim net ~policy ~rate_bps:94e6
+  in
+  let received = ref 0 in
+  Transport.listen receiver ~port:5001 (fun _ ->
+      {
+        Transport.null_handlers with
+        Transport.on_data = (fun _ d -> received := !received + Bytes.length d);
+      });
+  let chunk = Bytes.create 16384 in
+  for _ = 1 to flows do
+    let rec push conn = if Transport.send conn chunk > 0 then push conn in
+    Transport.connect sender
+      ~dst_ip:(Nic.ip net.Topology.b.Topology.nic) ~dst_port:5001
+      (fun _ ->
+        {
+          Transport.null_handlers with
+          Transport.on_connected = (fun conn -> push conn);
+          Transport.on_sendable = (fun conn -> push conn);
+        })
+  done;
+  Sim.run ~until:(Time_ns.ms 40) sim;
+  let before = !received in
+  Sim.run ~until:(Time_ns.ms 160) sim;
+  float_of_int ((!received - before) * 8) /. 0.12 /. 1e9
+
+let test_sack_goodput_vs_reno () =
+  List.iter
+    (fun (name, shape) ->
+      let reno = goodput ~policy:Policy.Reno ~shape ~flows:30 in
+      let sack = goodput ~policy:Policy.Sack ~shape ~flows:30 in
+      Alcotest.(check bool)
+        (Printf.sprintf "sack (%.3f) >= reno (%.3f) under %s" sack reno name)
+        true
+        (sack >= reno *. 0.99))
+    [
+      ("uniform 1%", Fault.uniform_loss 0.01);
+      ("bursty 1%", Fault.bursty_of_rate ~rate:0.01 ~mean_burst_pkts:4.0);
+    ]
+
+(* Stream integrity: a patterned transfer through bursty loss must arrive
+   complete and byte-exact — selective retransmission fills every hole with
+   the right bytes (offset bugs in the scoreboard/tx-buffer mapping cannot
+   hide from this). *)
+let integrity_run policy =
+  let total = 262144 in
+  let sim = Sim.create () in
+  let rng = Rng.create 99 in
+  (* A real RTT (2 ms) so dozens of segments are in flight — losses then
+     draw SACK evidence instead of being papered over by the stall rewind
+     (whose timeout is pinned well above the repair timescale). *)
+  let spec =
+    {
+      Topology.rate_bps = 1e9;
+      delay = Time_ns.ms 1;
+      capacity_pkts = 1024;
+      ecn_threshold = None;
+    }
+  in
+  let shape = Fault.bursty_of_rate ~rate:0.05 ~mean_burst_pkts:4.0 in
+  let net =
+    Topology.point_to_point sim ~spec ~fault_ab:shape ~fault_ba:shape ~rng
+      ~queues_per_nic:8 ()
+  in
+  let (sender_tas, sender), (_recv_tas, receiver) =
+    tas_pair sim net ~policy ~rate_bps:1e9 ~control_interval_ns:10_000_000
+      ~timeout_intervals:10
+  in
+  let acc = Buffer.create total in
+  Transport.listen receiver ~port:7001 (fun _ ->
+      {
+        Transport.null_handlers with
+        Transport.on_data = (fun _ d -> Buffer.add_bytes acc d);
+      });
+  let pattern = Bytes.init total (fun i -> Char.chr (((i * 31) + 7) land 0xff)) in
+  let sent = ref 0 in
+  let push conn =
+    let rec go () =
+      if !sent < total then begin
+        let n =
+          Transport.send conn (Bytes.sub pattern !sent (min 8192 (total - !sent)))
+        in
+        if n > 0 then begin
+          sent := !sent + n;
+          go ()
+        end
+      end
+    in
+    go ()
+  in
+  Transport.connect sender
+    ~dst_ip:(Nic.ip net.Topology.b.Topology.nic) ~dst_port:7001
+    (fun _ ->
+      {
+        Transport.null_handlers with
+        Transport.on_connected = push;
+        Transport.on_sendable = push;
+      });
+  Sim.run ~until:(Time_ns.ms 500) sim;
+  (match net.Topology.fault_ab with
+  | Some f ->
+    Alcotest.(check bool) "losses actually injected" true
+      (Fault.total_drops (Fault.counters f) > 0)
+  | None -> Alcotest.fail "fault stage missing");
+  ignore !sent;
+  Alcotest.(check int) "all bytes delivered" total (Buffer.length acc);
+  Alcotest.(check bool) "byte-exact stream" true
+    (Bytes.equal (Buffer.to_bytes acc) pattern);
+  sender_tas
+
+let test_sack_stream_integrity () =
+  let tas = integrity_run Policy.Sack in
+  let r = Fast_path.rec_stats (Tas.fast_path tas) in
+  Alcotest.(check bool) "recovery episodes happened" true
+    (r.Fast_path.rec_episodes > 0);
+  Alcotest.(check bool) "selective retransmissions happened" true
+    (r.Fast_path.rec_selective_retransmits > 0);
+  Alcotest.(check bool) "sack evidence consumed" true
+    (r.Fast_path.rec_sacked_segments > 0)
+
+let test_rack_stream_integrity () =
+  let tas = integrity_run Policy.Rack_tlp in
+  let r = Fast_path.rec_stats (Tas.fast_path tas) in
+  Alcotest.(check bool) "recovery episodes happened" true
+    (r.Fast_path.rec_episodes > 0);
+  Alcotest.(check bool) "selective retransmissions happened" true
+    (r.Fast_path.rec_selective_retransmits > 0)
+
+(* Tail loss: deterministically swallow the first copy of the segment that
+   carries the final byte of a bounded transfer. Without a tail-loss probe
+   the only repair is the slow path's stall rewind (4 x 50 ms control
+   intervals here); RACK-TLP's probe timer must repair at PTO timescale. *)
+let tail_completion policy =
+  let total = 32768 in
+  let sim = Sim.create () in
+  let spec =
+    {
+      Topology.rate_bps = 1e9;
+      delay = Time_ns.ms 5;
+      capacity_pkts = 1024;
+      ecn_threshold = None;
+    }
+  in
+  let net = Topology.point_to_point sim ~spec ~queues_per_nic:8 () in
+  (* Re-wire a -> b with the deterministic tail dropper. *)
+  let seen = ref 0 and dropped = ref false in
+  Port.set_deliver net.Topology.a.Topology.uplink (fun pkt ->
+      let len = Bytes.length pkt.Packet.payload in
+      if len > 0 && (not !dropped) && !seen + len >= total then
+        dropped := true (* swallow the tail segment's first copy *)
+      else begin
+        if len > 0 then seen := !seen + len;
+        Nic.input net.Topology.b.Topology.nic pkt
+      end);
+  let mk nic core_base =
+    let config =
+      {
+        Config.default with
+        Config.max_fast_path_cores = 2;
+        cc = Tas_tcp.Interval_cc.Fixed_rate;
+        initial_rate_bps = 1e9;
+        control_interval_fixed_ns = Some 50_000_000;
+        timeout_intervals = 4;
+        recovery_policy = policy;
+      }
+    in
+    let tas = Tas.create sim ~nic ~config () in
+    let cores =
+      [|
+        Core.create sim ~id:core_base ();
+        Core.create sim ~id:(core_base + 1) ();
+      |]
+    in
+    let lt = Tas.app tas ~app_cores:cores ~api:Libtas.Sockets in
+    (tas, Transport.of_libtas lt ~ctx_of_conn:(fun i -> i mod 2))
+  in
+  let sender_tas, sender = mk net.Topology.a.Topology.nic 500 in
+  let _recv_tas, receiver = mk net.Topology.b.Topology.nic 600 in
+  let got = ref 0 and done_at = ref None in
+  Transport.listen receiver ~port:9001 (fun _ ->
+      {
+        Transport.null_handlers with
+        Transport.on_data =
+          (fun _ d ->
+            got := !got + Bytes.length d;
+            if !got >= total && !done_at = None then done_at := Some (Sim.now sim));
+      });
+  let payload = Bytes.create total in
+  Transport.connect sender
+    ~dst_ip:(Nic.ip net.Topology.b.Topology.nic) ~dst_port:9001
+    (fun _ ->
+      {
+        Transport.null_handlers with
+        Transport.on_connected =
+          (fun conn -> ignore (Transport.send conn payload));
+      });
+  Sim.run ~until:(Time_ns.ms 400) sim;
+  Alcotest.(check bool) "tail segment was dropped" true !dropped;
+  match !done_at with
+  | None -> Alcotest.failf "transfer never completed under %s" (Policy.name policy)
+  | Some t -> (t, sender_tas)
+
+let test_tlp_repairs_tail_loss () =
+  let sack_t, _ = tail_completion Policy.Sack in
+  let rack_t, rack_tas = tail_completion Policy.Rack_tlp in
+  let r = Fast_path.rec_stats (Tas.fast_path rack_tas) in
+  Alcotest.(check bool) "a tail-loss probe fired" true
+    (r.Fast_path.rec_tlp_probes > 0);
+  Alcotest.(check bool)
+    (Printf.sprintf "rack (%.1f ms) beats sack (%.1f ms) on the tail"
+       (float_of_int rack_t /. 1e6)
+       (float_of_int sack_t /. 1e6))
+    true
+    (rack_t < sack_t);
+  (* The probe repairs at PTO timescale; the stall rewind waits out 4
+     control intervals. Generous bounds so scheduler drift cannot flake. *)
+  Alcotest.(check bool) "rack repairs before 120 ms" true
+    (rack_t < Time_ns.ms 120);
+  Alcotest.(check bool) "sack waits for the stall rewind" true
+    (sack_t > Time_ns.ms 120)
+
+let suite =
+  [
+    Alcotest.test_case "policy names round-trip" `Quick test_policy_names;
+    Alcotest.test_case "reno dup-ACK decision table" `Quick
+      test_reno_decision_table;
+    Alcotest.test_case "scoreboard: cumulative trim + karn" `Quick
+      test_scoreboard_ack_trim;
+    Alcotest.test_case "scoreboard: sack marking + dupthresh" `Quick
+      test_scoreboard_sack_and_dupthresh;
+    Alcotest.test_case "scoreboard: rack time rule" `Quick
+      test_scoreboard_rack_time_rule;
+    Alcotest.test_case "sack engine: episode bracket" `Quick
+      test_sack_episode_bracket;
+    Alcotest.test_case "sack engine: front-hole rule" `Quick
+      test_sack_front_hole_rule;
+    Alcotest.test_case "rack engine: defaults + delivery clock" `Quick
+      test_rack_defaults_and_clock;
+    Alcotest.test_case "rack engine: reordering timer" `Quick
+      test_rack_reo_timer;
+    Alcotest.test_case "state reset invalidates timers" `Quick
+      test_state_reset;
+    Alcotest.test_case "seed digests: chaos schedules" `Quick
+      test_seed_chaos_digests;
+    Alcotest.test_case "seed digests: fig. 7 goodputs" `Quick
+      test_seed_f7_goodputs;
+    Alcotest.test_case "sack goodput >= reno under loss" `Quick
+      test_sack_goodput_vs_reno;
+    Alcotest.test_case "sack stream integrity under bursty loss" `Quick
+      test_sack_stream_integrity;
+    Alcotest.test_case "rack stream integrity under bursty loss" `Quick
+      test_rack_stream_integrity;
+    Alcotest.test_case "tlp repairs tail loss at probe timescale" `Quick
+      test_tlp_repairs_tail_loss;
+  ]
